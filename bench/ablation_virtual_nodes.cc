@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Ablation: DHT load balance vs virtual-node count and physical
+ * node count (Sec. 3.8). Mercury/Iridium multiply physical nodes
+ * per box, which shrinks each node's arc without virtual-node
+ * tricks.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "cluster/ring.hh"
+
+namespace
+{
+
+using namespace mercury;
+using namespace mercury::cluster;
+
+LoadStats
+statsFor(unsigned nodes, unsigned vnodes)
+{
+    ConsistentHashRing ring(vnodes);
+    for (unsigned i = 0; i < nodes; ++i)
+        ring.addNode("node" + std::to_string(i));
+    return ring.sampleLoad(200000);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::banner("Ablation: consistent-hash load imbalance "
+                  "(max/mean over 200k keys)");
+
+    std::printf("%-14s", "Nodes\\VNodes");
+    for (unsigned v : {1u, 4u, 16u, 64u, 256u})
+        std::printf(" %9u", v);
+    std::printf("\n");
+    bench::rule(66);
+
+    for (unsigned nodes : {4u, 16u, 96u, 768u}) {
+        std::printf("%-14u", nodes);
+        for (unsigned vnodes : {1u, 4u, 16u, 64u, 256u}) {
+            const LoadStats stats = statsFor(nodes, vnodes);
+            std::printf(" %9.2f", stats.imbalance);
+        }
+        std::printf("\n");
+    }
+    std::printf("\nRelative imbalance needs virtual nodes to tame, "
+                "but each node's absolute arc shrinks ~1/N: with 96 "
+                "stacks per box the hottest node carries a tiny "
+                "fraction of the keyspace, which is the paper's "
+                "contention argument (Sec. 3.8).\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared helpers for the table/figure regeneration harnesses.
+ */
+
+#ifndef MERCURY_BENCH_BENCH_UTIL_HH
+#define MERCURY_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mercury::bench
+{
+
+/** The request-size sweep of the paper (64 B to 1 MB, doubling). */
+inline std::vector<std::uint32_t>
+requestSizeSweep()
+{
+    std::vector<std::uint32_t> sizes;
+    for (std::uint32_t size = 64; size <= 1048576; size *= 2)
+        sizes.push_back(size);
+    return sizes;
+}
+
+/** "64", "1K", "256K", "1M" labels as the paper's axes use. */
+inline std::string
+sizeLabel(std::uint32_t bytes)
+{
+    if (bytes >= 1048576 && bytes % 1048576 == 0)
+        return std::to_string(bytes / 1048576) + "M";
+    if (bytes >= 1024 && bytes % 1024 == 0)
+        return std::to_string(bytes / 1024) + "K";
+    return std::to_string(bytes);
+}
+
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+inline void
+rule(int width = 100)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+} // namespace mercury::bench
+
+#endif // MERCURY_BENCH_BENCH_UTIL_HH

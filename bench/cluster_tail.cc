@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Extension: cluster tail latency vs node granularity and workload
+ * skew (Sec. 3.8).
+ *
+ * The paper argues more physical nodes shrink each node's arc of
+ * the DHT keyspace and so reduce resource contention. This holds for
+ * moderately skewed workloads -- but it has a sharp limit the
+ * open-loop simulation exposes: a single hot KEY cannot be sharded,
+ * and a thin node has proportionally less capacity to absorb it.
+ * Under extreme skew, finer granularity makes the hot node saturate
+ * earlier (the classic memcached hot-key problem that production
+ * systems solve with client-side caching or key replication).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "cluster/cluster_sim.hh"
+
+namespace
+{
+
+using namespace mercury;
+using namespace mercury::cluster;
+
+ClusterSimResult
+run(unsigned nodes, double theta, double utilization)
+{
+    ClusterSimParams params;
+    params.node.core = cpu::cortexA7Params();
+    params.node.withL2 = false;
+    params.node.storeMemLimit = 48 * miB;
+    params.nodes = nodes;
+    params.zipfTheta = theta;
+    params.requests = 2500;
+
+    ClusterSim sim(params);
+    return sim.run(utilization * sim.aggregateCapacity());
+}
+
+void
+row(unsigned nodes, double theta, double utilization)
+{
+    const ClusterSimResult r = run(nodes, theta, utilization);
+    std::printf("%-6u %6.2f %7.0f%% %10.1f %10.1f %9.0f%% %9.2f%%\n",
+                nodes, theta, utilization * 100, r.avgLatencyUs,
+                r.p99LatencyUs, r.subMsFraction * 100,
+                r.hottestNodeShare * 100);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::banner("Cluster tail latency: node granularity x "
+                  "workload skew (open-loop Zipf GETs)");
+
+    std::printf("%-6s %6s %8s %10s %10s %10s %10s\n", "Nodes",
+                "theta", "load", "avg us", "p99 us", "<1ms",
+                "hot share");
+    bench::rule(68);
+
+    std::printf("-- moderate skew: finer granularity smooths the "
+                "ring (Sec. 3.8) --\n");
+    for (unsigned nodes : {4u, 16u, 48u})
+        row(nodes, 0.70, 0.6);
+
+    std::printf("-- extreme skew: one hot key defeats sharding; "
+                "thin nodes saturate first --\n");
+    for (unsigned nodes : {4u, 16u, 48u})
+        row(nodes, 0.99, 0.6);
+
+    std::printf("\nWith theta=0.7 the hot node's share tracks its "
+                "arc and tails stay flat as nodes multiply. With "
+                "theta=0.99 the top key alone is ~10%% of traffic: "
+                "it lands on ONE node whose capacity shrinks with "
+                "granularity, so many-thin-node clusters queue on "
+                "it long before fat-node clusters do. Density needs "
+                "hot-key replication to cash in -- a limit of the "
+                "Sec. 3.8 argument worth knowing.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Regenerates paper Figure 4: components of GET and PUT request
+ * time (hash computation / memcached metadata / network stack &
+ * data transfer) across request sizes 64 B - 1 MB, on an A15 @1 GHz
+ * with a 2 MB L2 and 10 ns DRAM.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "server/server_model.hh"
+
+namespace
+{
+
+using namespace mercury;
+using namespace mercury::server;
+
+void
+sweep(bool puts)
+{
+    ServerModelParams params;
+    params.core = cpu::cortexA15Params(1.0);
+    params.withL2 = true;
+    params.memory = MemoryKind::StackedDram;
+    params.dramArrayLatency = 10 * tickNs;
+    params.storeMemLimit = 224 * miB;
+    ServerModel server(params);
+
+    std::printf("%-8s %12s %12s %12s\n", "Size",
+                "Memcached", "NetStack", "Hash");
+    bench::rule(48);
+    for (std::uint32_t size : bench::requestSizeSweep()) {
+        const Measurement m = puts ? server.measurePuts(size)
+                                   : server.measureGets(size);
+        std::printf("%-8s %11.1f%% %11.1f%% %11.1f%%\n",
+                    bench::sizeLabel(size).c_str(),
+                    m.avgBreakdown.memcachedFraction() * 100,
+                    m.avgBreakdown.netstackFraction() * 100,
+                    m.avgBreakdown.hashFraction() * 100);
+    }
+    std::printf("\n");
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::banner("Figure 4a: components of GET execution time "
+                  "(A15 @1GHz, 2MB L2, 10ns DRAM)");
+    sweep(false);
+
+    bench::banner("Figure 4b: components of PUT execution time");
+    sweep(true);
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Regenerates paper Figure 5: transactions per second for a
+ * Mercury-1 stack across CPU configurations (A15 / A7, with and
+ * without a 2 MB L2) and DRAM latencies (10/30/50/100 ns), for GET
+ * and PUT requests from 64 B to 1 MB.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hh"
+#include "server/server_model.hh"
+
+namespace
+{
+
+using namespace mercury;
+using namespace mercury::server;
+
+void
+panel(const char *title, const cpu::CoreParams &core, bool with_l2)
+{
+    bench::banner(title);
+    const std::vector<Tick> latencies{10 * tickNs, 30 * tickNs,
+                                      50 * tickNs, 100 * tickNs};
+
+    // One model per latency; request sizes share each model's
+    // populated working sets.
+    std::vector<std::unique_ptr<ServerModel>> models;
+    for (Tick latency : latencies) {
+        ServerModelParams params;
+        params.core = core;
+        params.withL2 = with_l2;
+        params.memory = MemoryKind::StackedDram;
+        params.dramArrayLatency = latency;
+        params.storeMemLimit = 224 * miB;
+        models.push_back(std::make_unique<ServerModel>(params));
+    }
+
+    std::printf("%-8s", "Size");
+    for (Tick latency : latencies) {
+        std::printf("  %5lluns-GET %5lluns-PUT",
+                    static_cast<unsigned long long>(
+                        latency / tickNs),
+                    static_cast<unsigned long long>(
+                        latency / tickNs));
+    }
+    std::printf("   (TPS)\n");
+    bench::rule(100);
+
+    for (std::uint32_t size : bench::requestSizeSweep()) {
+        std::printf("%-8s", bench::sizeLabel(size).c_str());
+        for (auto &model : models) {
+            const double get_tps = model->measureGets(size).avgTps;
+            const double put_tps = model->measurePuts(size).avgTps;
+            std::printf("  %9.0f %9.0f", get_tps, put_tps);
+        }
+        std::printf("\n");
+    }
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    panel("Figure 5a: Mercury-1, A15 @1GHz with a 2MB L2",
+          cpu::cortexA15Params(1.0), true);
+    panel("Figure 5b: Mercury-1, A15 @1GHz with no L2",
+          cpu::cortexA15Params(1.0), false);
+    panel("Figure 5c: Mercury-1, A7 with a 2MB L2",
+          cpu::cortexA7Params(), true);
+    panel("Figure 5d: Mercury-1, A7 with no L2",
+          cpu::cortexA7Params(), false);
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Regenerates paper Figure 6: transactions per second for an
+ * Iridium-1 stack across CPU configurations and flash read
+ * latencies (10/20 us; writes fixed at 200 us), for GET and PUT
+ * requests from 64 B to 1 MB.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hh"
+#include "server/server_model.hh"
+
+namespace
+{
+
+using namespace mercury;
+using namespace mercury::server;
+
+void
+panel(const char *title, const cpu::CoreParams &core, bool with_l2)
+{
+    bench::banner(title);
+    const std::vector<Tick> latencies{10 * tickUs, 20 * tickUs};
+
+    std::vector<std::unique_ptr<ServerModel>> models;
+    for (Tick latency : latencies) {
+        ServerModelParams params;
+        params.core = core;
+        params.withL2 = with_l2;
+        params.memory = MemoryKind::Flash;
+        params.flashReadLatency = latency;
+        params.storeMemLimit = 224 * miB;
+        models.push_back(std::make_unique<ServerModel>(params));
+    }
+
+    std::printf("%-8s  %9s %9s  %9s %9s   (TPS)\n", "Size",
+                "10us-GET", "10us-PUT", "20us-GET", "20us-PUT");
+    bench::rule(60);
+
+    for (std::uint32_t size : bench::requestSizeSweep()) {
+        std::printf("%-8s", bench::sizeLabel(size).c_str());
+        for (auto &model : models) {
+            const double get_tps = model->measureGets(size).avgTps;
+            const double put_tps = model->measurePuts(size).avgTps;
+            std::printf("  %9.0f %9.0f", get_tps, put_tps);
+        }
+        std::printf("\n");
+    }
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    panel("Figure 6a: Iridium-1, A15 @1GHz with a 2MB L2",
+          cpu::cortexA15Params(1.0), true);
+    panel("Figure 6b: Iridium-1, A15 @1GHz with no L2",
+          cpu::cortexA15Params(1.0), false);
+    panel("Figure 6c: Iridium-1, A7 with a 2MB L2",
+          cpu::cortexA7Params(), true);
+    panel("Figure 6d: Iridium-1, A7 with no L2",
+          cpu::cortexA7Params(), false);
+    return 0;
+}

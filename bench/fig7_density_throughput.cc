@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Regenerates paper Figure 7: density vs throughput for Mercury-n
+ * and Iridium-n stacks servicing 64 B GET requests, across
+ * A15 @1.5GHz / A15 @1GHz / A7 cores and n = 1..32 cores per stack.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "config/explorer.hh"
+#include "config/perf_oracle.hh"
+
+namespace
+{
+
+using namespace mercury;
+using namespace mercury::config;
+using namespace mercury::physical;
+
+void
+panel(const char *title, StackMemory memory)
+{
+    bench::banner(title);
+    DesignExplorer explorer;
+
+    const struct
+    {
+        const char *label;
+        cpu::CoreParams core;
+    } choices[] = {
+        {"A15 @1.5GHz", cpu::cortexA15Params(1.5)},
+        {"A15 @1GHz", cpu::cortexA15Params(1.0)},
+        {"A7", cpu::cortexA7Params()},
+    };
+
+    std::printf("%-12s %-12s %14s %14s\n", "Core", "Config",
+                "Density (GB)", "TPS@64B (M)");
+    bench::rule(56);
+    const char *family =
+        memory == StackMemory::Dram3D ? "Mercury" : "Iridium";
+    for (const auto &choice : choices) {
+        StackConfig stack;
+        stack.core = choice.core;
+        stack.memory = memory;
+        stack.withL2 = memory == StackMemory::Flash3D;
+        const PerCorePerf perf = measurePerCorePerf(stack);
+        for (unsigned n : {1u, 2u, 4u, 8u, 16u, 32u}) {
+            stack.coresPerStack = n;
+            const ServerDesign d = explorer.solve(stack, perf);
+            std::printf("%-12s %s-%-8u %14.0f %14.2f\n",
+                        choice.label, family, n, d.densityGB,
+                        d.tps64 / 1e6);
+        }
+    }
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    panel("Figure 7a: Mercury density vs TPS (64 B GETs)",
+          StackMemory::Dram3D);
+    panel("Figure 7b: Iridium density vs TPS (64 B GETs)",
+          StackMemory::Flash3D);
+    return 0;
+}

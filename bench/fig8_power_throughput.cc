@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Regenerates paper Figure 8: power vs throughput for Mercury-n and
+ * Iridium-n stacks servicing 64 B GET requests.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "config/explorer.hh"
+#include "config/perf_oracle.hh"
+
+namespace
+{
+
+using namespace mercury;
+using namespace mercury::config;
+using namespace mercury::physical;
+
+void
+panel(const char *title, StackMemory memory)
+{
+    bench::banner(title);
+    DesignExplorer explorer;
+
+    const struct
+    {
+        const char *label;
+        cpu::CoreParams core;
+    } choices[] = {
+        {"A15 @1.5GHz", cpu::cortexA15Params(1.5)},
+        {"A15 @1GHz", cpu::cortexA15Params(1.0)},
+        {"A7", cpu::cortexA7Params()},
+    };
+
+    std::printf("%-12s %-12s %12s %14s %12s\n", "Core", "Config",
+                "Power (W)", "TPS@64B (M)", "KTPS/W");
+    bench::rule(68);
+    const char *family =
+        memory == StackMemory::Dram3D ? "Mercury" : "Iridium";
+    for (const auto &choice : choices) {
+        StackConfig stack;
+        stack.core = choice.core;
+        stack.memory = memory;
+        stack.withL2 = memory == StackMemory::Flash3D;
+        const PerCorePerf perf = measurePerCorePerf(stack);
+        for (unsigned n : {1u, 2u, 4u, 8u, 16u, 32u}) {
+            stack.coresPerStack = n;
+            const ServerDesign d = explorer.solve(stack, perf);
+            std::printf("%-12s %s-%-8u %12.0f %14.2f %12.2f\n",
+                        choice.label, family, n, d.powerAt64BW,
+                        d.tps64 / 1e6, d.tpsPerWatt() / 1e3);
+        }
+    }
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    panel("Figure 8a: Mercury power vs TPS (64 B GETs)",
+          StackMemory::Dram3D);
+    panel("Figure 8b: Iridium power vs TPS (64 B GETs)",
+          StackMemory::Flash3D);
+    return 0;
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the key-value store
+ * substrate: hashing, slab allocation, table probes, store
+ * operations and protocol parsing.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "kvstore/hash.hh"
+#include "kvstore/protocol.hh"
+#include "kvstore/store.hh"
+#include "sim/random.hh"
+
+namespace
+{
+
+using namespace mercury;
+using namespace mercury::kvstore;
+
+void
+BM_HashKey(benchmark::State &state)
+{
+    const std::string key(static_cast<std::size_t>(state.range(0)),
+                          'k');
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hashKey(key));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0));
+}
+BENCHMARK(BM_HashKey)->Arg(8)->Arg(32)->Arg(128);
+
+void
+BM_SlabAllocateFree(benchmark::State &state)
+{
+    SlabParams params;
+    params.memLimit = 64 * miB;
+    SlabAllocator slabs(params);
+    const auto cls = static_cast<unsigned>(
+        slabs.classFor(static_cast<std::size_t>(state.range(0))));
+    for (auto _ : state) {
+        void *chunk = slabs.allocate(cls);
+        benchmark::DoNotOptimize(chunk);
+        slabs.free(cls, chunk);
+    }
+}
+BENCHMARK(BM_SlabAllocateFree)->Arg(128)->Arg(4096)->Arg(65536);
+
+StoreParams
+benchStoreParams(EvictionPolicyKind eviction, LockingMode locking)
+{
+    StoreParams p;
+    p.memLimit = 256 * miB;
+    p.eviction = eviction;
+    p.locking = locking;
+    return p;
+}
+
+void
+BM_StoreGetHit(benchmark::State &state)
+{
+    Store store(benchStoreParams(EvictionPolicyKind::StrictLru,
+                                 LockingMode::Global));
+    const std::string value(static_cast<std::size_t>(state.range(0)),
+                            'v');
+    for (int i = 0; i < 10000; ++i)
+        store.set("key" + std::to_string(i), value);
+
+    Rng rng(1);
+    for (auto _ : state) {
+        const std::string key =
+            "key" + std::to_string(rng.nextInt(10000));
+        benchmark::DoNotOptimize(store.get(key));
+    }
+}
+BENCHMARK(BM_StoreGetHit)->Arg(64)->Arg(1024)->Arg(65536);
+
+void
+BM_StoreGetBagsVsStrict(benchmark::State &state)
+{
+    const bool bags = state.range(0) == 1;
+    Store store(benchStoreParams(bags ? EvictionPolicyKind::Bags
+                                      : EvictionPolicyKind::StrictLru,
+                                 bags ? LockingMode::Striped
+                                      : LockingMode::Global));
+    for (int i = 0; i < 10000; ++i)
+        store.set("key" + std::to_string(i), "value");
+    Rng rng(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            store.get("key" + std::to_string(rng.nextInt(10000))));
+    }
+}
+BENCHMARK(BM_StoreGetBagsVsStrict)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("bags");
+
+void
+BM_StoreSet(benchmark::State &state)
+{
+    Store store(benchStoreParams(EvictionPolicyKind::StrictLru,
+                                 LockingMode::Global));
+    const std::string value(1024, 'v');
+    Rng rng(3);
+    for (auto _ : state) {
+        const std::string key =
+            "key" + std::to_string(rng.nextInt(20000));
+        benchmark::DoNotOptimize(store.set(key, value));
+    }
+}
+BENCHMARK(BM_StoreSet);
+
+void
+BM_StoreSetWithEviction(benchmark::State &state)
+{
+    StoreParams params = benchStoreParams(
+        EvictionPolicyKind::StrictLru, LockingMode::Global);
+    params.memLimit = 8 * miB;
+    Store store(params);
+    const std::string value(4096, 'v');
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            store.set("key" + std::to_string(i++), value));
+    }
+}
+BENCHMARK(BM_StoreSetWithEviction);
+
+void
+BM_ProtocolRoundTrip(benchmark::State &state)
+{
+    Store store(benchStoreParams(EvictionPolicyKind::StrictLru,
+                                 LockingMode::Global));
+    ServerSession session(store);
+    session.consume("set bench 0 0 5\r\nhello\r\n");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(session.consume("get bench\r\n"));
+}
+BENCHMARK(BM_ProtocolRoundTrip);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

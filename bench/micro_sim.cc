@@ -1,0 +1,131 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulation substrate:
+ * event queue throughput, cache probes, DRAM/flash timing walks and
+ * the end-to-end single-request path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cpu/core.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/flash.hh"
+#include "server/server_model.hh"
+#include "sim/event_queue.hh"
+
+namespace
+{
+
+using namespace mercury;
+
+void
+BM_EventQueueScheduleService(benchmark::State &state)
+{
+    EventQueue queue;
+    EventFunctionWrapper event([] {}, "bench");
+    for (auto _ : state) {
+        queue.schedule(&event, queue.curTick() + 10);
+        queue.serviceOne();
+    }
+}
+BENCHMARK(BM_EventQueueScheduleService);
+
+void
+BM_CacheHit(benchmark::State &state)
+{
+    mem::DramModel dram(mem::stackedDramParams());
+    mem::HierarchyParams hp;
+    hp.hasL2 = true;
+    mem::CacheHierarchy caches(hp, &dram);
+    caches.access(mem::CpuAccessKind::Load, 0x1000, 0);
+    Tick now = tickUs;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            caches.access(mem::CpuAccessKind::Load, 0x1000, now));
+        now += 10;
+    }
+}
+BENCHMARK(BM_CacheHit);
+
+void
+BM_DramAccess(benchmark::State &state)
+{
+    mem::DramModel dram(mem::stackedDramParams());
+    Tick now = 0;
+    Addr addr = 0;
+    for (auto _ : state) {
+        now = dram.access(mem::AccessType::Read, addr, 64, now);
+        addr += 4096;
+    }
+}
+BENCHMARK(BM_DramAccess);
+
+void
+BM_FlashRead(benchmark::State &state)
+{
+    mem::FlashParams params;
+    params.capacity = 256 * miB;
+    params.numChannels = 4;
+    mem::FlashController flash(params);
+    // Map some pages first.
+    Tick now = 0;
+    for (Addr addr = 0; addr < 1 * miB; addr += 4096)
+        now = flash.access(mem::AccessType::Write, addr, 64, now);
+    now = flash.drainWrites(now);
+
+    Addr addr = 0;
+    for (auto _ : state) {
+        now = flash.access(mem::AccessType::Read, addr, 64, now);
+        addr = (addr + 4096) % (1 * miB);
+    }
+}
+BENCHMARK(BM_FlashRead);
+
+void
+BM_CoreTraceExecution(benchmark::State &state)
+{
+    mem::DramModel dram(mem::stackedDramParams());
+    mem::CacheHierarchy caches(
+        cpu::defaultHierarchy(cpu::CoreType::CortexA7, false), &dram);
+    cpu::CoreModel core(cpu::cortexA7Params(), &caches);
+
+    cpu::OpTrace trace;
+    cpu::TraceBuilder(trace).codePass(0, 12 * kiB, 9000);
+
+    Tick now = 0;
+    for (auto _ : state) {
+        const cpu::RunResult r = core.run(trace, now);
+        now = r.end;
+        benchmark::DoNotOptimize(r.end);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_CoreTraceExecution);
+
+void
+BM_EndToEndGet(benchmark::State &state)
+{
+    server::ServerModelParams params;
+    params.core = cpu::cortexA7Params();
+    params.withL2 = true;
+    params.storeMemLimit = 64 * miB;
+    server::ServerModel server(params);
+    server.populate(1000, 64);
+
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        const auto timing =
+            server.get("v64:" + std::to_string(i++ % 1000));
+        benchmark::DoNotOptimize(timing.rtt);
+    }
+}
+BENCHMARK(BM_EndToEndGet);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Regenerates paper Table 1: power and area for the components of a
+ * 3D stack.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "physical/components.hh"
+
+int
+main()
+{
+    using namespace mercury;
+    using namespace mercury::physical;
+
+    bench::banner("Table 1: Power and area for the components of a "
+                  "3D stack");
+
+    const ComponentCatalog &c = defaultCatalog();
+    std::printf("%-26s %14s %12s\n", "Component", "Power (mW)",
+                "Area (mm^2)");
+    bench::rule(54);
+    std::printf("%-26s %14.0f %12.2f\n", "A7@1GHz",
+                c.a7PowerW * 1000, c.a7AreaMm2);
+    std::printf("%-26s %14.0f %12.2f\n", "A15@1GHz",
+                c.a15PowerW1GHz * 1000, c.a15AreaMm2);
+    std::printf("%-26s %14.0f %12.2f\n", "A15@1.5GHz",
+                c.a15PowerW15GHz * 1000, c.a15AreaMm2);
+    std::printf("%-26s %10.0f/GBs %12.2f\n", "3D DRAM (4GB)",
+                c.dramPowerPerGBs * 1000, c.dramAreaMm2);
+    std::printf("%-26s %10.0f/GBs %12.2f\n", "3D NAND Flash (19.8GB)",
+                c.flashPowerPerGBs * 1000, c.flashAreaMm2);
+    std::printf("%-26s %14.0f %12.2f\n", "3D Stack NIC (MAC)",
+                c.nicMacPowerW * 1000, c.nicMacAreaMm2);
+    std::printf("%-26s %14.0f %12.2f\n", "Physical NIC (PHY)",
+                c.nicPhyPowerW * 1000, c.nicPhyAreaMm2);
+    return 0;
+}

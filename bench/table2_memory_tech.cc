@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regenerates paper Table 2: comparison of 3D-stacked DRAM to DIMM
+ * packages, cross-checked against the DRAM timing models where a
+ * model exists.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "mem/dram.hh"
+#include "physical/components.hh"
+
+int
+main()
+{
+    using namespace mercury;
+    using namespace mercury::physical;
+
+    bench::banner("Table 2: Comparison of 3D-stacked DRAM to DIMM "
+                  "packages");
+
+    std::printf("%-30s %12s %12s %8s\n", "DRAM", "BW (GB/s)",
+                "Capacity", "Stacked");
+    bench::rule(66);
+    for (const MemoryTechRow &row : memoryTechCatalog()) {
+        std::printf("%-30s %12.1f %9.1fGB %8s\n", row.name.c_str(),
+                    row.bandwidthGBs, row.capacityGB,
+                    row.stacked ? "yes" : "no");
+    }
+
+    // Cross-check: the timing models must deliver the catalog's peak
+    // bandwidth figures.
+    bench::banner("Model cross-check (device peak bandwidth)");
+    const struct
+    {
+        const char *name;
+        mem::DramParams params;
+    } models[] = {
+        {"DDR3-1333", mem::ddr3Params()},
+        {"DDR4-2667", mem::ddr4Params()},
+        {"LPDDR3", mem::lpddr3Params()},
+        {"HMC I", mem::hmc1Params()},
+        {"Wide I/O", mem::wideIoParams()},
+        {"Tezzaron Octopus", mem::octopusParams()},
+        {"Future Tezzaron (Mercury)", mem::stackedDramParams()},
+    };
+    std::printf("%-30s %12s %12s\n", "Model", "Peak GB/s", "Capacity");
+    bench::rule(56);
+    for (const auto &entry : models) {
+        mem::DramModel dram(entry.params);
+        std::printf("%-30s %12.1f %9.1fGB\n", entry.name,
+                    dram.peakBandwidth() / 1e9,
+                    static_cast<double>(dram.capacityBytes()) / 1e9);
+    }
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Regenerates paper Table 3: power and area for maximum 1.5U
+ * configurations -- {A15@1.5GHz, A15@1GHz, A7} x {1..32 cores/stack}
+ * x {Mercury, Iridium}, reporting board area, wall power at the
+ * peak-bandwidth operating point, density, and max bandwidth.
+ *
+ * Per-core throughput/bandwidth inputs are measured live with the
+ * single-core server timing model (Sec. 5.2-5.3 methodology), then
+ * scaled under the chassis constraints.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "config/explorer.hh"
+#include "config/perf_oracle.hh"
+
+namespace
+{
+
+using namespace mercury;
+using namespace mercury::config;
+using namespace mercury::physical;
+
+struct CoreChoice
+{
+    const char *label;
+    cpu::CoreParams core;
+};
+
+void
+printBlock(const CoreChoice &choice, StackMemory memory)
+{
+    DesignExplorer explorer;
+    const std::vector<unsigned> core_counts{1, 2, 4, 8, 16, 32};
+
+    StackConfig stack;
+    stack.core = choice.core;
+    stack.memory = memory;
+    // Mercury foregoes the L2 (Sec. 4.1.3); Iridium requires it
+    // (Sec. 4.2.1).
+    stack.withL2 = memory == StackMemory::Flash3D;
+
+    const PerCorePerf perf = measurePerCorePerf(stack);
+
+    std::printf("%s, %s\n", choice.label,
+                memory == StackMemory::Dram3D ? "Mercury (3D DRAM)"
+                                              : "Iridium (3D Flash)");
+    std::printf("  %-18s", "Cores per stack");
+    for (unsigned n : core_counts)
+        std::printf(" %9u", n);
+    std::printf("\n");
+    bench::rule(80);
+
+    std::printf("  %-18s", "Stacks");
+    std::vector<ServerDesign> designs;
+    for (unsigned n : core_counts) {
+        stack.coresPerStack = n;
+        designs.push_back(explorer.solve(stack, perf));
+        std::printf(" %9u", designs.back().stacks);
+    }
+    std::printf("\n  %-18s", "Area (cm^2)");
+    for (const auto &d : designs)
+        std::printf(" %9.0f", d.areaCm2);
+    std::printf("\n  %-18s", "Power (W)");
+    for (const auto &d : designs)
+        std::printf(" %9.0f", d.powerAtMaxBwW);
+    std::printf("\n  %-18s", "Density (GB)");
+    for (const auto &d : designs)
+        std::printf(" %9.0f", d.densityGB);
+    std::printf("\n  %-18s", "Max BW (GB/s)");
+    for (const auto &d : designs)
+        std::printf(" %9.1f", d.maxBwGBs);
+    std::printf("\n\n");
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::banner("Table 3: Power and area comparison for 1.5U "
+                  "maximum configurations");
+
+    const CoreChoice choices[] = {
+        {"A15 @1.5GHz", cpu::cortexA15Params(1.5)},
+        {"A15 @1GHz", cpu::cortexA15Params(1.0)},
+        {"A7 @1GHz", cpu::cortexA7Params()},
+    };
+
+    for (const CoreChoice &choice : choices)
+        printBlock(choice, StackMemory::Dram3D);
+    for (const CoreChoice &choice : choices)
+        printBlock(choice, StackMemory::Flash3D);
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Capacity planner: given a caching tier's dataset size and target
+ * throughput, compare fleets of Mercury, Iridium and conventional
+ * Xeon memcached servers on rack space and power -- the data-center
+ * arithmetic that motivates the paper (Sec. 1-2).
+ *
+ * Scenario: a web property needs to cache 30 TB with a peak load of
+ * 150 million GET/s (Facebook-2008 was already 28 TB, Sec. 2.3).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "baseline/baseline.hh"
+#include "config/explorer.hh"
+#include "config/perf_oracle.hh"
+
+namespace
+{
+
+using namespace mercury;
+using namespace mercury::config;
+
+struct Fleet
+{
+    const char *name;
+    double serverGB;
+    double serverTps;
+    double serverPowerW;
+    double serverUnits;  // rack units per server
+};
+
+void
+plan(const Fleet &fleet, double dataset_gb, double target_tps)
+{
+    const double by_capacity = dataset_gb / fleet.serverGB;
+    const double by_tps = target_tps / fleet.serverTps;
+    const int servers = static_cast<int>(
+        std::ceil(std::max(by_capacity, by_tps)));
+    const double racks = servers * fleet.serverUnits / 42.0;
+    const double power_kw = servers * fleet.serverPowerW / 1000.0;
+    const char *binding = by_capacity > by_tps ? "capacity" : "tps";
+
+    std::printf("%-22s %8d %8.1f %9.0f   bound by %s\n", fleet.name,
+                servers, racks, power_kw, binding);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    const double dataset_gb = 30000.0;
+    const double target_tps = 150e6;
+
+    std::printf("Cache tier: %.0f TB dataset, %.0f MTPS peak\n\n",
+                dataset_gb / 1000, target_tps / 1e6);
+    std::printf("%-22s %8s %8s %9s\n", "Design", "Servers", "Racks",
+                "kW");
+    for (int i = 0; i < 60; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+
+    DesignExplorer explorer;
+
+    // Mercury-32 and Iridium-32 designs, solved from simulation.
+    physical::StackConfig mercury;
+    mercury.core = cpu::cortexA7Params();
+    mercury.coresPerStack = 32;
+    mercury.withL2 = false;
+    const ServerDesign mercury_design =
+        explorer.solve(mercury, measurePerCorePerf(mercury));
+
+    physical::StackConfig iridium = mercury;
+    iridium.memory = physical::StackMemory::Flash3D;
+    iridium.withL2 = true;
+    const ServerDesign iridium_design =
+        explorer.solve(iridium, measurePerCorePerf(iridium));
+
+    const baseline::BaselineServer bags =
+        baseline::memcachedBaseline(
+            baseline::MemcachedVersion::Bags);
+
+    plan({"Xeon + Bags (1.5U)", bags.memoryGB, bags.tps,
+          bags.powerW, 1.5},
+         dataset_gb, target_tps);
+    plan({"Mercury-32 (1.5U)", mercury_design.densityGB,
+          mercury_design.tps64, mercury_design.powerAt64BW, 1.5},
+         dataset_gb, target_tps);
+    plan({"Iridium-32 (1.5U)", iridium_design.densityGB,
+          iridium_design.tps64, iridium_design.powerAt64BW, 1.5},
+         dataset_gb, target_tps);
+
+    std::printf("\nMercury wins when the tier is "
+                "throughput-bound; Iridium when it is "
+                "capacity-bound (the McDipper regime).\n");
+    return 0;
+}

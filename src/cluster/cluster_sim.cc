@@ -1,0 +1,172 @@
+#include "cluster/cluster_sim.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace mercury::cluster
+{
+
+ClusterSim::ClusterSim(const ClusterSimParams &params)
+    : params_(params), ring_(params.virtualNodes)
+{
+    mercury_assert(params_.nodes >= 1, "cluster needs nodes");
+    nodes_.reserve(params_.nodes);
+    for (unsigned i = 0; i < params_.nodes; ++i) {
+        const std::string name = "node" + std::to_string(i);
+        nodeNames_.push_back(name);
+        ring_.addNode(name);
+
+        server::ServerModelParams node_params = params_.node;
+        node_params.name = name;
+        node_params.seed = params_.seed + i + 1;
+        nodes_.push_back(
+            std::make_unique<server::ServerModel>(node_params));
+    }
+}
+
+std::string
+ClusterSim::keyFor(std::uint64_t key_id) const
+{
+    return workload::WorkloadGenerator::keyFor(key_id);
+}
+
+std::size_t
+ClusterSim::nodeIndexFor(std::string_view key) const
+{
+    const std::string &owner = ring_.nodeFor(key);
+    for (std::size_t i = 0; i < nodeNames_.size(); ++i) {
+        if (nodeNames_[i] == owner)
+            return i;
+    }
+    mercury_panic("ring returned unknown node ", owner);
+}
+
+void
+ClusterSim::populate()
+{
+    if (populated_)
+        return;
+    for (std::uint64_t id = 0; id < params_.numKeys; ++id) {
+        const std::string key = keyFor(id);
+        nodes_[nodeIndexFor(key)]->put(key, params_.valueBytes);
+    }
+    populated_ = true;
+}
+
+double
+ClusterSim::aggregateCapacity()
+{
+    if (capacity_ == 0.0) {
+        server::ServerModelParams probe = params_.node;
+        probe.name = "capacityProbe";
+        server::ServerModel node(probe);
+        capacity_ =
+            node.measureGets(params_.valueBytes, 16, 4).avgTps *
+            static_cast<double>(params_.nodes);
+    }
+    return capacity_;
+}
+
+ClusterSimResult
+ClusterSim::run(double offered_tps)
+{
+    mercury_assert(offered_tps > 0.0, "offered load must be positive");
+    populate();
+
+    workload::WorkloadParams wl;
+    wl.numKeys = params_.numKeys;
+    wl.popularity = params_.popularity;
+    wl.zipfTheta = params_.zipfTheta;
+    wl.valueSize =
+        workload::ValueSizeDist::fixed(params_.valueBytes);
+    wl.getFraction = params_.getFraction;
+    wl.seed = params_.seed;
+    workload::WorkloadGenerator gen(wl);
+    workload::PoissonArrivals arrivals(offered_tps,
+                                       params_.seed + 99);
+
+    // Start every node at a common time origin.
+    Tick origin = 0;
+    for (const auto &node : nodes_)
+        origin = std::max(origin, node->now());
+    for (const auto &node : nodes_)
+        node->advanceTo(origin);
+
+    std::vector<Tick> latencies;
+    latencies.reserve(params_.requests);
+    std::vector<std::vector<Tick>> per_node(nodes_.size());
+    std::vector<std::size_t> counts(nodes_.size(), 0);
+
+    Tick arrival = origin;
+    for (unsigned i = 0; i < params_.warmup + params_.requests;
+         ++i) {
+        arrival = arrivals.next(arrival);
+        const workload::Request request = gen.next();
+        const std::string key = keyFor(request.keyId);
+        const std::size_t index = nodeIndexFor(key);
+        server::ServerModel &node = *nodes_[index];
+
+        node.advanceTo(arrival);
+        if (request.op == workload::Request::Op::Get)
+            node.get(key);
+        else
+            node.put(key, params_.valueBytes);
+
+        if (i < params_.warmup)
+            continue;
+        const Tick latency = node.now() - arrival;
+        latencies.push_back(latency);
+        per_node[index].push_back(latency);
+        ++counts[index];
+    }
+
+    ClusterSimResult result;
+    result.offeredTps = offered_tps;
+
+    std::sort(latencies.begin(), latencies.end());
+    double sum = 0.0;
+    std::size_t sub_ms = 0;
+    for (const Tick latency : latencies) {
+        sum += ticksToUs(latency);
+        if (latency < tickMs)
+            ++sub_ms;
+    }
+    result.avgLatencyUs =
+        sum / static_cast<double>(latencies.size());
+    result.p99LatencyUs = ticksToUs(latencies[static_cast<
+        std::size_t>(0.99 * (latencies.size() - 1))]);
+    result.subMsFraction = static_cast<double>(sub_ms) /
+                           static_cast<double>(latencies.size());
+
+    // Hot-node statistics.
+    std::size_t hottest = 0;
+    for (std::size_t i = 1; i < counts.size(); ++i) {
+        if (counts[i] > counts[hottest])
+            hottest = i;
+    }
+    result.hottestNodeShare =
+        static_cast<double>(counts[hottest]) /
+        static_cast<double>(params_.requests);
+
+    auto p99_of = [](std::vector<Tick> &v) {
+        if (v.empty())
+            return 0.0;
+        std::sort(v.begin(), v.end());
+        return ticksToUs(
+            v[static_cast<std::size_t>(0.99 * (v.size() - 1))]);
+    };
+    const double hot_p99 = p99_of(per_node[hottest]);
+    std::vector<double> node_p99s;
+    for (auto &v : per_node) {
+        if (!v.empty())
+            node_p99s.push_back(p99_of(v));
+    }
+    std::sort(node_p99s.begin(), node_p99s.end());
+    const double median_p99 = node_p99s[node_p99s.size() / 2];
+    result.hotNodeTailAmplification =
+        median_p99 > 0.0 ? hot_p99 / median_p99 : 0.0;
+    return result;
+}
+
+} // namespace mercury::cluster

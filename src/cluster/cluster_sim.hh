@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Cluster timing simulation: a consistent-hash ring of simulated
+ * server nodes under an open-loop workload.
+ *
+ * Sec. 3.8 argues that many small physical nodes reduce DHT
+ * resource contention. This simulation makes that quantitative:
+ * requests with a configurable key-popularity skew are routed over
+ * the ring onto per-node timing models, so hot-node queueing and
+ * its effect on cluster tail latency emerge.
+ */
+
+#ifndef MERCURY_CLUSTER_CLUSTER_SIM_HH
+#define MERCURY_CLUSTER_CLUSTER_SIM_HH
+
+#include <memory>
+#include <vector>
+
+#include "cluster/ring.hh"
+#include "server/server_model.hh"
+#include "workload/workload.hh"
+
+namespace mercury::cluster
+{
+
+/** Static configuration of a cluster experiment. */
+struct ClusterSimParams
+{
+    /** Per-node configuration. */
+    server::ServerModelParams node;
+    unsigned nodes = 8;
+    unsigned virtualNodes = 64;
+
+    /** Key space and popularity. */
+    std::uint64_t numKeys = 4000;
+    workload::Popularity popularity = workload::Popularity::Zipf;
+    double zipfTheta = 0.99;
+    std::uint32_t valueBytes = 64;
+    double getFraction = 0.95;
+
+    /** Measured requests (after warmup). */
+    unsigned requests = 3000;
+    unsigned warmup = 300;
+    std::uint64_t seed = 17;
+};
+
+/** Outcome of one cluster run. */
+struct ClusterSimResult
+{
+    double offeredTps = 0.0;
+    double avgLatencyUs = 0.0;
+    double p99LatencyUs = 0.0;
+    double subMsFraction = 0.0;
+    /** Share of requests landing on the busiest node. */
+    double hottestNodeShare = 0.0;
+    /** p99 of the busiest node vs the cluster median node. */
+    double hotNodeTailAmplification = 0.0;
+};
+
+class ClusterSim
+{
+  public:
+    explicit ClusterSim(const ClusterSimParams &params);
+
+    /** Pre-load every key onto its owning node. */
+    void populate();
+
+    /** Run at an offered cluster-wide request rate. */
+    ClusterSimResult run(double offered_tps);
+
+    /** Sum of single-node closed-loop capacities (upper bound). */
+    double aggregateCapacity();
+
+    std::size_t nodes() const { return nodes_.size(); }
+
+  private:
+    std::string keyFor(std::uint64_t key_id) const;
+    std::size_t nodeIndexFor(std::string_view key) const;
+
+    ClusterSimParams params_;
+    ConsistentHashRing ring_;
+    std::vector<std::unique_ptr<server::ServerModel>> nodes_;
+    std::vector<std::string> nodeNames_;
+    bool populated_ = false;
+    double capacity_ = 0.0;
+};
+
+} // namespace mercury::cluster
+
+#endif // MERCURY_CLUSTER_CLUSTER_SIM_HH

@@ -1,0 +1,105 @@
+#include "cluster/distributed_cache.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace mercury::cluster
+{
+
+DistributedCache::DistributedCache(
+    unsigned nodes, const kvstore::StoreParams &store_params,
+    unsigned virtual_nodes)
+    : storeParams_(store_params), ring_(virtual_nodes)
+{
+    mercury_assert(nodes >= 1, "cluster needs at least one node");
+    for (unsigned i = 0; i < nodes; ++i)
+        addNode();
+}
+
+std::string
+DistributedCache::addNode()
+{
+    const std::string name = "node" + std::to_string(nextNodeId_++);
+    kvstore::StoreParams params = storeParams_;
+    params.name = name;
+    nodes_.emplace_back(name,
+                        std::make_unique<kvstore::Store>(params));
+    ring_.addNode(name);
+    return name;
+}
+
+bool
+DistributedCache::removeNode(const std::string &name)
+{
+    auto it = std::find_if(nodes_.begin(), nodes_.end(),
+                           [&](const auto &entry) {
+                               return entry.first == name;
+                           });
+    if (it == nodes_.end())
+        return false;
+    ring_.removeNode(name);
+    nodes_.erase(it);
+    return true;
+}
+
+kvstore::Store &
+DistributedCache::storeFor(std::string_view key)
+{
+    const std::string &owner = ring_.nodeFor(key);
+    for (auto &[name, store] : nodes_) {
+        if (name == owner)
+            return *store;
+    }
+    mercury_panic("ring returned unknown node ", owner);
+}
+
+kvstore::Store &
+DistributedCache::storeOf(const std::string &name)
+{
+    for (auto &[node, store] : nodes_) {
+        if (node == name)
+            return *store;
+    }
+    mercury_panic("unknown node ", name);
+}
+
+kvstore::GetResult
+DistributedCache::get(std::string_view key)
+{
+    return storeFor(key).get(key);
+}
+
+kvstore::StoreStatus
+DistributedCache::set(std::string_view key, std::string_view value,
+                      std::uint32_t flags, std::uint32_t ttl)
+{
+    return storeFor(key).set(key, value, flags, ttl);
+}
+
+kvstore::StoreStatus
+DistributedCache::remove(std::string_view key)
+{
+    return storeFor(key).remove(key);
+}
+
+std::vector<std::pair<std::string, std::size_t>>
+DistributedCache::itemCounts() const
+{
+    std::vector<std::pair<std::string, std::size_t>> counts;
+    counts.reserve(nodes_.size());
+    for (const auto &[name, store] : nodes_)
+        counts.emplace_back(name, store->itemCount());
+    return counts;
+}
+
+std::uint64_t
+DistributedCache::usedBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[name, store] : nodes_)
+        total += store->usedBytes();
+    return total;
+}
+
+} // namespace mercury::cluster

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A functional distributed cache: N independent Store instances
+ * behind a consistent-hash ring, memcached-cluster style. Nodes
+ * share nothing; adding or removing a node remaps only the affected
+ * arcs (and, as in real memcached, remapped keys are simply lost
+ * until re-filled).
+ */
+
+#ifndef MERCURY_CLUSTER_DISTRIBUTED_CACHE_HH
+#define MERCURY_CLUSTER_DISTRIBUTED_CACHE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/ring.hh"
+#include "kvstore/store.hh"
+
+namespace mercury::cluster
+{
+
+class DistributedCache
+{
+  public:
+    /**
+     * @param nodes initial node count (named "node0".."nodeN-1")
+     * @param store_params per-node store configuration
+     * @param virtual_nodes ring points per node
+     */
+    DistributedCache(unsigned nodes,
+                     const kvstore::StoreParams &store_params,
+                     unsigned virtual_nodes = 40);
+
+    kvstore::GetResult get(std::string_view key);
+
+    kvstore::StoreStatus set(std::string_view key,
+                             std::string_view value,
+                             std::uint32_t flags = 0,
+                             std::uint32_t ttl = 0);
+
+    kvstore::StoreStatus remove(std::string_view key);
+
+    /** Grow the cluster by one node. @return its name. */
+    std::string addNode();
+
+    /** Shrink the cluster; the node's data is dropped. */
+    bool removeNode(const std::string &name);
+
+    std::size_t numNodes() const { return ring_.numNodes(); }
+
+    const ConsistentHashRing &ring() const { return ring_; }
+
+    /** Per-node item counts, in node order. */
+    std::vector<std::pair<std::string, std::size_t>>
+    itemCounts() const;
+
+    /** Aggregate memory in use across nodes. */
+    std::uint64_t usedBytes() const;
+
+    /** The store behind a node (for stats/tests). */
+    kvstore::Store &storeOf(const std::string &name);
+
+  private:
+    kvstore::Store &storeFor(std::string_view key);
+
+    kvstore::StoreParams storeParams_;
+    ConsistentHashRing ring_;
+    std::vector<std::pair<std::string,
+                          std::unique_ptr<kvstore::Store>>> nodes_;
+    unsigned nextNodeId_ = 0;
+};
+
+} // namespace mercury::cluster
+
+#endif // MERCURY_CLUSTER_DISTRIBUTED_CACHE_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Server-design explorer: turns a stack configuration plus measured
+ * per-core performance into a full 1.5U server design point under
+ * the chassis power/area/port constraints (Sec. 5.3-5.6). This is
+ * the machinery behind Tables 3-4 and Figures 7-8.
+ */
+
+#ifndef MERCURY_CONFIG_EXPLORER_HH
+#define MERCURY_CONFIG_EXPLORER_HH
+
+#include "physical/chassis.hh"
+
+namespace mercury::config
+{
+
+/** Per-core performance inputs, measured with server::ServerModel. */
+struct PerCorePerf
+{
+    /** TPS for 64 B GETs. */
+    double tps64 = 0.0;
+    /** Payload goodput at 64 B GETs (GB/s). */
+    double goodput64GBs = 0.0;
+    /** Peak per-core bandwidth across the request sweep (GB/s). */
+    double maxBwGBs = 0.0;
+};
+
+/** A resolved 1.5U design point. */
+struct ServerDesign
+{
+    physical::StackConfig stack;
+    PerCorePerf perf;
+
+    unsigned stacks = 0;
+    unsigned cores = 0;
+    double densityGB = 0.0;
+    double areaCm2 = 0.0;
+
+    /** Peak-bandwidth operating point (Table 3). */
+    double maxBwGBs = 0.0;
+    double powerAtMaxBwW = 0.0;
+
+    /** 64 B GET operating point (Table 4, Figs. 7-8). */
+    double tps64 = 0.0;
+    double powerAt64BW = 0.0;
+    double bw64GBs = 0.0;
+
+    double
+    tpsPerWatt() const
+    {
+        return powerAt64BW > 0.0 ? tps64 / powerAt64BW : 0.0;
+    }
+
+    double
+    tpsPerGB() const
+    {
+        return densityGB > 0.0 ? tps64 / densityGB : 0.0;
+    }
+};
+
+/**
+ * Solves design points. The number of stacks is the largest count
+ * satisfying all three constraints: 96 Ethernet ports, usable board
+ * area, and the 472 W stack power budget at the peak-bandwidth
+ * operating point (which includes the DRAM's background/refresh
+ * draw; see EXPERIMENTS.md for the Table 3 vs Table 4 accounting).
+ */
+class DesignExplorer
+{
+  public:
+    explicit DesignExplorer(
+        const physical::ChassisConstraints &chassis =
+            physical::defaultChassis(),
+        const physical::ComponentCatalog &catalog =
+            physical::defaultCatalog(),
+        double dram_background_w = 0.95);
+
+    ServerDesign solve(const physical::StackConfig &stack,
+                       const PerCorePerf &perf) const;
+
+  private:
+    physical::ChassisConstraints chassis_;
+    physical::ComponentCatalog catalog_;
+    /** Background (refresh/standby) draw of a fully active 4 GB 3D
+     * DRAM stack, fitted to the paper's Table 3 rows. */
+    double dramBackgroundW_;
+};
+
+} // namespace mercury::config
+
+#endif // MERCURY_CONFIG_EXPLORER_HH

@@ -1,0 +1,59 @@
+#include "config/perf_oracle.hh"
+
+#include <map>
+#include <tuple>
+
+namespace mercury::config
+{
+
+server::ServerModelParams
+serverParamsFor(const physical::StackConfig &stack,
+                const OracleOptions &options)
+{
+    server::ServerModelParams p;
+    p.core = stack.core;
+    p.withL2 = stack.withL2;
+    p.memory = stack.memory == physical::StackMemory::Dram3D
+                   ? server::MemoryKind::StackedDram
+                   : server::MemoryKind::Flash;
+    p.dramArrayLatency = options.dramLatency;
+    p.flashReadLatency = options.flashReadLatency;
+    p.storeMemLimit = 64 * miB;
+    return p;
+}
+
+PerCorePerf
+measurePerCorePerf(const physical::StackConfig &stack,
+                   const OracleOptions &options)
+{
+    using Key = std::tuple<int, int, int, bool, Tick, Tick>;
+    static std::map<Key, PerCorePerf> cache;
+
+    const Key key{static_cast<int>(stack.core.type),
+                  static_cast<int>(stack.core.freqGHz * 100),
+                  static_cast<int>(stack.memory), stack.withL2,
+                  options.dramLatency, options.flashReadLatency};
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    server::ServerModel model(serverParamsFor(stack, options));
+
+    PerCorePerf perf;
+    const server::Measurement small =
+        model.measureGets(64, options.samples);
+    perf.tps64 = small.avgTps;
+    perf.goodput64GBs = small.goodput / 1e9;
+
+    // Peak bandwidth appears at large requests; sweep the top sizes.
+    for (std::uint32_t size : {256u * 1024u, 1024u * 1024u}) {
+        const server::Measurement big =
+            model.measureGets(size, options.samples);
+        perf.maxBwGBs = std::max(perf.maxBwGBs, big.goodput / 1e9);
+    }
+
+    cache.emplace(key, perf);
+    return perf;
+}
+
+} // namespace mercury::config

@@ -1,0 +1,285 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace mercury::cpu
+{
+
+namespace
+{
+
+/** Implementation of TraceBuilder's bulk helpers lives here to keep
+ * the header light. */
+constexpr std::uint64_t
+linesFor(std::uint64_t bytes, unsigned line_bytes)
+{
+    return (bytes + line_bytes - 1) / line_bytes;
+}
+
+} // anonymous namespace
+
+TraceBuilder &
+TraceBuilder::codePass(Addr base, std::uint64_t region_bytes,
+                       std::uint64_t instructions, unsigned line_bytes)
+{
+    const std::uint64_t lines = linesFor(region_bytes, line_bytes);
+    if (lines == 0)
+        return compute(instructions);
+
+    const std::uint64_t instr_per_line = instructions / lines;
+    std::uint64_t remainder = instructions % lines;
+    for (std::uint64_t i = 0; i < lines; ++i) {
+        trace_.push_back(
+            Op::ifetch(base + i * line_bytes, Stream::Sequential));
+        std::uint64_t instr = instr_per_line;
+        if (remainder > 0) {
+            ++instr;
+            --remainder;
+        }
+        compute(instr);
+    }
+    return *this;
+}
+
+TraceBuilder &
+TraceBuilder::streamRead(Addr base, std::uint64_t bytes,
+                         unsigned line_bytes)
+{
+    for (std::uint64_t i = 0; i < linesFor(bytes, line_bytes); ++i) {
+        trace_.push_back(
+            Op::load(base + i * line_bytes, Stream::Sequential));
+    }
+    return *this;
+}
+
+TraceBuilder &
+TraceBuilder::streamWrite(Addr base, std::uint64_t bytes,
+                          unsigned line_bytes)
+{
+    for (std::uint64_t i = 0; i < linesFor(bytes, line_bytes); ++i) {
+        trace_.push_back(
+            Op::store(base + i * line_bytes, Stream::Sequential));
+    }
+    return *this;
+}
+
+CoreModel::CoreModel(const CoreParams &params,
+                     mem::CacheHierarchy *caches,
+                     stats::StatGroup *parent)
+    : SimObject(params.name), params_(params), caches_(caches),
+      statGroup_(params.name, parent),
+      instrRetired_(&statGroup_, "instructions", "instructions retired"),
+      memOpsIssued_(&statGroup_, "memOps", "memory operations issued"),
+      computeTicksStat_(&statGroup_, "computeTicks",
+                        "ticks spent issuing instructions"),
+      stallTicksStat_(&statGroup_, "stallTicks",
+                      "ticks stalled on the memory system")
+{
+    mercury_assert(caches_ != nullptr, "core needs a cache hierarchy");
+    mercury_assert(params_.freqGHz > 0.0, "core frequency must be > 0");
+    mercury_assert(params_.issueIpc > 0.0, "core IPC must be > 0");
+    mercury_assert(params_.mlpRandom >= 1 && params_.mlpSequential >= 1,
+                   "MLP must be at least 1");
+}
+
+unsigned
+CoreModel::mlpFor(Stream stream) const
+{
+    if (!params_.outOfOrder)
+        return 1;
+    switch (stream) {
+      case Stream::Random: return params_.mlpRandom;
+      case Stream::Sequential: return params_.mlpSequential;
+      case Stream::Dependent: return 1;
+    }
+    return 1;
+}
+
+Tick
+CoreModel::computeTicksFor(std::uint64_t instructions) const
+{
+    const double cycles =
+        static_cast<double>(instructions) / params_.issueIpc;
+    return static_cast<Tick>(cycles * static_cast<double>(tickNs) /
+                             params_.freqGHz);
+}
+
+RunResult
+CoreModel::run(const OpTrace &trace, Tick start)
+{
+    RunResult result;
+    result.start = start;
+
+    Tick cursor = start;
+    Tick compute_ticks = 0;
+
+    // Completion times of misses currently in flight.
+    std::vector<Tick> outstanding;
+    outstanding.reserve(params_.mlpSequential + params_.mlpRandom);
+
+    const Tick issue_cost = params_.cyclePeriod();
+
+    auto drain_all = [&] {
+        for (const Tick t : outstanding)
+            cursor = std::max(cursor, t);
+        outstanding.clear();
+    };
+
+    auto wait_for_one_slot = [&](unsigned window) {
+        while (outstanding.size() >= window) {
+            auto earliest = std::min_element(outstanding.begin(),
+                                             outstanding.end());
+            cursor = std::max(cursor, *earliest);
+            outstanding.erase(earliest);
+        }
+    };
+
+    for (const Op &op : trace) {
+        if (op.kind == Op::Kind::Compute) {
+            // Out-of-order cores keep computing while misses are in
+            // flight; in-order cores have already drained.
+            const Tick t = computeTicksFor(op.instructions);
+            cursor += t;
+            compute_ticks += t;
+            result.instructions += op.instructions;
+            continue;
+        }
+
+        ++result.memOps;
+        const unsigned window = mlpFor(op.stream);
+        if (op.stream == Stream::Dependent)
+            drain_all();
+        wait_for_one_slot(window);
+
+        cursor += issue_cost;
+        compute_ticks += issue_cost;
+
+        mem::CpuAccessKind kind;
+        switch (op.kind) {
+          case Op::Kind::IFetch:
+            kind = mem::CpuAccessKind::IFetch;
+            break;
+          case Op::Kind::Load:
+            kind = mem::CpuAccessKind::Load;
+            break;
+          default:
+            kind = mem::CpuAccessKind::Store;
+            break;
+        }
+
+        const mem::AccessResult access =
+            caches_->access(kind, op.addr, cursor);
+
+        if (access.source == mem::ServicedBy::L1) {
+            // Hits stay in the pipeline.
+            const Tick t = access.completion - cursor;
+            cursor = access.completion;
+            compute_ticks += t;
+        } else if (op.stream == Stream::Dependent ||
+                   !params_.outOfOrder) {
+            cursor = access.completion;
+        } else {
+            outstanding.push_back(access.completion);
+        }
+    }
+
+    drain_all();
+
+    result.end = cursor;
+    result.computeTicks = compute_ticks;
+    result.stallTicks = result.elapsed() > compute_ticks
+                            ? result.elapsed() - compute_ticks
+                            : 0;
+
+    instrRetired_ += static_cast<double>(result.instructions);
+    memOpsIssued_ += static_cast<double>(result.memOps);
+    computeTicksStat_ += static_cast<double>(result.computeTicks);
+    stallTicksStat_ += static_cast<double>(result.stallTicks);
+    return result;
+}
+
+void
+CoreModel::reset()
+{
+    statGroup_.resetStats();
+}
+
+CoreParams
+cortexA7Params()
+{
+    CoreParams p;
+    p.name = "cortexA7";
+    p.type = CoreType::CortexA7;
+    p.freqGHz = 1.0;
+    p.issueIpc = 1.0;
+    p.outOfOrder = false;
+    p.mlpRandom = 1;
+    p.mlpSequential = 1;
+    p.activePowerW = 0.1;
+    p.areaMm2 = 0.58;
+    return p;
+}
+
+CoreParams
+cortexA15Params(double freq_ghz)
+{
+    CoreParams p;
+    p.name = "cortexA15";
+    p.type = CoreType::CortexA15;
+    p.freqGHz = freq_ghz;
+    p.issueIpc = 2.3;
+    p.outOfOrder = true;
+    p.mlpRandom = 4;
+    p.mlpSequential = 6;
+    p.activePowerW = freq_ghz > 1.25 ? 1.0 : 0.6;
+    p.areaMm2 = 2.82;
+    return p;
+}
+
+CoreParams
+xeonParams()
+{
+    CoreParams p;
+    p.name = "xeon";
+    p.type = CoreType::XeonClass;
+    p.freqGHz = 2.9;
+    p.issueIpc = 3.0;
+    p.outOfOrder = true;
+    p.mlpRandom = 6;
+    p.mlpSequential = 10;
+    // Per-core share of a 95 W 6-core Xeon package.
+    p.activePowerW = 15.8;
+    p.areaMm2 = 20.0;
+    return p;
+}
+
+mem::HierarchyParams
+defaultHierarchy(CoreType type, bool with_l2)
+{
+    mem::HierarchyParams hp;
+    hp.hasL2 = with_l2;
+    switch (type) {
+      case CoreType::CortexA7:
+        hp.l1i = {"l1i", 32 * kiB, 2, 64, 1 * tickNs};
+        hp.l1d = {"l1d", 32 * kiB, 4, 64, 1 * tickNs};
+        hp.l2 = {"l2", 2 * miB, 8, 64, 25 * tickNs};
+        break;
+      case CoreType::CortexA15:
+        hp.l1i = {"l1i", 32 * kiB, 2, 64, 1 * tickNs};
+        hp.l1d = {"l1d", 32 * kiB, 2, 64, 1 * tickNs};
+        hp.l2 = {"l2", 2 * miB, 16, 64, 25 * tickNs};
+        break;
+      case CoreType::XeonClass:
+        hp.l1i = {"l1i", 32 * kiB, 8, 64, 1 * tickNs};
+        hp.l1d = {"l1d", 32 * kiB, 8, 64, 1 * tickNs};
+        // Model the L2+L3 of a server part as one large L2.
+        hp.l2 = {"l2", 8 * miB, 16, 64, 12 * tickNs};
+        break;
+    }
+    return hp;
+}
+
+} // namespace mercury::cpu

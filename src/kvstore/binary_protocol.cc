@@ -1,0 +1,286 @@
+#include "kvstore/binary_protocol.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace mercury::kvstore
+{
+
+namespace
+{
+
+constexpr std::uint8_t requestMagic = 0x80;
+constexpr std::uint8_t responseMagic = 0x81;
+constexpr std::size_t headerBytes = 24;
+
+std::uint16_t
+load16(const char *p)
+{
+    const auto *u = reinterpret_cast<const unsigned char *>(p);
+    return static_cast<std::uint16_t>((u[0] << 8) | u[1]);
+}
+
+std::uint32_t
+load32(const char *p)
+{
+    const auto *u = reinterpret_cast<const unsigned char *>(p);
+    return (std::uint32_t(u[0]) << 24) | (std::uint32_t(u[1]) << 16) |
+           (std::uint32_t(u[2]) << 8) | std::uint32_t(u[3]);
+}
+
+std::uint64_t
+load64(const char *p)
+{
+    return (std::uint64_t(load32(p)) << 32) | load32(p + 4);
+}
+
+void
+store16(std::string &out, std::uint16_t v)
+{
+    out.push_back(static_cast<char>(v >> 8));
+    out.push_back(static_cast<char>(v));
+}
+
+void
+store32(std::string &out, std::uint32_t v)
+{
+    store16(out, static_cast<std::uint16_t>(v >> 16));
+    store16(out, static_cast<std::uint16_t>(v));
+}
+
+void
+store64(std::string &out, std::uint64_t v)
+{
+    store32(out, static_cast<std::uint32_t>(v >> 32));
+    store32(out, static_cast<std::uint32_t>(v));
+}
+
+BinStatus
+fromStoreStatus(StoreStatus status)
+{
+    switch (status) {
+      case StoreStatus::Stored: return BinStatus::Ok;
+      case StoreStatus::NotStored: return BinStatus::NotStored;
+      case StoreStatus::Exists: return BinStatus::KeyExists;
+      case StoreStatus::NotFound: return BinStatus::KeyNotFound;
+      case StoreStatus::OutOfMemory: return BinStatus::OutOfMemory;
+      case StoreStatus::BadValue: return BinStatus::DeltaBadval;
+    }
+    return BinStatus::UnknownCommand;
+}
+
+bool
+isQuiet(BinOp op)
+{
+    return op == BinOp::GetQ || op == BinOp::GetKQ;
+}
+
+} // anonymous namespace
+
+BinarySession::BinarySession(Store &store)
+    : store_(store)
+{}
+
+BinarySession::Header
+BinarySession::parseHeader(const char *raw)
+{
+    Header h;
+    h.magic = static_cast<std::uint8_t>(raw[0]);
+    h.opcode = static_cast<std::uint8_t>(raw[1]);
+    h.keyLen = load16(raw + 2);
+    h.extrasLen = static_cast<std::uint8_t>(raw[4]);
+    // raw[5] = data type (always 0)
+    h.status = load16(raw + 6);
+    h.bodyLen = load32(raw + 8);
+    h.opaque = load32(raw + 12);
+    h.cas = load64(raw + 16);
+    return h;
+}
+
+void
+BinarySession::respond(std::string &out, const Header &request,
+                       BinStatus status, std::string_view extras,
+                       std::string_view key, std::string_view value,
+                       std::uint64_t cas)
+{
+    out.push_back(static_cast<char>(responseMagic));
+    out.push_back(static_cast<char>(request.opcode));
+    store16(out, static_cast<std::uint16_t>(key.size()));
+    out.push_back(static_cast<char>(extras.size()));
+    out.push_back(0);  // data type
+    store16(out, static_cast<std::uint16_t>(status));
+    store32(out, static_cast<std::uint32_t>(
+                     extras.size() + key.size() + value.size()));
+    store32(out, request.opaque);
+    store64(out, cas);
+    out.append(extras);
+    out.append(key);
+    out.append(value);
+}
+
+std::string
+BinarySession::consume(std::string_view bytes)
+{
+    buffer_.append(bytes);
+    std::string out;
+
+    while (!closed_ && buffer_.size() >= headerBytes) {
+        const Header header = parseHeader(buffer_.data());
+        if (header.magic != requestMagic) {
+            // Unrecoverable framing error: close the session.
+            closed_ = true;
+            break;
+        }
+        if (buffer_.size() < headerBytes + header.bodyLen)
+            break;
+
+        const std::string_view body(buffer_.data() + headerBytes,
+                                    header.bodyLen);
+        const std::string_view extras =
+            body.substr(0, header.extrasLen);
+        const std::string_view key =
+            body.substr(header.extrasLen, header.keyLen);
+        const std::string_view value = body.substr(
+            static_cast<std::size_t>(header.extrasLen) +
+            header.keyLen);
+
+        handle(header, extras, key, value, out);
+        buffer_.erase(0, headerBytes + header.bodyLen);
+    }
+    return out;
+}
+
+void
+BinarySession::handle(const Header &header, std::string_view extras,
+                      std::string_view key, std::string_view value,
+                      std::string &out)
+{
+    const auto op = static_cast<BinOp>(header.opcode);
+    switch (op) {
+      case BinOp::Get:
+      case BinOp::GetQ:
+      case BinOp::GetK:
+      case BinOp::GetKQ: {
+        const GetResult r = store_.get(key);
+        if (!r.hit) {
+            if (!isQuiet(op)) {
+                respond(out, header, BinStatus::KeyNotFound, {},
+                        {}, {});
+            }
+            return;
+        }
+        std::string flags;
+        store32(flags, r.flags);
+        const bool with_key =
+            op == BinOp::GetK || op == BinOp::GetKQ;
+        respond(out, header, BinStatus::Ok, flags,
+                with_key ? key : std::string_view{}, r.value,
+                r.cas);
+        return;
+      }
+      case BinOp::Set:
+      case BinOp::Add:
+      case BinOp::Replace: {
+        if (extras.size() != 8 || key.empty()) {
+            respond(out, header, BinStatus::InvalidArguments);
+            return;
+        }
+        const std::uint32_t flags = load32(extras.data());
+        const std::uint32_t expiry = load32(extras.data() + 4);
+        StoreStatus status;
+        if (header.cas != 0) {
+            status = store_.cas(key, value, header.cas, flags,
+                                expiry);
+        } else if (op == BinOp::Add) {
+            status = store_.add(key, value, flags, expiry);
+        } else if (op == BinOp::Replace) {
+            status = store_.replace(key, value, flags, expiry);
+        } else {
+            status = store_.set(key, value, flags, expiry);
+        }
+        std::uint64_t cas = 0;
+        if (status == StoreStatus::Stored)
+            cas = store_.get(key).cas;
+        respond(out, header, fromStoreStatus(status), {}, {}, {},
+                cas);
+        return;
+      }
+      case BinOp::Delete: {
+        const StoreStatus status = store_.remove(key);
+        respond(out, header,
+                status == StoreStatus::Stored
+                    ? BinStatus::Ok
+                    : BinStatus::KeyNotFound);
+        return;
+      }
+      case BinOp::Increment:
+      case BinOp::Decrement: {
+        if (extras.size() != 20) {
+            respond(out, header, BinStatus::InvalidArguments);
+            return;
+        }
+        const std::uint64_t delta = load64(extras.data());
+        const std::uint64_t initial = load64(extras.data() + 8);
+        const std::uint32_t expiry = load32(extras.data() + 16);
+
+        std::uint64_t result = 0;
+        StoreStatus status =
+            op == BinOp::Increment ? store_.incr(key, delta, result)
+                                   : store_.decr(key, delta, result);
+        if (status == StoreStatus::NotFound && expiry != 0xffffffff) {
+            // Binary semantics: seed with the initial value.
+            status = store_.add(key, std::to_string(initial), 0,
+                                expiry);
+            result = initial;
+        }
+        if (status == StoreStatus::Stored) {
+            std::string payload;
+            store64(payload, result);
+            respond(out, header, BinStatus::Ok, {}, {}, payload);
+        } else {
+            respond(out, header, fromStoreStatus(status));
+        }
+        return;
+      }
+      case BinOp::Append:
+      case BinOp::Prepend: {
+        const StoreStatus status =
+            op == BinOp::Append ? store_.append(key, value)
+                                : store_.prepend(key, value);
+        respond(out, header, fromStoreStatus(status));
+        return;
+      }
+      case BinOp::Touch: {
+        if (extras.size() != 4) {
+            respond(out, header, BinStatus::InvalidArguments);
+            return;
+        }
+        const StoreStatus status =
+            store_.touch(key, load32(extras.data()));
+        respond(out, header, fromStoreStatus(
+                                 status == StoreStatus::Stored
+                                     ? StoreStatus::Stored
+                                     : StoreStatus::NotFound));
+        return;
+      }
+      case BinOp::Flush:
+        store_.flushAll();
+        respond(out, header, BinStatus::Ok);
+        return;
+      case BinOp::NoOp:
+        respond(out, header, BinStatus::Ok);
+        return;
+      case BinOp::Version:
+        respond(out, header, BinStatus::Ok, {}, {},
+                "mercury-kvstore 1.0");
+        return;
+      case BinOp::Quit:
+        respond(out, header, BinStatus::Ok);
+        closed_ = true;
+        return;
+    }
+    respond(out, header, BinStatus::UnknownCommand);
+}
+
+} // namespace mercury::kvstore

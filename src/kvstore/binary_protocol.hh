@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Memcached binary protocol session.
+ *
+ * Implements the classic binary wire format (24-byte big-endian
+ * header, magic 0x80/0x81): GET/GETQ/GETK, SET/ADD/REPLACE (with
+ * CAS), DELETE, INCR/DECR, APPEND/PREPEND, TOUCH, FLUSH, NOOP,
+ * VERSION and QUIT. Quiet (Q) variants suppress miss/success
+ * responses per the specification. Input may arrive arbitrarily
+ * fragmented, as TCP delivers it.
+ */
+
+#ifndef MERCURY_KVSTORE_BINARY_PROTOCOL_HH
+#define MERCURY_KVSTORE_BINARY_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "kvstore/store.hh"
+
+namespace mercury::kvstore
+{
+
+/** Binary protocol opcodes (subset). */
+enum class BinOp : std::uint8_t
+{
+    Get = 0x00,
+    Set = 0x01,
+    Add = 0x02,
+    Replace = 0x03,
+    Delete = 0x04,
+    Increment = 0x05,
+    Decrement = 0x06,
+    Quit = 0x07,
+    Flush = 0x08,
+    GetQ = 0x09,
+    NoOp = 0x0a,
+    Version = 0x0b,
+    GetK = 0x0c,
+    GetKQ = 0x0d,
+    Append = 0x0e,
+    Prepend = 0x0f,
+    Touch = 0x1c,
+};
+
+/** Binary protocol response status codes. */
+enum class BinStatus : std::uint16_t
+{
+    Ok = 0x0000,
+    KeyNotFound = 0x0001,
+    KeyExists = 0x0002,
+    ValueTooLarge = 0x0003,
+    InvalidArguments = 0x0004,
+    NotStored = 0x0005,
+    DeltaBadval = 0x0006,
+    UnknownCommand = 0x0081,
+    OutOfMemory = 0x0082,
+};
+
+class BinarySession
+{
+  public:
+    explicit BinarySession(Store &store);
+
+    /** Feed request bytes; returns any response bytes produced. */
+    std::string consume(std::string_view bytes);
+
+    bool closed() const { return closed_; }
+
+  private:
+    struct Header
+    {
+        std::uint8_t magic;
+        std::uint8_t opcode;
+        std::uint16_t keyLen;
+        std::uint8_t extrasLen;
+        std::uint16_t status;  // vbucket in requests
+        std::uint32_t bodyLen;
+        std::uint32_t opaque;
+        std::uint64_t cas;
+    };
+
+    static Header parseHeader(const char *raw);
+
+    void handle(const Header &header, std::string_view extras,
+                std::string_view key, std::string_view value,
+                std::string &out);
+
+    /** Emit one response packet. */
+    void respond(std::string &out, const Header &request,
+                 BinStatus status, std::string_view extras = {},
+                 std::string_view key = {},
+                 std::string_view value = {},
+                 std::uint64_t cas = 0);
+
+    Store &store_;
+    std::string buffer_;
+    bool closed_ = false;
+};
+
+} // namespace mercury::kvstore
+
+#endif // MERCURY_KVSTORE_BINARY_PROTOCOL_HH

@@ -1,0 +1,326 @@
+#include "kvstore/eviction.hh"
+
+#include "sim/logging.hh"
+
+namespace mercury::kvstore
+{
+
+void
+ItemList::pushFront(Item *item)
+{
+    item->lruPrev = nullptr;
+    item->lruNext = head_;
+    if (head_)
+        head_->lruPrev = item;
+    head_ = item;
+    if (!tail_)
+        tail_ = item;
+    ++size_;
+}
+
+void
+ItemList::pushBack(Item *item)
+{
+    item->lruNext = nullptr;
+    item->lruPrev = tail_;
+    if (tail_)
+        tail_->lruNext = item;
+    tail_ = item;
+    if (!head_)
+        head_ = item;
+    ++size_;
+}
+
+void
+ItemList::unlink(Item *item)
+{
+    if (item->lruPrev)
+        item->lruPrev->lruNext = item->lruNext;
+    else
+        head_ = item->lruNext;
+    if (item->lruNext)
+        item->lruNext->lruPrev = item->lruPrev;
+    else
+        tail_ = item->lruPrev;
+    item->lruPrev = nullptr;
+    item->lruNext = nullptr;
+    mercury_assert(size_ > 0, "unlink from empty list");
+    --size_;
+}
+
+void
+StrictLru::onInsert(Item *item, std::uint32_t now)
+{
+    item->lastAccess = now;
+    list_.pushFront(item);
+    ++tracked_;
+}
+
+void
+StrictLru::onAccess(Item *item, std::uint32_t now)
+{
+    item->lastAccess = now;
+    // The move-to-front that makes 1.4 serialize on the cache lock.
+    list_.unlink(item);
+    list_.pushFront(item);
+    ++reorders_;
+}
+
+void
+StrictLru::onRemove(Item *item)
+{
+    list_.unlink(item);
+    mercury_assert(tracked_ > 0, "remove from empty policy");
+    --tracked_;
+}
+
+Item *
+StrictLru::victim(std::uint32_t)
+{
+    return list_.back();
+}
+
+BagLru::BagLru(std::uint32_t bag_age_seconds)
+    : bagAgeSeconds_(bag_age_seconds)
+{}
+
+void
+BagLru::onInsert(Item *item, std::uint32_t now)
+{
+    item->lastAccess = now;
+    item->bagIndex = 0;
+    bags_[0].pushBack(item);
+    ++tracked_;
+}
+
+void
+BagLru::onAccess(Item *item, std::uint32_t now)
+{
+    // The whole point of Bags: a GET touches no shared list state.
+    item->lastAccess = now;
+}
+
+void
+BagLru::onRemove(Item *item)
+{
+    bags_[item->bagIndex].unlink(item);
+    mercury_assert(tracked_ > 0, "remove from empty policy");
+    --tracked_;
+}
+
+void
+BagLru::age(std::uint32_t now)
+{
+    // Demote a bounded number of stale items per pass. Oldest bags
+    // are processed first so an item moves at most one bag per pass.
+    constexpr unsigned max_moves_per_pass = 64;
+    unsigned moves = 0;
+    for (int bag = static_cast<int>(numBags) - 2; bag >= 0; --bag) {
+        const auto b = static_cast<unsigned>(bag);
+        while (moves < max_moves_per_pass) {
+            Item *item = bags_[b].front();
+            if (!item || now - item->lastAccess < bagAgeSeconds_)
+                break;
+            bags_[b].unlink(item);
+            item->bagIndex = static_cast<std::uint8_t>(b + 1);
+            bags_[b + 1].pushBack(item);
+            ++reorders_;
+            ++moves;
+        }
+    }
+}
+
+Item *
+BagLru::victim(std::uint32_t now)
+{
+    // Take from the oldest non-empty bag; give recently-touched
+    // items a second chance by promoting them back to the newest bag
+    // and re-scanning (bounded attempts).
+    for (unsigned attempt = 0; attempt < 64; ++attempt) {
+        Item *item = nullptr;
+        int bag = -1;
+        for (int b = numBags - 1; b >= 0; --b) {
+            item = bags_[static_cast<unsigned>(b)].front();
+            if (item) {
+                bag = b;
+                break;
+            }
+        }
+        if (!item)
+            return nullptr;
+        if (bag > 0 && now - item->lastAccess < bagAgeSeconds_) {
+            bags_[static_cast<unsigned>(bag)].unlink(item);
+            item->bagIndex = 0;
+            bags_[0].pushBack(item);
+            ++reorders_;
+            continue;
+        }
+        return item;
+    }
+    // Everything is hot; fall back to the coldest candidate anyway.
+    for (int b = numBags - 1; b >= 0; --b) {
+        if (Item *item = bags_[static_cast<unsigned>(b)].front())
+            return item;
+    }
+    return nullptr;
+}
+
+std::size_t
+BagLru::bagSize(unsigned bag) const
+{
+    mercury_assert(bag < numBags, "bag index out of range");
+    return bags_[bag].size();
+}
+
+namespace
+{
+
+// Item::bagIndex encoding for SegmentedLru: low 2 bits hold the
+// segment, the top bit is the reference flag.
+constexpr std::uint8_t referencedBit = 0x80;
+
+unsigned
+segmentOf(const Item *item)
+{
+    return item->bagIndex & 0x3;
+}
+
+bool
+referenced(const Item *item)
+{
+    return item->bagIndex & referencedBit;
+}
+
+} // anonymous namespace
+
+SegmentedLru::SegmentedLru(double hot_fraction, double warm_fraction)
+    : hotFraction_(hot_fraction), warmFraction_(warm_fraction)
+{
+    mercury_assert(hot_fraction > 0.0 && warm_fraction > 0.0 &&
+                   hot_fraction + warm_fraction < 1.0,
+                   "segment fractions must leave room for COLD");
+}
+
+void
+SegmentedLru::moveTo(Item *item, unsigned segment, bool to_front)
+{
+    segments_[segmentOf(item)].unlink(item);
+    item->bagIndex = static_cast<std::uint8_t>(
+        segment | (item->bagIndex & referencedBit));
+    if (to_front)
+        segments_[segment].pushFront(item);
+    else
+        segments_[segment].pushBack(item);
+    ++reorders_;
+}
+
+void
+SegmentedLru::onInsert(Item *item, std::uint32_t now)
+{
+    item->lastAccess = now;
+    item->bagIndex = hotSeg;
+    segments_[hotSeg].pushFront(item);
+    ++tracked_;
+    rebalance();
+}
+
+void
+SegmentedLru::onAccess(Item *item, std::uint32_t now)
+{
+    item->lastAccess = now;
+    if (segmentOf(item) == coldSeg) {
+        // A second touch earns a WARM slot.
+        moveTo(item, warmSeg, true);
+        return;
+    }
+    // Common case: just flag the reference; no list update.
+    item->bagIndex |= referencedBit;
+}
+
+void
+SegmentedLru::onRemove(Item *item)
+{
+    segments_[segmentOf(item)].unlink(item);
+    item->bagIndex = 0;
+    mercury_assert(tracked_ > 0, "remove from empty policy");
+    --tracked_;
+}
+
+void
+SegmentedLru::rebalance()
+{
+    constexpr unsigned max_moves = 8;
+    unsigned moves = 0;
+
+    auto over = [this](unsigned segment, double fraction) {
+        return static_cast<double>(segments_[segment].size()) >
+               fraction * static_cast<double>(tracked_) + 1.0;
+    };
+
+    while (moves < max_moves && over(hotSeg, hotFraction_)) {
+        Item *tail = segments_[hotSeg].back();
+        if (!tail)
+            break;
+        if (referenced(tail)) {
+            tail->bagIndex &= static_cast<std::uint8_t>(
+                ~referencedBit);
+            moveTo(tail, warmSeg, true);
+        } else {
+            moveTo(tail, coldSeg, true);
+        }
+        ++moves;
+    }
+    while (moves < max_moves && over(warmSeg, warmFraction_)) {
+        Item *tail = segments_[warmSeg].back();
+        if (!tail)
+            break;
+        if (referenced(tail)) {
+            // Second chance within WARM.
+            tail->bagIndex &= static_cast<std::uint8_t>(
+                ~referencedBit);
+            moveTo(tail, warmSeg, true);
+        } else {
+            moveTo(tail, coldSeg, true);
+        }
+        ++moves;
+    }
+}
+
+void
+SegmentedLru::age(std::uint32_t)
+{
+    rebalance();
+}
+
+Item *
+SegmentedLru::victim(std::uint32_t)
+{
+    if (Item *cold = segments_[coldSeg].back())
+        return cold;
+    if (Item *warm = segments_[warmSeg].back())
+        return warm;
+    return segments_[hotSeg].back();
+}
+
+std::size_t
+SegmentedLru::segmentSize(unsigned segment) const
+{
+    mercury_assert(segment < 3, "segment index out of range");
+    return segments_[segment].size();
+}
+
+std::unique_ptr<EvictionPolicy>
+makeEvictionPolicy(EvictionPolicyKind kind)
+{
+    switch (kind) {
+      case EvictionPolicyKind::StrictLru:
+        return std::make_unique<StrictLru>();
+      case EvictionPolicyKind::Bags:
+        return std::make_unique<BagLru>();
+      case EvictionPolicyKind::Segmented:
+        return std::make_unique<SegmentedLru>();
+    }
+    return nullptr;
+}
+
+} // namespace mercury::kvstore

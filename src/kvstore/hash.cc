@@ -1,0 +1,60 @@
+#include "kvstore/hash.hh"
+
+#include <cstring>
+
+namespace mercury::kvstore
+{
+
+namespace
+{
+
+std::uint64_t
+fmix64(std::uint64_t k)
+{
+    k ^= k >> 33;
+    k *= 0xff51afd7ed558ccdull;
+    k ^= k >> 33;
+    k *= 0xc4ceb9fe1a85ec53ull;
+    k ^= k >> 33;
+    return k;
+}
+
+} // anonymous namespace
+
+std::uint64_t
+hashKey(std::string_view key, std::uint64_t seed)
+{
+    // MurmurHash64A-style mixing over 8-byte chunks.
+    const std::uint64_t m = 0xc6a4a7935bd1e995ull;
+    const int r = 47;
+    std::uint64_t h = seed ^ (key.size() * m);
+
+    const char *data = key.data();
+    std::size_t len = key.size();
+    while (len >= 8) {
+        std::uint64_t k;
+        std::memcpy(&k, data, 8);
+        k *= m;
+        k ^= k >> r;
+        k *= m;
+        h ^= k;
+        h *= m;
+        data += 8;
+        len -= 8;
+    }
+
+    std::uint64_t tail = 0;
+    std::memcpy(&tail, data, len);
+    h ^= tail;
+    h *= m;
+
+    return fmix64(h);
+}
+
+std::uint64_t
+hashKey(std::string_view key)
+{
+    return hashKey(key, 0x5f3759df9e3779b9ull);
+}
+
+} // namespace mercury::kvstore

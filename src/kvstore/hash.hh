@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Key hashing for the key-value store.
+ *
+ * A MurmurHash3-style 64-bit finalizing hash over the key bytes.
+ * Memcached historically uses Bob Jenkins' lookup3; any well-mixed
+ * hash preserves the behaviour that matters here (bucket dispersion
+ * and the consistent-hash ring geometry), and the 64-bit output is
+ * convenient for both the table and the ring.
+ */
+
+#ifndef MERCURY_KVSTORE_HASH_HH
+#define MERCURY_KVSTORE_HASH_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace mercury::kvstore
+{
+
+/** 64-bit hash of an arbitrary byte string. */
+std::uint64_t hashKey(std::string_view key);
+
+/** Hash with an explicit seed (used for virtual nodes on the ring). */
+std::uint64_t hashKey(std::string_view key, std::uint64_t seed);
+
+} // namespace mercury::kvstore
+
+#endif // MERCURY_KVSTORE_HASH_HH

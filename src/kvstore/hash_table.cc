@@ -1,0 +1,117 @@
+#include "kvstore/hash_table.hh"
+
+#include "kvstore/hash.hh"
+#include "sim/logging.hh"
+
+namespace mercury::kvstore
+{
+
+HashTable::HashTable(unsigned initial_power)
+{
+    mercury_assert(initial_power >= 1 && initial_power <= 30,
+                   "hash power out of range");
+    primary_.assign(std::size_t(1) << initial_power, nullptr);
+}
+
+Item **
+HashTable::bucketFor(std::uint64_t hash)
+{
+    if (expanding_) {
+        const std::size_t old_idx = hash & (old_.size() - 1);
+        if (old_idx >= migrateBucket_)
+            return &old_[old_idx];
+    }
+    return &primary_[hash & (primary_.size() - 1)];
+}
+
+ProbeResult
+HashTable::find(std::string_view key, std::uint64_t hash)
+{
+    ProbeResult result;
+    Item **bucket = bucketFor(hash);
+    result.bucketAddr = bucket;
+    for (Item *it = *bucket; it; it = it->hNext) {
+        ++result.chainLength;
+        if (it->key() == key) {
+            result.item = it;
+            return result;
+        }
+    }
+    return result;
+}
+
+void
+HashTable::insert(Item *item, std::uint64_t hash)
+{
+    mercury_assert(item != nullptr, "insert of null item");
+    Item **bucket = bucketFor(hash);
+    item->hNext = *bucket;
+    *bucket = item;
+    ++size_;
+    maybeExpand();
+    if (expanding_)
+        migrateStep();
+}
+
+Item *
+HashTable::remove(std::string_view key, std::uint64_t hash)
+{
+    Item **bucket = bucketFor(hash);
+    for (Item **link = bucket; *link; link = &(*link)->hNext) {
+        if ((*link)->key() == key) {
+            Item *removed = *link;
+            *link = removed->hNext;
+            removed->hNext = nullptr;
+            --size_;
+            if (expanding_)
+                migrateStep();
+            return removed;
+        }
+    }
+    return nullptr;
+}
+
+void
+HashTable::maybeExpand()
+{
+    if (expanding_ || loadFactor() < expandLoadFactor)
+        return;
+    if (primary_.size() >= (std::size_t(1) << 30))
+        return;
+
+    old_.swap(primary_);
+    primary_.assign(old_.size() * 2, nullptr);
+    expanding_ = true;
+    migrateBucket_ = 0;
+}
+
+void
+HashTable::migrateStep(unsigned buckets)
+{
+    if (!expanding_)
+        return;
+
+    for (unsigned step = 0;
+         step < buckets && migrateBucket_ < old_.size(); ++step) {
+        Item *it = old_[migrateBucket_];
+        old_[migrateBucket_] = nullptr;
+        while (it) {
+            Item *next = it->hNext;
+            const std::uint64_t hash = hashKey(it->key());
+            Item **bucket = &primary_[hash & (primary_.size() - 1)];
+            it->hNext = *bucket;
+            *bucket = it;
+            it = next;
+        }
+        ++migrateBucket_;
+    }
+
+    if (migrateBucket_ >= old_.size()) {
+        old_.clear();
+        old_.shrink_to_fit();
+        expanding_ = false;
+        migrateBucket_ = 0;
+    }
+}
+
+} // namespace mercury::kvstore

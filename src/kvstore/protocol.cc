@@ -1,0 +1,288 @@
+#include "kvstore/protocol.hh"
+
+#include <charconv>
+
+namespace mercury::kvstore
+{
+
+namespace
+{
+
+std::vector<std::string_view>
+tokenize(std::string_view line)
+{
+    std::vector<std::string_view> tokens;
+    std::size_t pos = 0;
+    while (pos < line.size()) {
+        while (pos < line.size() && line[pos] == ' ')
+            ++pos;
+        std::size_t end = pos;
+        while (end < line.size() && line[end] != ' ')
+            ++end;
+        if (end > pos)
+            tokens.push_back(line.substr(pos, end - pos));
+        pos = end;
+    }
+    return tokens;
+}
+
+template <typename T>
+bool
+parseNumber(std::string_view token, T &out)
+{
+    auto [ptr, ec] = std::from_chars(token.data(),
+                                     token.data() + token.size(), out);
+    return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+const char *
+statusReply(StoreStatus status)
+{
+    switch (status) {
+      case StoreStatus::Stored: return "STORED\r\n";
+      case StoreStatus::NotStored: return "NOT_STORED\r\n";
+      case StoreStatus::Exists: return "EXISTS\r\n";
+      case StoreStatus::NotFound: return "NOT_FOUND\r\n";
+      case StoreStatus::OutOfMemory:
+        return "SERVER_ERROR out of memory storing object\r\n";
+      case StoreStatus::BadValue:
+        return "CLIENT_ERROR bad data chunk\r\n";
+    }
+    return "ERROR\r\n";
+}
+
+} // anonymous namespace
+
+ServerSession::ServerSession(Store &store)
+    : store_(store)
+{}
+
+std::string
+ServerSession::consume(std::string_view bytes)
+{
+    buffer_.append(bytes);
+    std::string out;
+
+    for (;;) {
+        if (closed_)
+            break;
+        if (hasPending_) {
+            // Wait for <bytes> of data plus the trailing \r\n.
+            const std::size_t need = pending_.bytes + 2;
+            if (buffer_.size() < need)
+                break;
+            dataBlock(std::string_view(buffer_).substr(0,
+                                                       pending_.bytes),
+                      out);
+            buffer_.erase(0, need);
+            hasPending_ = false;
+            continue;
+        }
+
+        const std::size_t eol = buffer_.find("\r\n");
+        if (eol == std::string::npos)
+            break;
+        const std::string line = buffer_.substr(0, eol);
+        buffer_.erase(0, eol + 2);
+        commandLine(line, out);
+    }
+    return out;
+}
+
+void
+ServerSession::commandLine(std::string_view line, std::string &out)
+{
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) {
+        out += "ERROR\r\n";
+        return;
+    }
+
+    const std::string_view verb = tokens[0];
+    if (verb == "get" || verb == "gets") {
+        doGet(tokens, verb == "gets", out);
+    } else if (verb == "set" || verb == "add" || verb == "replace" ||
+               verb == "cas" || verb == "append" ||
+               verb == "prepend") {
+        const bool is_cas = verb == "cas";
+        const std::size_t expected = is_cas ? 6u : 5u;
+        if (tokens.size() < expected) {
+            out += "ERROR\r\n";
+            return;
+        }
+        PendingStore p;
+        p.verb = std::string(verb);
+        p.key = std::string(tokens[1]);
+        bool ok = parseNumber(tokens[2], p.flags) &&
+                  parseNumber(tokens[3], p.ttl) &&
+                  parseNumber(tokens[4], p.bytes);
+        if (is_cas)
+            ok = ok && parseNumber(tokens[5], p.casToken);
+        const std::size_t noreply_at = expected;
+        if (tokens.size() > noreply_at &&
+            tokens[noreply_at] == "noreply") {
+            p.noreply = true;
+        }
+        if (!ok || p.bytes > 1 * miB) {
+            out += "CLIENT_ERROR bad command line format\r\n";
+            return;
+        }
+        pending_ = std::move(p);
+        hasPending_ = true;
+    } else if (verb == "delete") {
+        doDelete(tokens, out);
+    } else if (verb == "incr" || verb == "decr") {
+        doArith(tokens, verb == "incr", out);
+    } else if (verb == "touch") {
+        doTouch(tokens, out);
+    } else if (verb == "flush_all") {
+        store_.flushAll();
+        out += "OK\r\n";
+    } else if (verb == "version") {
+        out += "VERSION mercury-kvstore 1.0\r\n";
+    } else if (verb == "stats") {
+        doStats(out);
+    } else if (verb == "quit") {
+        closed_ = true;
+    } else {
+        out += "ERROR\r\n";
+    }
+}
+
+void
+ServerSession::dataBlock(std::string_view data, std::string &out)
+{
+    StoreStatus status;
+    if (pending_.verb == "set") {
+        status = store_.set(pending_.key, data, pending_.flags,
+                            pending_.ttl);
+    } else if (pending_.verb == "add") {
+        status = store_.add(pending_.key, data, pending_.flags,
+                            pending_.ttl);
+    } else if (pending_.verb == "replace") {
+        status = store_.replace(pending_.key, data, pending_.flags,
+                                pending_.ttl);
+    } else if (pending_.verb == "append") {
+        status = store_.append(pending_.key, data);
+    } else if (pending_.verb == "prepend") {
+        status = store_.prepend(pending_.key, data);
+    } else {
+        status = store_.cas(pending_.key, data, pending_.casToken,
+                            pending_.flags, pending_.ttl);
+    }
+    if (!pending_.noreply)
+        out += statusReply(status);
+}
+
+void
+ServerSession::doGet(const std::vector<std::string_view> &tokens,
+                     bool with_cas, std::string &out)
+{
+    if (tokens.size() < 2) {
+        out += "ERROR\r\n";
+        return;
+    }
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+        GetResult r = store_.get(tokens[i]);
+        if (!r.hit)
+            continue;
+        out += "VALUE ";
+        out += tokens[i];
+        out += ' ';
+        out += std::to_string(r.flags);
+        out += ' ';
+        out += std::to_string(r.value.size());
+        if (with_cas) {
+            out += ' ';
+            out += std::to_string(r.cas);
+        }
+        out += "\r\n";
+        out += r.value;
+        out += "\r\n";
+    }
+    out += "END\r\n";
+}
+
+void
+ServerSession::doDelete(const std::vector<std::string_view> &tokens,
+                        std::string &out)
+{
+    if (tokens.size() < 2) {
+        out += "ERROR\r\n";
+        return;
+    }
+    const bool noreply = tokens.size() > 2 && tokens[2] == "noreply";
+    const StoreStatus status = store_.remove(tokens[1]);
+    if (noreply)
+        return;
+    out += status == StoreStatus::Stored ? "DELETED\r\n"
+                                         : "NOT_FOUND\r\n";
+}
+
+void
+ServerSession::doArith(const std::vector<std::string_view> &tokens,
+                       bool increment, std::string &out)
+{
+    std::uint64_t delta = 0;
+    if (tokens.size() < 3 || !parseNumber(tokens[2], delta)) {
+        out += "CLIENT_ERROR invalid numeric delta argument\r\n";
+        return;
+    }
+    std::uint64_t value = 0;
+    const StoreStatus status =
+        increment ? store_.incr(tokens[1], delta, value)
+                  : store_.decr(tokens[1], delta, value);
+    switch (status) {
+      case StoreStatus::Stored:
+        out += std::to_string(value);
+        out += "\r\n";
+        break;
+      case StoreStatus::NotFound:
+        out += "NOT_FOUND\r\n";
+        break;
+      default:
+        out += "CLIENT_ERROR cannot increment or decrement "
+               "non-numeric value\r\n";
+        break;
+    }
+}
+
+void
+ServerSession::doTouch(const std::vector<std::string_view> &tokens,
+                       std::string &out)
+{
+    std::uint32_t ttl = 0;
+    if (tokens.size() < 3 || !parseNumber(tokens[2], ttl)) {
+        out += "ERROR\r\n";
+        return;
+    }
+    const StoreStatus status = store_.touch(tokens[1], ttl);
+    out += status == StoreStatus::Stored ? "TOUCHED\r\n"
+                                         : "NOT_FOUND\r\n";
+}
+
+void
+ServerSession::doStats(std::string &out)
+{
+    const StoreCounters &c = store_.counters();
+    auto stat = [&out](const char *name, std::uint64_t value) {
+        out += "STAT ";
+        out += name;
+        out += ' ';
+        out += std::to_string(value);
+        out += "\r\n";
+    };
+    stat("cmd_get", c.gets.load());
+    stat("get_hits", c.getHits.load());
+    stat("get_misses", c.getMisses.load());
+    stat("cmd_set", c.sets.load());
+    stat("delete_hits", c.deletes.load());
+    stat("evictions", c.evictions.load());
+    stat("expired_unfetched", c.expiredReclaimed.load());
+    stat("curr_items", store_.itemCount());
+    stat("bytes", store_.usedBytes());
+    stat("limit_maxbytes", store_.memLimit());
+    out += "END\r\n";
+}
+
+} // namespace mercury::kvstore

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Memcached text protocol session.
+ *
+ * A ServerSession consumes raw request bytes (possibly fragmented or
+ * batched arbitrarily, as TCP delivers them), drives a Store, and
+ * produces response bytes. It implements the classic text protocol
+ * verbs: get/gets, set/add/replace/cas, delete, incr/decr, touch,
+ * flush_all, version, stats and quit.
+ */
+
+#ifndef MERCURY_KVSTORE_PROTOCOL_HH
+#define MERCURY_KVSTORE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kvstore/store.hh"
+
+namespace mercury::kvstore
+{
+
+class ServerSession
+{
+  public:
+    explicit ServerSession(Store &store);
+
+    /**
+     * Feed bytes into the session.
+     *
+     * @return response bytes produced by any commands completed by
+     *         this input (may be empty if a command is still
+     *         incomplete).
+     */
+    std::string consume(std::string_view bytes);
+
+    /** True once the client sent "quit". */
+    bool closed() const { return closed_; }
+
+  private:
+    struct PendingStore
+    {
+        std::string verb;
+        std::string key;
+        std::uint32_t flags = 0;
+        std::uint32_t ttl = 0;
+        std::size_t bytes = 0;
+        std::uint64_t casToken = 0;
+        bool noreply = false;
+    };
+
+    /** Handle one complete command line. */
+    void commandLine(std::string_view line, std::string &out);
+
+    /** Handle the data block of a storage command. */
+    void dataBlock(std::string_view data, std::string &out);
+
+    void doGet(const std::vector<std::string_view> &tokens,
+               bool with_cas, std::string &out);
+    void doDelete(const std::vector<std::string_view> &tokens,
+                  std::string &out);
+    void doArith(const std::vector<std::string_view> &tokens,
+                 bool increment, std::string &out);
+    void doTouch(const std::vector<std::string_view> &tokens,
+                 std::string &out);
+    void doStats(std::string &out);
+
+    Store &store_;
+    std::string buffer_;
+    bool hasPending_ = false;
+    PendingStore pending_;
+    bool closed_ = false;
+};
+
+} // namespace mercury::kvstore
+
+#endif // MERCURY_KVSTORE_PROTOCOL_HH

@@ -1,0 +1,163 @@
+#include "kvstore/slab.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace mercury::kvstore
+{
+
+SlabAllocator::SlabAllocator(const SlabParams &params)
+    : params_(params)
+{
+    mercury_assert(params_.pageSize >= params_.minChunk,
+                   "slab page must fit at least one chunk");
+    mercury_assert(params_.growthFactor > 1.0,
+                   "slab growth factor must exceed 1");
+    mercury_assert(params_.memLimit >= params_.pageSize,
+                   "memory limit below one slab page");
+
+    // Build the geometric class table, ending with one whole page.
+    double size = params_.minChunk;
+    while (static_cast<std::uint32_t>(size) < params_.pageSize) {
+        SlabClass cls;
+        cls.chunkSize =
+            (static_cast<std::uint32_t>(size) + 7u) & ~7u;  // align 8
+        if (!classes_.empty() &&
+            cls.chunkSize <= classes_.back().chunkSize) {
+            cls.chunkSize = classes_.back().chunkSize + 8;
+        }
+        classes_.push_back(cls);
+        size *= params_.growthFactor;
+    }
+    SlabClass full_page;
+    full_page.chunkSize = params_.pageSize;
+    classes_.push_back(full_page);
+}
+
+int
+SlabAllocator::classFor(std::size_t bytes) const
+{
+    if (bytes > params_.pageSize)
+        return -1;
+    // Classes are sorted; binary search for the first that fits.
+    auto it = std::lower_bound(
+        classes_.begin(), classes_.end(), bytes,
+        [](const SlabClass &cls, std::size_t want) {
+            return cls.chunkSize < want;
+        });
+    mercury_assert(it != classes_.end(), "class table must cover page");
+    return static_cast<int>(it - classes_.begin());
+}
+
+std::uint32_t
+SlabAllocator::chunkSize(unsigned cls) const
+{
+    mercury_assert(cls < classes_.size(), "bad slab class ", cls);
+    return classes_[cls].chunkSize;
+}
+
+bool
+SlabAllocator::growClass(unsigned cls)
+{
+    if (!canGrow())
+        return false;
+
+    auto page = std::make_unique<char[]>(params_.pageSize);
+    char *base = page.get();
+    const auto page_index = static_cast<std::uint32_t>(pages_.size());
+    pages_.push_back(std::move(page));
+
+    auto pos = std::lower_bound(
+        pageBases_.begin(), pageBases_.end(), base,
+        [](const auto &entry, const char *want) {
+            return entry.first < want;
+        });
+    pageBases_.insert(pos, {base, page_index});
+
+    SlabClass &slab_class = classes_[cls];
+    const std::uint32_t chunks = params_.pageSize /
+                                 slab_class.chunkSize;
+    for (std::uint32_t i = 0; i < chunks; ++i)
+        slab_class.freeChunks.push_back(base + i *
+                                        slab_class.chunkSize);
+    slab_class.totalChunks += chunks;
+    ++slab_class.pages;
+    allocatedBytes_ += params_.pageSize;
+    return true;
+}
+
+void *
+SlabAllocator::allocate(unsigned cls)
+{
+    mercury_assert(cls < classes_.size(), "bad slab class ", cls);
+    SlabClass &slab_class = classes_[cls];
+    if (slab_class.freeChunks.empty() && !growClass(cls))
+        return nullptr;
+
+    void *chunk = slab_class.freeChunks.back();
+    slab_class.freeChunks.pop_back();
+    usedBytes_ += slab_class.chunkSize;
+    return chunk;
+}
+
+void
+SlabAllocator::free(unsigned cls, void *chunk)
+{
+    mercury_assert(cls < classes_.size(), "bad slab class ", cls);
+    mercury_assert(chunk != nullptr, "free of null chunk");
+    SlabClass &slab_class = classes_[cls];
+    slab_class.freeChunks.push_back(chunk);
+    mercury_assert(usedBytes_ >= slab_class.chunkSize,
+                   "slab accounting underflow");
+    usedBytes_ -= slab_class.chunkSize;
+}
+
+std::uint64_t
+SlabAllocator::usedChunks(unsigned cls) const
+{
+    mercury_assert(cls < classes_.size(), "bad slab class ", cls);
+    const SlabClass &slab_class = classes_[cls];
+    return slab_class.totalChunks - slab_class.freeChunks.size();
+}
+
+unsigned
+SlabAllocator::pagesOf(unsigned cls) const
+{
+    mercury_assert(cls < classes_.size(), "bad slab class ", cls);
+    return classes_[cls].pages;
+}
+
+std::int64_t
+SlabAllocator::pageIndexOf(const void *chunk) const
+{
+    const char *p = static_cast<const char *>(chunk);
+    auto it = std::upper_bound(
+        pageBases_.begin(), pageBases_.end(), p,
+        [](const char *want, const auto &entry) {
+            return want < entry.first;
+        });
+    if (it == pageBases_.begin())
+        return -1;
+    --it;
+    if (p >= it->first + params_.pageSize)
+        return -1;
+    return it->second;
+}
+
+std::uint64_t
+SlabAllocator::pageOffsetOf(const void *chunk) const
+{
+    const char *p = static_cast<const char *>(chunk);
+    auto it = std::upper_bound(
+        pageBases_.begin(), pageBases_.end(), p,
+        [](const char *want, const auto &entry) {
+            return want < entry.first;
+        });
+    mercury_assert(it != pageBases_.begin(),
+                   "pointer not from this allocator");
+    --it;
+    return static_cast<std::uint64_t>(p - it->first);
+}
+
+} // namespace mercury::kvstore

@@ -1,0 +1,111 @@
+#include "kvstore/udp_frame.hh"
+
+#include "sim/logging.hh"
+
+namespace mercury::kvstore
+{
+
+namespace
+{
+
+void
+push16(std::string &out, std::uint16_t v)
+{
+    out.push_back(static_cast<char>(v >> 8));
+    out.push_back(static_cast<char>(v));
+}
+
+std::uint16_t
+read16(std::string_view in, std::size_t offset)
+{
+    return static_cast<std::uint16_t>(
+        (static_cast<std::uint8_t>(in[offset]) << 8) |
+        static_cast<std::uint8_t>(in[offset + 1]));
+}
+
+} // anonymous namespace
+
+std::vector<std::string>
+udpFrame(std::uint16_t request_id, std::string_view payload)
+{
+    const std::size_t fragments =
+        payload.empty()
+            ? 1
+            : (payload.size() + udpMaxPayload - 1) / udpMaxPayload;
+    mercury_assert(fragments <= 0xffff,
+                   "payload too large for UDP framing");
+
+    std::vector<std::string> datagrams;
+    datagrams.reserve(fragments);
+    for (std::size_t i = 0; i < fragments; ++i) {
+        std::string d;
+        push16(d, request_id);
+        push16(d, static_cast<std::uint16_t>(i));
+        push16(d, static_cast<std::uint16_t>(fragments));
+        push16(d, 0);
+        d.append(payload.substr(i * udpMaxPayload,
+                                udpMaxPayload));
+        datagrams.push_back(std::move(d));
+    }
+    return datagrams;
+}
+
+std::optional<std::pair<UdpFrameHeader, std::string_view>>
+udpUnframe(std::string_view datagram)
+{
+    if (datagram.size() < UdpFrameHeader::bytes)
+        return std::nullopt;
+    UdpFrameHeader header;
+    header.requestId = read16(datagram, 0);
+    header.sequence = read16(datagram, 2);
+    header.total = read16(datagram, 4);
+    header.reserved = read16(datagram, 6);
+    if (header.total == 0 || header.sequence >= header.total)
+        return std::nullopt;
+    return std::make_pair(header,
+                          datagram.substr(UdpFrameHeader::bytes));
+}
+
+std::optional<std::string>
+UdpReassembler::feed(std::string_view datagram)
+{
+    const auto parsed = udpUnframe(datagram);
+    if (!parsed)
+        return std::nullopt;
+    const auto &[header, payload] = *parsed;
+
+    if (header.total == 1) {
+        pending_.erase(header.requestId);
+        return std::string(payload);
+    }
+
+    Partial &partial = pending_[header.requestId];
+    if (partial.fragments.empty())
+        partial.fragments.resize(header.total);
+    if (header.total != partial.fragments.size()) {
+        // Inconsistent framing: restart the request.
+        partial = Partial{};
+        partial.fragments.resize(header.total);
+    }
+    if (partial.fragments[header.sequence].empty()) {
+        partial.fragments[header.sequence] = std::string(payload);
+        ++partial.received;
+    }
+
+    if (partial.received < partial.fragments.size())
+        return std::nullopt;
+
+    std::string full;
+    for (const std::string &fragment : partial.fragments)
+        full += fragment;
+    pending_.erase(header.requestId);
+    return full;
+}
+
+void
+UdpReassembler::forget(std::uint16_t request_id)
+{
+    pending_.erase(request_id);
+}
+
+} // namespace mercury::kvstore

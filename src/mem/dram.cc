@@ -1,0 +1,267 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace mercury::mem
+{
+
+DramModel::DramModel(const DramParams &params, stats::StatGroup *parent)
+    : MemDevice(params.name), params_(params),
+      statGroup_(params.name, parent),
+      readCount_(&statGroup_, "reads", "read accesses"),
+      writeCount_(&statGroup_, "writes", "write accesses"),
+      bytesRead_(&statGroup_, "bytesRead", "bytes read"),
+      bytesWritten_(&statGroup_, "bytesWritten", "bytes written"),
+      rowHits_(&statGroup_, "rowHits", "open-row hits"),
+      rowMisses_(&statGroup_, "rowMisses", "row activations"),
+      portQueueTicks_(&statGroup_, "portQueueTicks",
+                      "ticks spent queued behind busy ports/banks"),
+      refreshStallTicks_(&statGroup_, "refreshStallTicks",
+                         "ticks stalled behind refresh windows")
+{
+    mercury_assert(params_.numPorts > 0, "DRAM needs at least one port");
+    mercury_assert(params_.banksPerPort > 0,
+                   "DRAM needs at least one bank per port");
+    mercury_assert(params_.capacity % params_.numPorts == 0,
+                   "capacity must divide evenly across ports");
+
+    portSize_ = params_.capacity / params_.numPorts;
+    bankSize_ = portSize_ / params_.banksPerPort;
+    mercury_assert(bankSize_ >= params_.rowBytes,
+                   "bank smaller than one row");
+
+    ports_.resize(params_.numPorts);
+    for (auto &port : ports_)
+        port.banks.resize(params_.banksPerPort);
+}
+
+unsigned
+DramModel::portIndex(Addr addr) const
+{
+    return static_cast<unsigned>((addr / portSize_) % params_.numPorts);
+}
+
+unsigned
+DramModel::bankIndex(Addr addr) const
+{
+    return static_cast<unsigned>((addr / bankSize_) %
+                                 params_.banksPerPort);
+}
+
+std::int64_t
+DramModel::rowIndex(Addr addr) const
+{
+    return static_cast<std::int64_t>(addr / params_.rowBytes);
+}
+
+Tick
+DramModel::transferTime(unsigned size) const
+{
+    const double seconds =
+        static_cast<double>(size) / params_.portBandwidth;
+    return std::max<Tick>(1, secondsToTicks(seconds));
+}
+
+Tick
+DramModel::access(AccessType type, Addr addr, unsigned size, Tick now)
+{
+    mercury_assert(size > 0, "zero-size DRAM access");
+    addr %= params_.capacity;
+
+    Port &port = ports_[portIndex(addr)];
+    Bank &bank = port.banks[bankIndex(addr)];
+
+    // Bank-level parallelism: an access only waits for its own bank;
+    // the shared port pins are occupied just for the data transfer.
+    Tick start = std::max(now, bank.busyUntil);
+
+    if (params_.modelRefresh) {
+        // All-bank refresh blackout windows at every tREFI.
+        const Tick within = start % params_.refreshInterval;
+        if (within < params_.refreshDuration) {
+            const Tick delay = params_.refreshDuration - within;
+            start += delay;
+            refreshStallTicks_ += static_cast<double>(delay);
+        }
+    }
+
+    Tick array_latency;
+    const std::int64_t row = rowIndex(addr);
+    if (params_.pagePolicy == PagePolicy::Open && bank.openRow == row) {
+        array_latency = params_.rowHitLatency;
+        ++rowHits_;
+    } else {
+        array_latency = params_.arrayLatency;
+        ++rowMisses_;
+        bank.openRow = params_.pagePolicy == PagePolicy::Open ? row : -1;
+    }
+
+    const Tick transfer = transferTime(size);
+    const Tick transfer_start =
+        std::max(start + array_latency, port.busyUntil);
+    const Tick done = transfer_start + transfer;
+    portQueueTicks_ += static_cast<double>(transfer_start - now);
+
+    bank.busyUntil = done;
+    port.busyUntil = done;
+
+    if (type == AccessType::Read) {
+        ++readCount_;
+        bytesRead_ += static_cast<double>(size);
+    } else {
+        ++writeCount_;
+        bytesWritten_ += static_cast<double>(size);
+    }
+
+    return done;
+}
+
+Tick
+DramModel::idleReadLatency() const
+{
+    return params_.arrayLatency + transferTime(64);
+}
+
+double
+DramModel::peakBandwidth() const
+{
+    return params_.portBandwidth * params_.numPorts;
+}
+
+std::uint64_t
+DramModel::bytesTransferred() const
+{
+    return static_cast<std::uint64_t>(bytesRead_.value() +
+                                      bytesWritten_.value());
+}
+
+double
+DramModel::rowHitRate() const
+{
+    const double total = rowHits_.value() + rowMisses_.value();
+    return total > 0.0 ? rowHits_.value() / total : 0.0;
+}
+
+void
+DramModel::reset()
+{
+    statGroup_.resetStats();
+    for (auto &port : ports_) {
+        port.busyUntil = 0;
+        for (auto &bank : port.banks) {
+            bank.busyUntil = 0;
+            bank.openRow = -1;
+        }
+    }
+}
+
+DramParams
+stackedDramParams()
+{
+    DramParams p;
+    p.name = "stackedDram";
+    p.numPorts = 16;
+    p.banksPerPort = 8;
+    p.capacity = 4 * giB;
+    p.rowBytes = 1024;
+    p.arrayLatency = 11 * tickNs;
+    p.rowHitLatency = 4 * tickNs;
+    p.portBandwidth = 6.25e9;
+    p.pagePolicy = PagePolicy::Closed;
+    return p;
+}
+
+DramParams
+ddr3Params()
+{
+    DramParams p;
+    p.name = "ddr3";
+    p.numPorts = 1;
+    p.banksPerPort = 8;
+    p.capacity = 2 * giB;
+    p.rowBytes = 8192;
+    p.arrayLatency = 50 * tickNs;
+    p.rowHitLatency = 15 * tickNs;
+    p.portBandwidth = 10.7e9;
+    p.pagePolicy = PagePolicy::Open;
+    return p;
+}
+
+DramParams
+ddr4Params()
+{
+    DramParams p = ddr3Params();
+    p.name = "ddr4";
+    p.arrayLatency = 46 * tickNs;
+    p.rowHitLatency = 14 * tickNs;
+    p.portBandwidth = 21.3e9;
+    return p;
+}
+
+DramParams
+lpddr3Params()
+{
+    DramParams p;
+    p.name = "lpddr3";
+    p.numPorts = 1;
+    p.banksPerPort = 8;
+    p.capacity = 512 * miB;
+    p.rowBytes = 4096;
+    p.arrayLatency = 60 * tickNs;
+    p.rowHitLatency = 18 * tickNs;
+    p.portBandwidth = 6.4e9;
+    p.pagePolicy = PagePolicy::Open;
+    return p;
+}
+
+DramParams
+hmc1Params()
+{
+    DramParams p;
+    p.name = "hmc1";
+    p.numPorts = 16;
+    p.banksPerPort = 16;
+    p.capacity = 512 * miB;
+    p.rowBytes = 256;
+    p.arrayLatency = 15 * tickNs;
+    p.rowHitLatency = 6 * tickNs;
+    p.portBandwidth = 8.0e9;
+    p.pagePolicy = PagePolicy::Closed;
+    return p;
+}
+
+DramParams
+wideIoParams()
+{
+    DramParams p;
+    p.name = "wideIo";
+    p.numPorts = 4;
+    p.banksPerPort = 4;
+    p.capacity = 512 * miB;
+    p.rowBytes = 2048;
+    p.arrayLatency = 25 * tickNs;
+    p.rowHitLatency = 10 * tickNs;
+    p.portBandwidth = 3.2e9;
+    p.pagePolicy = PagePolicy::Closed;
+    return p;
+}
+
+DramParams
+octopusParams()
+{
+    DramParams p;
+    p.name = "octopus";
+    p.numPorts = 8;
+    p.banksPerPort = 8;
+    p.capacity = 512 * miB;
+    p.rowBytes = 1024;
+    p.arrayLatency = 12 * tickNs;
+    p.rowHitLatency = 5 * tickNs;
+    p.portBandwidth = 6.25e9;
+    p.pagePolicy = PagePolicy::Closed;
+    return p;
+}
+
+} // namespace mercury::mem

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Parametric DRAM timing model.
+ *
+ * One model covers both the Tezzaron-style 3D-stacked DRAM used in
+ * Mercury (16 independent 128-bit ports, 8 banks each, closed-page
+ * access in 11 cycles at 1 GHz, 6.25 GB/s per port) and conventional
+ * DIMM parts (DDR3/DDR4/LPDDR3) used by the baseline server, via the
+ * preset factories at the bottom of this header. The paper's Table 2
+ * catalog is expressed directly as these presets.
+ */
+
+#ifndef MERCURY_MEM_DRAM_HH
+#define MERCURY_MEM_DRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/mem_device.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace mercury::mem
+{
+
+/** Row-buffer management policy. */
+enum class PagePolicy
+{
+    /** Precharge after every access; every access pays full array
+     * latency. The paper's worst-case assumption (Sec. 5.2). */
+    Closed,
+    /** Leave rows open; row hits pay only column access time. */
+    Open,
+};
+
+/** Static configuration of a DramModel. */
+struct DramParams
+{
+    std::string name = "dram";
+
+    /** Independent ports/channels; each serves a contiguous slice of
+     * the address space. */
+    unsigned numPorts = 16;
+
+    /** Banks behind each port. */
+    unsigned banksPerPort = 8;
+
+    /** Total device capacity. */
+    std::uint64_t capacity = 4 * giB;
+
+    /** DRAM row (page) size per bank; 8 kb rows = 1 KiB. */
+    unsigned rowBytes = 1024;
+
+    /** Closed-page array access latency (activate+read+precharge). */
+    Tick arrayLatency = 11 * tickNs;
+
+    /** Column access latency for an open-row hit. */
+    Tick rowHitLatency = 4 * tickNs;
+
+    /** Peak transfer bandwidth per port, bytes per second. */
+    double portBandwidth = 6.25e9;
+
+    PagePolicy pagePolicy = PagePolicy::Closed;
+
+    /** Model all-bank refresh: every refreshInterval (tREFI) the
+     * device is unavailable for refreshDuration (tRFC). Off by
+     * default to match the paper's memory model. */
+    bool modelRefresh = false;
+    Tick refreshInterval = 7800 * tickNs;
+    Tick refreshDuration = 350 * tickNs;
+};
+
+/**
+ * Busy-until DRAM timing model with per-bank state and per-port
+ * transfer occupancy.
+ */
+class DramModel : public MemDevice
+{
+  public:
+    explicit DramModel(const DramParams &params,
+                       stats::StatGroup *parent = nullptr);
+
+    Tick access(AccessType type, Addr addr, unsigned size,
+                Tick now) override;
+
+    std::uint64_t capacityBytes() const override
+    {
+        return params_.capacity;
+    }
+
+    Tick idleReadLatency() const override;
+
+    const DramParams &params() const { return params_; }
+
+    /** Peak bandwidth across all ports, bytes/second. */
+    double peakBandwidth() const;
+
+    /** Bytes transferred so far (reads + writes). */
+    std::uint64_t bytesTransferred() const;
+
+    /** Per-request statistics. */
+    const stats::StatGroup &statGroup() const { return statGroup_; }
+
+    double rowHitRate() const;
+
+    void reset() override;
+
+  private:
+    struct Bank
+    {
+        Tick busyUntil = 0;
+        std::int64_t openRow = -1;
+    };
+
+    struct Port
+    {
+        Tick busyUntil = 0;
+        std::vector<Bank> banks;
+    };
+
+    unsigned portIndex(Addr addr) const;
+    unsigned bankIndex(Addr addr) const;
+    std::int64_t rowIndex(Addr addr) const;
+    Tick transferTime(unsigned size) const;
+
+    DramParams params_;
+    std::uint64_t portSize_;
+    std::uint64_t bankSize_;
+    std::vector<Port> ports_;
+
+    stats::StatGroup statGroup_;
+    stats::Scalar readCount_;
+    stats::Scalar writeCount_;
+    stats::Scalar bytesRead_;
+    stats::Scalar bytesWritten_;
+    stats::Scalar rowHits_;
+    stats::Scalar rowMisses_;
+    stats::Scalar portQueueTicks_;
+    stats::Scalar refreshStallTicks_;
+};
+
+/** Tezzaron-style 3D-stacked DRAM, 4 GB (paper Sec. 4.1.1). */
+DramParams stackedDramParams();
+
+/** DDR3-1333 DIMM: 10.7 GB/s, 2 GB per DIMM (paper Table 2). */
+DramParams ddr3Params();
+
+/** DDR4-2667 DIMM: 21.3 GB/s, 2 GB (paper Table 2). */
+DramParams ddr4Params();
+
+/** LPDDR3: 6.4 GB/s, 512 MB (paper Table 2). */
+DramParams lpddr3Params();
+
+/** HMC-I 3D stack: 128 GB/s, 512 MB (paper Table 2). */
+DramParams hmc1Params();
+
+/** Wide I/O 3D stack: 12.8 GB/s, 512 MB (paper Table 2). */
+DramParams wideIoParams();
+
+/** Tezzaron Octopus 3D stack: 50 GB/s, 512 MB (paper Table 2). */
+DramParams octopusParams();
+
+} // namespace mercury::mem
+
+#endif // MERCURY_MEM_DRAM_HH

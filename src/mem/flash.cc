@@ -1,0 +1,515 @@
+#include "mem/flash.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace mercury::mem
+{
+
+Ftl::Ftl(std::uint64_t phys_pages, unsigned pages_per_block,
+         double overprovision, unsigned gc_low_water,
+         unsigned wear_threshold)
+    : physPages_(phys_pages), pagesPerBlock_(pages_per_block),
+      gcLowWater_(gc_low_water), wearThreshold_(wear_threshold)
+{
+    mercury_assert(pagesPerBlock_ > 0, "pagesPerBlock must be positive");
+    mercury_assert(physPages_ >= pagesPerBlock_ * (gcLowWater_ + 2),
+                   "flash channel too small for GC headroom");
+    mercury_assert(overprovision > 0.0 && overprovision < 1.0,
+                   "overprovision must be in (0,1)");
+
+    numBlocks_ = physPages_ / pagesPerBlock_;
+    physPages_ = numBlocks_ * pagesPerBlock_;
+
+    logicalPages_ = static_cast<std::uint64_t>(
+        static_cast<double>(physPages_) * (1.0 - overprovision));
+    // Keep at least gcLowWater_+2 blocks of hard slack.
+    const std::uint64_t max_logical =
+        physPages_ - pagesPerBlock_ * (gcLowWater_ + 2);
+    logicalPages_ = std::min(logicalPages_, max_logical);
+
+    map_.assign(logicalPages_, unmapped);
+    reverse_.assign(physPages_, unmapped);
+    validCount_.assign(numBlocks_, 0);
+    eraseCount_.assign(numBlocks_, 0);
+    blockFree_.assign(numBlocks_, true);
+    for (std::uint64_t b = 0; b < numBlocks_; ++b)
+        freeBlocks_.push_back(b);
+}
+
+bool
+Ftl::isMapped(std::uint64_t lpn) const
+{
+    mercury_assert(lpn < logicalPages_, "lpn out of range: ", lpn);
+    return map_[lpn] != unmapped;
+}
+
+std::uint64_t
+Ftl::translate(std::uint64_t lpn) const
+{
+    mercury_assert(isMapped(lpn), "translate of unmapped lpn ", lpn);
+    return static_cast<std::uint64_t>(map_[lpn]);
+}
+
+std::int64_t
+Ftl::pickGcVictim() const
+{
+    std::int64_t best = unmapped;
+    std::uint16_t best_valid = pagesPerBlock_;
+    for (std::uint64_t b = 0; b < numBlocks_; ++b) {
+        if (blockFree_[b] || static_cast<std::int64_t>(b) == activeBlock_)
+            continue;
+        if (validCount_[b] < best_valid) {
+            best_valid = validCount_[b];
+            best = static_cast<std::int64_t>(b);
+        }
+    }
+    // A fully-valid victim frees nothing; report "no candidate".
+    if (best != unmapped && best_valid >= pagesPerBlock_)
+        return unmapped;
+    return best;
+}
+
+void
+Ftl::eraseBlock(std::uint64_t block, FtlWriteOutcome &outcome)
+{
+    mercury_assert(validCount_[block] == 0,
+                   "erasing block with valid pages");
+    blockFree_[block] = true;
+    freeBlocks_.push_back(block);
+    ++eraseCount_[block];
+    ++totalErases_;
+    ++outcome.erases;
+}
+
+void
+Ftl::reclaimBlock(std::uint64_t block, FtlWriteOutcome &outcome)
+{
+    // Relocate every valid page into the active write stream.
+    for (unsigned i = 0; i < pagesPerBlock_; ++i) {
+        const std::uint64_t ppn = block * pagesPerBlock_ + i;
+        const std::int64_t lpn = reverse_[ppn];
+        if (lpn == unmapped)
+            continue;
+
+        // Raw allocation: GC must never recurse into GC.
+        if (activeBlock_ == unmapped ||
+            nextPageInActive_ == pagesPerBlock_) {
+            mercury_assert(!freeBlocks_.empty(),
+                           "GC exhausted free blocks (overprovision "
+                           "headroom violated)");
+            activeBlock_ =
+                static_cast<std::int64_t>(freeBlocks_.front());
+            freeBlocks_.pop_front();
+            blockFree_[static_cast<std::uint64_t>(activeBlock_)] = false;
+            nextPageInActive_ = 0;
+        }
+        const std::uint64_t new_ppn =
+            static_cast<std::uint64_t>(activeBlock_) * pagesPerBlock_ +
+            nextPageInActive_++;
+
+        reverse_[ppn] = unmapped;
+        --validCount_[block];
+        map_[static_cast<std::uint64_t>(lpn)] =
+            static_cast<std::int64_t>(new_ppn);
+        reverse_[new_ppn] = lpn;
+        ++validCount_[blockOf(new_ppn)];
+
+        ++totalMoves_;
+        ++flashWrites_;
+        ++outcome.movedPages;
+    }
+    eraseBlock(block, outcome);
+}
+
+void
+Ftl::maybeWearLevel(FtlWriteOutcome &outcome)
+{
+    // Static wear leveling: when the erase-count spread grows too
+    // large, park the coldest data in the most-worn free block. The
+    // worn block then holds rarely-rewritten data and stops cycling,
+    // while the freed cold block joins the hot rotation.
+    std::int64_t hot = unmapped;
+    std::uint32_t hot_erases = 0;
+    for (std::uint64_t b = 0; b < numBlocks_; ++b) {
+        if (!blockFree_[b])
+            continue;
+        if (hot == unmapped || eraseCount_[b] > hot_erases) {
+            hot_erases = eraseCount_[b];
+            hot = static_cast<std::int64_t>(b);
+        }
+    }
+
+    std::int64_t cold = unmapped;
+    std::uint32_t cold_erases = ~0u;
+    for (std::uint64_t b = 0; b < numBlocks_; ++b) {
+        if (blockFree_[b] || static_cast<std::int64_t>(b) == activeBlock_)
+            continue;
+        if (validCount_[b] == 0)
+            continue;
+        if (eraseCount_[b] < cold_erases) {
+            cold_erases = eraseCount_[b];
+            cold = static_cast<std::int64_t>(b);
+        }
+    }
+
+    if (hot == unmapped || cold == unmapped)
+        return;
+    if (hot_erases - cold_erases <= wearThreshold_)
+        return;
+
+    // Take the hot block out of the free pool and fill it with the
+    // cold block's valid pages.
+    auto it = std::find(freeBlocks_.begin(), freeBlocks_.end(),
+                        static_cast<std::uint64_t>(hot));
+    mercury_assert(it != freeBlocks_.end(), "free list out of sync");
+    freeBlocks_.erase(it);
+    blockFree_[static_cast<std::uint64_t>(hot)] = false;
+
+    unsigned next_page = 0;
+    const auto cold_block = static_cast<std::uint64_t>(cold);
+    for (unsigned i = 0; i < pagesPerBlock_; ++i) {
+        const std::uint64_t ppn = cold_block * pagesPerBlock_ + i;
+        const std::int64_t lpn = reverse_[ppn];
+        if (lpn == unmapped)
+            continue;
+        const std::uint64_t new_ppn =
+            static_cast<std::uint64_t>(hot) * pagesPerBlock_ +
+            next_page++;
+        reverse_[ppn] = unmapped;
+        --validCount_[cold_block];
+        map_[static_cast<std::uint64_t>(lpn)] =
+            static_cast<std::int64_t>(new_ppn);
+        reverse_[new_ppn] = lpn;
+        ++validCount_[static_cast<std::uint64_t>(hot)];
+        ++totalMoves_;
+        ++flashWrites_;
+        ++outcome.movedPages;
+    }
+    eraseBlock(cold_block, outcome);
+}
+
+std::uint64_t
+Ftl::allocPage(FtlWriteOutcome &outcome)
+{
+    // Wear leveling can consume the freshly opened block, so loop
+    // until the active block really has a free page.
+    while (activeBlock_ == unmapped ||
+           nextPageInActive_ == pagesPerBlock_) {
+        while (freeBlocks_.size() <= gcLowWater_) {
+            const std::int64_t victim = pickGcVictim();
+            if (victim == unmapped)
+                break;
+            reclaimBlock(static_cast<std::uint64_t>(victim), outcome);
+        }
+        mercury_assert(!freeBlocks_.empty(), "flash channel out of space");
+        activeBlock_ = static_cast<std::int64_t>(freeBlocks_.front());
+        freeBlocks_.pop_front();
+        blockFree_[static_cast<std::uint64_t>(activeBlock_)] = false;
+        nextPageInActive_ = 0;
+        maybeWearLevel(outcome);
+    }
+    return static_cast<std::uint64_t>(activeBlock_) * pagesPerBlock_ +
+           nextPageInActive_++;
+}
+
+FtlWriteOutcome
+Ftl::write(std::uint64_t lpn)
+{
+    mercury_assert(lpn < logicalPages_, "write to lpn out of range");
+
+    FtlWriteOutcome outcome{};
+    if (map_[lpn] != unmapped) {
+        const auto old = static_cast<std::uint64_t>(map_[lpn]);
+        reverse_[old] = unmapped;
+        --validCount_[blockOf(old)];
+    }
+
+    const std::uint64_t ppn = allocPage(outcome);
+    map_[lpn] = static_cast<std::int64_t>(ppn);
+    reverse_[ppn] = static_cast<std::int64_t>(lpn);
+    ++validCount_[blockOf(ppn)];
+
+    ++hostWrites_;
+    ++flashWrites_;
+    outcome.physicalPage = ppn;
+    return outcome;
+}
+
+void
+Ftl::trim(std::uint64_t lpn)
+{
+    mercury_assert(lpn < logicalPages_, "trim of lpn out of range");
+    if (map_[lpn] == unmapped)
+        return;
+    const auto ppn = static_cast<std::uint64_t>(map_[lpn]);
+    reverse_[ppn] = unmapped;
+    --validCount_[blockOf(ppn)];
+    map_[lpn] = unmapped;
+}
+
+double
+Ftl::writeAmplification() const
+{
+    if (hostWrites_ == 0)
+        return 1.0;
+    return static_cast<double>(flashWrites_) /
+           static_cast<double>(hostWrites_);
+}
+
+unsigned
+Ftl::eraseSpread() const
+{
+    const auto [lo, hi] =
+        std::minmax_element(eraseCount_.begin(), eraseCount_.end());
+    return *hi - *lo;
+}
+
+bool
+Ftl::checkConsistency() const
+{
+    std::vector<std::uint16_t> counts(numBlocks_, 0);
+    for (std::uint64_t lpn = 0; lpn < logicalPages_; ++lpn) {
+        const std::int64_t ppn = map_[lpn];
+        if (ppn == unmapped)
+            continue;
+        if (reverse_[static_cast<std::uint64_t>(ppn)] !=
+            static_cast<std::int64_t>(lpn)) {
+            return false;
+        }
+        ++counts[blockOf(static_cast<std::uint64_t>(ppn))];
+    }
+    for (std::uint64_t b = 0; b < numBlocks_; ++b) {
+        if (counts[b] != validCount_[b])
+            return false;
+        if (blockFree_[b] && validCount_[b] != 0)
+            return false;
+    }
+    return true;
+}
+
+FlashController::Channel::Channel(const FlashParams &params)
+    : ftl(params.capacity / params.numChannels / params.pageBytes,
+          params.pagesPerBlock, params.overprovision,
+          params.gcLowWaterBlocks, params.wearLevelThreshold)
+{}
+
+FlashController::FlashController(const FlashParams &params,
+                                 stats::StatGroup *parent)
+    : MemDevice(params.name), params_(params),
+      statGroup_(params.name, parent),
+      lineReads_(&statGroup_, "lineReads", "line-granularity reads"),
+      lineWrites_(&statGroup_, "lineWrites", "line-granularity writes"),
+      pageSenses_(&statGroup_, "pageSenses", "page array senses"),
+      pagePrograms_(&statGroup_, "pagePrograms", "page programs"),
+      registerHits_(&statGroup_, "registerHits", "page-register hits"),
+      gcMoves_(&statGroup_, "gcMoves", "pages moved by GC/wear level"),
+      erases_(&statGroup_, "erases", "block erases")
+{
+    mercury_assert(params_.numChannels > 0, "flash needs channels");
+    channels_.reserve(params_.numChannels);
+    for (unsigned c = 0; c < params_.numChannels; ++c)
+        channels_.emplace_back(params_);
+    channelBytes_ =
+        channels_.front().ftl.logicalPages() * params_.pageBytes;
+}
+
+unsigned
+FlashController::channelIndex(Addr addr) const
+{
+    return static_cast<unsigned>((addr / channelBytes_) %
+                                 params_.numChannels);
+}
+
+std::uint64_t
+FlashController::channelOffset(Addr addr) const
+{
+    return addr % channelBytes_;
+}
+
+Tick
+FlashController::transferTime(unsigned size) const
+{
+    const double seconds =
+        static_cast<double>(size) / params_.channelBandwidth;
+    return std::max<Tick>(1, secondsToTicks(seconds));
+}
+
+int
+FlashController::findWriteSlot(const Channel &channel,
+                               std::uint64_t lpn) const
+{
+    for (std::size_t i = 0; i < channel.writeSlots.size(); ++i) {
+        if (channel.writeSlots[i].lpn == lpn)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+Tick
+FlashController::flushSlot(Channel &channel, std::size_t slot)
+{
+    const std::uint64_t lpn = channel.writeSlots[slot].lpn;
+    const FtlWriteOutcome outcome = channel.ftl.write(lpn);
+
+    Tick cost = params_.programLatency;
+    cost += outcome.movedPages *
+            (params_.readLatency + params_.programLatency);
+    cost += outcome.erases * params_.eraseLatency;
+
+    ++pagePrograms_;
+    gcMoves_ += outcome.movedPages;
+    erases_ += outcome.erases;
+
+    channel.writeSlots.erase(channel.writeSlots.begin() +
+                             static_cast<std::ptrdiff_t>(slot));
+    return cost;
+}
+
+Tick
+FlashController::access(AccessType type, Addr addr, unsigned size,
+                        Tick now)
+{
+    mercury_assert(size > 0 && size <= params_.pageBytes,
+                   "flash access size must be within one page");
+    addr %= capacityBytes();
+
+    Channel &channel = channels_[channelIndex(addr)];
+    const std::uint64_t lpn = channelOffset(addr) / params_.pageBytes;
+
+    const Tick start = std::max(now, channel.busyUntil);
+    Tick t = start;
+
+    if (type == AccessType::Write) {
+        ++lineWrites_;
+        const int slot = findWriteSlot(channel, lpn);
+        if (slot >= 0) {
+            ++registerHits_;
+            channel.writeSlots[static_cast<std::size_t>(slot)]
+                .lastUse = ++channel.useCounter;
+        } else {
+            if (channel.writeSlots.size() >=
+                params_.writeBufferPages) {
+                // Evict the least-recently-used dirty page.
+                std::size_t victim = 0;
+                for (std::size_t i = 1;
+                     i < channel.writeSlots.size(); ++i) {
+                    if (channel.writeSlots[i].lastUse <
+                        channel.writeSlots[victim].lastUse) {
+                        victim = i;
+                    }
+                }
+                t += flushSlot(channel, victim);
+            }
+            channel.writeSlots.push_back(
+                WriteSlot{lpn, ++channel.useCounter});
+        }
+    } else {
+        ++lineReads_;
+        if (findWriteSlot(channel, lpn) >= 0 ||
+            channel.readRegisterLpn ==
+                static_cast<std::int64_t>(lpn)) {
+            // Served from the write buffer or the read register.
+            ++registerHits_;
+        } else {
+            // Sense the page only if it holds data; reading the
+            // erased state costs nothing in the array.
+            if (channel.ftl.isMapped(lpn)) {
+                t += params_.readLatency;
+                ++pageSenses_;
+            }
+            channel.readRegisterLpn = static_cast<std::int64_t>(lpn);
+        }
+    }
+
+    t += transferTime(size);
+    channel.busyUntil = t;
+    return t;
+}
+
+std::uint64_t
+FlashController::capacityBytes() const
+{
+    return channelBytes_ * params_.numChannels;
+}
+
+Tick
+FlashController::idleReadLatency() const
+{
+    return params_.readLatency + transferTime(64);
+}
+
+Tick
+FlashController::drainWrites(Tick now)
+{
+    Tick last = now;
+    for (unsigned c = 0; c < channels_.size(); ++c)
+        last = std::max(last, drainChannel(c, now));
+    return last;
+}
+
+Tick
+FlashController::drainChannel(unsigned channel_index, Tick now)
+{
+    mercury_assert(channel_index < channels_.size(),
+                   "bad flash channel index");
+    Channel &channel = channels_[channel_index];
+    Tick t = std::max(now, channel.busyUntil);
+    while (!channel.writeSlots.empty())
+        t += flushSlot(channel, channel.writeSlots.size() - 1);
+    channel.busyUntil = t;
+    return t;
+}
+
+double
+FlashController::writeAmplification() const
+{
+    std::uint64_t host = 0, flash = 0;
+    for (const auto &channel : channels_) {
+        host += channel.ftl.hostWrites();
+        flash += channel.ftl.flashWrites();
+    }
+    return host ? static_cast<double>(flash) / static_cast<double>(host)
+                : 1.0;
+}
+
+std::uint64_t
+FlashController::totalErases() const
+{
+    std::uint64_t total = 0;
+    for (const auto &channel : channels_)
+        total += channel.ftl.totalErases();
+    return total;
+}
+
+std::uint64_t
+FlashController::totalGcMoves() const
+{
+    std::uint64_t total = 0;
+    for (const auto &channel : channels_)
+        total += channel.ftl.totalMoves();
+    return total;
+}
+
+unsigned
+FlashController::maxEraseSpread() const
+{
+    unsigned spread = 0;
+    for (const auto &channel : channels_)
+        spread = std::max(spread, channel.ftl.eraseSpread());
+    return spread;
+}
+
+void
+FlashController::reset()
+{
+    statGroup_.resetStats();
+    for (auto &channel : channels_) {
+        channel.busyUntil = 0;
+        channel.readRegisterLpn = -1;
+        channel.writeSlots.clear();
+    }
+}
+
+} // namespace mercury::mem

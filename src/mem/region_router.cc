@@ -1,0 +1,70 @@
+#include "mem/region_router.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace mercury::mem
+{
+
+RegionRouter::RegionRouter(std::string name)
+    : MemDevice(std::move(name))
+{}
+
+void
+RegionRouter::addRegion(const AddressRegion &region, MemDevice *device,
+                        std::uint64_t device_offset)
+{
+    mercury_assert(device != nullptr, "router region needs a device");
+    mercury_assert(region.size > 0, "router region must be non-empty");
+    for (const Entry &entry : entries_) {
+        const bool disjoint = region.end() <= entry.region.base ||
+                              entry.region.end() <= region.base;
+        mercury_assert(disjoint, "router regions must not overlap");
+    }
+    entries_.push_back({region, device, device_offset});
+}
+
+MemDevice *
+RegionRouter::deviceFor(Addr addr) const
+{
+    for (const Entry &entry : entries_) {
+        if (entry.region.contains(addr))
+            return entry.device;
+    }
+    return nullptr;
+}
+
+Tick
+RegionRouter::access(AccessType type, Addr addr, unsigned size,
+                     Tick now)
+{
+    for (Entry &entry : entries_) {
+        if (entry.region.contains(addr)) {
+            return entry.device->access(
+                type, addr - entry.region.base + entry.deviceOffset,
+                size, now);
+        }
+    }
+    mercury_panic("access to unmapped address ", addr, " on ", name());
+}
+
+std::uint64_t
+RegionRouter::capacityBytes() const
+{
+    std::uint64_t total = 0;
+    for (const Entry &entry : entries_)
+        total += entry.region.size;
+    return total;
+}
+
+Tick
+RegionRouter::idleReadLatency() const
+{
+    Tick worst = 0;
+    for (const Entry &entry : entries_)
+        worst = std::max(worst, entry.device->idleReadLatency());
+    return worst;
+}
+
+} // namespace mercury::mem

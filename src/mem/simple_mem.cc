@@ -1,0 +1,31 @@
+#include "mem/simple_mem.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace mercury::mem
+{
+
+SimpleMemory::SimpleMemory(const SimpleMemParams &params)
+    : MemDevice(params.name), params_(params)
+{
+    mercury_assert(params_.bandwidth > 0.0,
+                   "SRAM bandwidth must be positive");
+}
+
+Tick
+SimpleMemory::access(AccessType, Addr, unsigned size, Tick now)
+{
+    mercury_assert(size > 0, "zero-size SRAM access");
+    const Tick start = std::max(now, busyUntil_);
+    const Tick transfer = std::max<Tick>(
+        1, secondsToTicks(static_cast<double>(size) /
+                          params_.bandwidth));
+    const Tick done = start + params_.latency + transfer;
+    // Pipelined: the array is only busy for the transfer slot.
+    busyUntil_ = start + transfer;
+    return done;
+}
+
+} // namespace mercury::mem

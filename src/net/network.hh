@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Network path model: TCP segmentation, 10GbE link timing, and the
+ * integrated NIC (Niagara-2-style MAC on the stack, Broadcom-style
+ * PHY off the stack), per Sec. 4.1.4.
+ *
+ * Each Mercury/Iridium stack owns a dedicated physical 10GbE port --
+ * there is no server-level router -- so the path model covers: client
+ * NIC -> wire -> PHY -> MAC buffers -> core. CPU-side protocol
+ * processing is charged separately by the request trace generator;
+ * this module accounts for everything that happens on the wire and in
+ * the NIC.
+ */
+
+#ifndef MERCURY_NET_NETWORK_HH
+#define MERCURY_NET_NETWORK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace mercury::net
+{
+
+/** Static configuration of a network path. */
+struct NetParams
+{
+    std::string name = "net";
+
+    /** Link rate in bytes per second (10GbE). */
+    double linkBandwidth = 10e9 / 8.0;
+
+    /** TCP maximum segment size (1500 MTU - IP/TCP headers). */
+    unsigned mss = 1448;
+
+    /** Per-packet non-payload wire bytes: preamble+SFD (8), Ethernet
+     * header (14), FCS (4), interframe gap (12), IP (20), TCP (20). */
+    unsigned perPacketOverhead = 78;
+
+    /** PHY traversal latency per direction. */
+    Tick phyLatency = 500 * tickNs;
+
+    /** MAC + buffer store-and-forward latency per packet. */
+    Tick macLatency = 200 * tickNs;
+
+    /** One-way propagation (client NIC to server PHY). */
+    Tick propagation = 1 * tickUs;
+
+    /** NIC MAC packet buffer capacity. */
+    std::uint64_t macBufferBytes = 128 * kiB;
+};
+
+/**
+ * Stateless TCP segmentation arithmetic.
+ */
+class TcpSegmenter
+{
+  public:
+    explicit TcpSegmenter(const NetParams &params) : params_(params) {}
+
+    /** Number of TCP segments needed for a payload. A zero-byte
+     * payload still needs one (header-only) packet. */
+    unsigned numSegments(std::uint64_t payload_bytes) const;
+
+    /** Payload bytes of each segment, in order. */
+    std::vector<unsigned>
+    segmentSizes(std::uint64_t payload_bytes) const;
+
+    /** Total bytes on the wire including all per-packet overhead. */
+    std::uint64_t wireBytes(std::uint64_t payload_bytes) const;
+
+  private:
+    NetParams params_;
+};
+
+/** Timing outcome of one message delivery. */
+struct DeliveryResult
+{
+    /** Tick the last byte is available at the receiver. */
+    Tick completion;
+    unsigned packets;
+    std::uint64_t wireBytes;
+};
+
+/**
+ * One direction of a network path with serialization, store-and-
+ * forward and propagation timing. The link keeps busy-until state so
+ * back-to-back messages queue.
+ */
+class NetworkPath : public SimObject
+{
+  public:
+    explicit NetworkPath(const NetParams &params,
+                         stats::StatGroup *parent = nullptr);
+
+    /**
+     * Deliver a message of @p payload_bytes entering the link at
+     * @p now.
+     *
+     * The first packet reaches the receiver after its serialization
+     * time plus PHY/MAC/propagation; subsequent packets pipeline
+     * behind it. Completion is the arrival of the final packet.
+     */
+    DeliveryResult deliver(std::uint64_t payload_bytes, Tick now);
+
+    const NetParams &params() const { return params_; }
+
+    const TcpSegmenter &segmenter() const { return segmenter_; }
+
+    /** Offered-load utilization of the link since the last reset. */
+    double utilization(Tick elapsed) const;
+
+    /** Peak MAC buffer occupancy observed (bytes). */
+    std::uint64_t peakBufferBytes() const
+    {
+        return static_cast<std::uint64_t>(peakBuffer_.value());
+    }
+
+    void reset() override;
+
+  private:
+    Tick serializationTime(std::uint64_t bytes) const;
+
+    NetParams params_;
+    TcpSegmenter segmenter_;
+    Tick linkBusyUntil_ = 0;
+
+    stats::StatGroup statGroup_;
+    stats::Scalar messages_;
+    stats::Scalar packets_;
+    stats::Scalar payloadBytes_;
+    stats::Scalar wireBytes_;
+    stats::Scalar queueTicks_;
+    stats::Scalar peakBuffer_;
+};
+
+/** 10GbE defaults used by every stack (Sec. 4.1.4). */
+NetParams tenGbEParams();
+
+} // namespace mercury::net
+
+#endif // MERCURY_NET_NETWORK_HH

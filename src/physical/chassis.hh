@@ -1,0 +1,104 @@
+/**
+ * @file
+ * 1.5U chassis constraints and the stack-level power/area/density
+ * arithmetic of Sec. 5.4-5.6.
+ */
+
+#ifndef MERCURY_PHYSICAL_CHASSIS_HH
+#define MERCURY_PHYSICAL_CHASSIS_HH
+
+#include "cpu/core.hh"
+#include "physical/components.hh"
+
+namespace mercury::physical
+{
+
+/** What memory a stack carries. */
+enum class StackMemory { Dram3D, Flash3D };
+
+/** One stack's composition. */
+struct StackConfig
+{
+    cpu::CoreParams core = cpu::cortexA7Params();
+    unsigned coresPerStack = 8;
+    StackMemory memory = StackMemory::Dram3D;
+    bool withL2 = true;
+};
+
+/** 1.5U chassis limits (Sec. 5.4.1, 5.5). */
+struct ChassisConstraints
+{
+    /** HP common-slot supply. */
+    double supplyW = 750.0;
+    /** Disk, motherboard, fans... */
+    double otherComponentsW = 160.0;
+    /** Margin for delivery losses and misc power. */
+    double powerMargin = 0.8;
+
+    /** 13in x 13in motherboard. */
+    double boardAreaCm2 = 13.0 * 13.0 * 6.4516;
+    /** Fraction of the board available for stacks + PHYs. */
+    double usableBoardFraction = 0.77;
+
+    /** Rear-panel Ethernet ports (Sec. 5.5). */
+    unsigned maxEthernetPorts = 96;
+
+    /** Power available for stacks and PHYs:
+     * (750 - 160) x 0.8 = 472 W. */
+    double
+    stackPowerBudgetW() const
+    {
+        return (supplyW - otherComponentsW) * powerMargin;
+    }
+
+    /** Wall power for a given stack-component draw. */
+    double
+    wallPowerW(double stack_components_w) const
+    {
+        return otherComponentsW + stack_components_w / powerMargin;
+    }
+
+    /** Stacks that fit on the board: each 441 mm^2 BGA plus half of
+     * a dual-PHY chip. */
+    unsigned maxStacksByArea() const;
+
+    /** Board footprint of n stacks (cm^2). */
+    double boardAreaFor(unsigned stacks) const;
+};
+
+const ChassisConstraints &defaultChassis();
+
+/** Per-stack physical model. */
+class StackModel
+{
+  public:
+    StackModel(const StackConfig &config,
+               const ComponentCatalog &catalog = defaultCatalog());
+
+    /** Component power at a given memory bandwidth draw (GB/s per
+     * stack). Includes cores, NIC MAC, off-stack PHY share, and the
+     * bandwidth-proportional memory power (Sec. 5.4). */
+    double powerW(double mem_bandwidth_gbs) const;
+
+    /** Storage carried by the stack (GB). */
+    double densityGB() const;
+
+    /** Peak memory bandwidth the stack's ports can deliver (GB/s);
+     * cores can be port-limited (Sec. 5.5). */
+    double portBandwidthCapGBs(double per_core_max_gbs) const;
+
+    /** Silicon check: the logic die fits the cores + NIC (the paper
+     * notes >400 cores would fit; we verify the configured count
+     * does). */
+    bool fitsLogicDie() const;
+
+    const StackConfig &config() const { return config_; }
+
+  private:
+    StackConfig config_;
+    ComponentCatalog catalog_;
+};
+
+} // namespace mercury::physical
+
+#endif // MERCURY_PHYSICAL_CHASSIS_HH

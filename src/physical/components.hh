@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Component power and area catalog (paper Table 1) and the
+ * memory-technology catalog (paper Table 2).
+ */
+
+#ifndef MERCURY_PHYSICAL_COMPONENTS_HH
+#define MERCURY_PHYSICAL_COMPONENTS_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/core.hh"
+
+namespace mercury::physical
+{
+
+/** Power/area constants for the pieces of a 3D stack (Table 1). */
+struct ComponentCatalog
+{
+    // Cores (28 nm).
+    double a7PowerW = 0.100;
+    double a7AreaMm2 = 0.58;
+    double a15PowerW1GHz = 0.600;
+    double a15PowerW15GHz = 1.000;
+    double a15AreaMm2 = 2.82;
+
+    // 3D DRAM: 4 GB in 8 layers; active power scales with bandwidth.
+    double dramPowerPerGBs = 0.210;
+    double dramAreaMm2 = 279.0;
+    double dramCapacityGB = 4.0;
+
+    // 3D NAND (p-BiCS, monolithic 16-layer): 19.8 GB per stack.
+    double flashPowerPerGBs = 0.006;
+    double flashAreaMm2 = 279.0;
+    double flashCapacityGB = 19.8;
+
+    // Integrated NIC MAC + buffers (on stack).
+    double nicMacPowerW = 0.120;
+    double nicMacAreaMm2 = 0.43;
+
+    // 10GbE PHY (off stack; two per 441 mm^2 chip).
+    double nicPhyPowerW = 0.300;
+    double nicPhyAreaMm2 = 220.0;
+
+    /** Per-core power for a core preset (Table 1 rows). */
+    double corePowerW(const cpu::CoreParams &core) const;
+
+    /** Per-core area for a core preset. */
+    double coreAreaMm2(const cpu::CoreParams &core) const;
+};
+
+const ComponentCatalog &defaultCatalog();
+
+/** One row of the Table 2 memory-technology comparison. */
+struct MemoryTechRow
+{
+    std::string name;
+    double bandwidthGBs;
+    double capacityGB;
+    bool stacked;
+};
+
+/** The Table 2 catalog. */
+std::vector<MemoryTechRow> memoryTechCatalog();
+
+} // namespace mercury::physical
+
+#endif // MERCURY_PHYSICAL_COMPONENTS_HH

@@ -1,0 +1,77 @@
+#include "server/address_map.hh"
+
+#include "sim/logging.hh"
+
+namespace mercury::server
+{
+
+AddressMap::AddressMap(Addr base, std::uint64_t data_size)
+    : base_(base), dataSize_(data_size)
+{
+    mercury_assert(data_size > 0, "data region must be non-empty");
+}
+
+mem::AddressRegion
+AddressMap::hotRegion() const
+{
+    return {base_, codeSize() + bufferSize() + scratchSize()};
+}
+
+mem::AddressRegion
+AddressMap::codeRegion() const
+{
+    return {base_, codeSize()};
+}
+
+mem::AddressRegion
+AddressMap::sramRegion() const
+{
+    return {bufferBase(), bufferSize() + scratchSize()};
+}
+
+mem::AddressRegion
+AddressMap::coldRegion() const
+{
+    return {tableBase(), tableSize() + sockSize() + dataSize_};
+}
+
+mem::AddressRegion
+AddressMap::slice() const
+{
+    return {base_, end() - base_};
+}
+
+Addr
+AddressMap::mapDataPointer(const kvstore::SlabAllocator &slabs,
+                           const void *ptr) const
+{
+    const std::int64_t page = slabs.pageIndexOf(ptr);
+    mercury_assert(page >= 0, "pointer is not a slab chunk");
+    const std::uint64_t offset = slabs.pageOffsetOf(ptr);
+    const Addr addr = dataBase() +
+                      static_cast<std::uint64_t>(page) *
+                          slabs.params().pageSize +
+                      offset;
+    mercury_assert(addr < end(), "slab page beyond data region");
+    return addr;
+}
+
+Addr
+AddressMap::mapBucketPointer(const void *ptr) const
+{
+    // Bucket slots are 8-byte entries in a host vector; fold the
+    // pointer into the table region deterministically, keeping
+    // 8-byte alignment so a given bucket always lands on the same
+    // simulated line.
+    const auto raw = reinterpret_cast<std::uintptr_t>(ptr);
+    const std::uint64_t slot = (raw / 8) % (tableSize() / 8);
+    return tableBase() + slot * 8;
+}
+
+Addr
+AddressMap::bufferAddr(std::uint64_t off) const
+{
+    return bufferBase() + off % bufferSize();
+}
+
+} // namespace mercury::server

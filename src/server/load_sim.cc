@@ -1,0 +1,101 @@
+#include "server/load_sim.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace mercury::server
+{
+
+LoadSimulation::LoadSimulation(const LoadSimParams &params)
+    : params_(params), node_(params.node)
+{
+    keys_ = std::max<unsigned>(
+        64, static_cast<unsigned>(
+                4 * miB / std::max<std::uint32_t>(
+                              params_.valueBytes, 256)));
+    node_.populate(keys_, params_.valueBytes);
+}
+
+double
+LoadSimulation::capacity()
+{
+    if (capacity_ == 0.0) {
+        capacity_ =
+            node_.measureGets(params_.valueBytes, 24, 6).avgTps;
+    }
+    return capacity_;
+}
+
+LoadPoint
+LoadSimulation::run(double offered_tps)
+{
+    mercury_assert(offered_tps > 0.0, "offered load must be positive");
+
+    workload::PoissonArrivals arrivals(offered_tps, params_.seed);
+    Rng rng(params_.seed * 7 + 1);
+
+    std::vector<Tick> latencies;
+    latencies.reserve(params_.requests);
+
+    Tick arrival = node_.now();
+    Tick first_measured_arrival = 0;
+    for (unsigned i = 0; i < params_.warmup + params_.requests; ++i) {
+        arrival = arrivals.next(arrival);
+        if (i == params_.warmup)
+            first_measured_arrival = arrival;
+
+        // FIFO: service begins when the server is free AND the
+        // request has arrived.
+        node_.advanceTo(arrival);
+        const std::string key =
+            "v" + std::to_string(params_.valueBytes) + ":" +
+            std::to_string(rng.nextInt(keys_));
+        if (rng.nextBool(params_.getFraction))
+            node_.get(key);
+        else
+            node_.put(key, params_.valueBytes);
+
+        if (i >= params_.warmup)
+            latencies.push_back(node_.now() - arrival);
+    }
+
+    std::sort(latencies.begin(), latencies.end());
+    auto at = [&](double q) {
+        return ticksToUs(latencies[static_cast<std::size_t>(
+            q * static_cast<double>(latencies.size() - 1))]);
+    };
+
+    LoadPoint point;
+    point.offeredTps = offered_tps;
+    point.achievedTps =
+        static_cast<double>(params_.requests) /
+        ticksToSeconds(node_.now() - first_measured_arrival);
+    double sum = 0.0;
+    std::size_t sub_ms = 0;
+    for (const Tick latency : latencies) {
+        sum += ticksToUs(latency);
+        if (latency < tickMs)
+            ++sub_ms;
+    }
+    point.avgLatencyUs = sum / static_cast<double>(latencies.size());
+    point.p50Us = at(0.50);
+    point.p95Us = at(0.95);
+    point.p99Us = at(0.99);
+    point.subMsFraction = static_cast<double>(sub_ms) /
+                          static_cast<double>(latencies.size());
+    return point;
+}
+
+std::vector<LoadPoint>
+LoadSimulation::sweep(const std::vector<double> &utilizations)
+{
+    const double cap = capacity();
+    std::vector<LoadPoint> points;
+    points.reserve(utilizations.size());
+    for (const double u : utilizations)
+        points.push_back(run(u * cap));
+    return points;
+}
+
+} // namespace mercury::server

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * End-to-end timing model of a single-core Mercury/Iridium (or
+ * baseline Xeon) server node running the functional key-value store.
+ *
+ * A request is simulated as: client -> wire -> NIC -> per-packet
+ * network-stack processing -> hash -> store metadata walk (driven by
+ * the *real* Store's probe trace) -> value streaming -> wire back.
+ * CPU work executes as an operation trace on the core model through
+ * the cache hierarchy into the configured memory device, so latency
+ * sensitivity, L2 effects and flash behaviour all emerge from
+ * mechanism.
+ */
+
+#ifndef MERCURY_SERVER_SERVER_MODEL_HH
+#define MERCURY_SERVER_SERVER_MODEL_HH
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cpu/core.hh"
+#include "kvstore/store.hh"
+#include "mem/dram.hh"
+#include "mem/flash.hh"
+#include "mem/region_router.hh"
+#include "mem/simple_mem.hh"
+#include "net/network.hh"
+#include "server/address_map.hh"
+#include "server/calibration.hh"
+#include "sim/random.hh"
+
+namespace mercury::server
+{
+
+/** What backs the stack's storage. */
+enum class MemoryKind { StackedDram, Flash };
+
+/** Static configuration of a server node model. */
+struct ServerModelParams
+{
+    std::string name = "server";
+
+    cpu::CoreParams core = cpu::cortexA7Params();
+    bool withL2 = true;
+
+    MemoryKind memory = MemoryKind::StackedDram;
+
+    /** Closed-page DRAM latency (Fig. 5 sweeps 10-100 ns). */
+    Tick dramArrayLatency = 10 * tickNs;
+
+    /** Flash read latency (Fig. 6 sweeps 10-20 us). */
+    Tick flashReadLatency = 10 * tickUs;
+    /** Flash program latency (fixed at 200 us in the paper). */
+    Tick flashWriteLatency = 200 * tickUs;
+
+    /** DRAM row-buffer policy (closed-page is the paper's
+     * worst-case assumption; open-page is the ablation). */
+    mem::PagePolicy dramPagePolicy = mem::PagePolicy::Closed;
+
+    /** L2 capacity override; 0 keeps the core type's default 2 MB. */
+    std::uint64_t l2SizeBytes = 0;
+
+    /** Flash page size override; 0 keeps 4 KiB. Setting 64 degrades
+     * the model to the paper's flat per-line flash latency (no page
+     * locality), used by the flash-model ablation. */
+    unsigned flashPageBytes = 0;
+    /** Flash capacity override; 0 keeps the 19.8 GB stack. */
+    std::uint64_t flashCapacity = 0;
+
+    /** Serve GETs over UDP (Facebook-style): connectionless receive
+     * and transmit paths with far less kernel work per packet. PUTs
+     * stay on TCP for reliability, as in production deployments. */
+    bool udpGets = false;
+
+    net::NetParams net{};
+
+    /** Eviction/locking of the store instance on this core. */
+    kvstore::EvictionPolicyKind eviction =
+        kvstore::EvictionPolicyKind::StrictLru;
+    kvstore::LockingMode locking = kvstore::LockingMode::Global;
+
+    /** Memory budget of this core's store (one DRAM port slice by
+     * default, Sec. 4.1.2). */
+    std::uint64_t storeMemLimit = 224 * miB;
+
+    Calibration cal{};
+
+    std::uint64_t seed = 1;
+
+    /** Base of this core's slice in the stack's address space; used
+     * when several cores share one stack's devices (multi-core
+     * stack simulation). */
+    Addr sliceBase = 0;
+};
+
+/**
+ * Devices shared by all cores of one stack. When passed to a
+ * ServerModel, the model uses these instead of creating private
+ * ones, so port/channel/link contention between cores emerges.
+ */
+struct SharedStackDevices
+{
+    mem::DramModel *dram = nullptr;
+    mem::FlashController *flash = nullptr;
+    net::NetworkPath *clientToServer = nullptr;
+    net::NetworkPath *serverToClient = nullptr;
+};
+
+/** Where a request's time went. */
+struct RttBreakdown
+{
+    Tick wire = 0;       ///< serialization + propagation, both ways
+    Tick netstack = 0;   ///< per-packet processing + data copies
+    Tick hash = 0;       ///< key hash computation
+    Tick memcached = 0;  ///< metadata walk & bookkeeping
+
+    Tick
+    total() const
+    {
+        return wire + netstack + hash + memcached;
+    }
+
+    /** Network share including wire time, as Fig. 4 plots it. */
+    double
+    netstackFraction() const
+    {
+        return total() ? static_cast<double>(wire + netstack) /
+                             static_cast<double>(total())
+                       : 0.0;
+    }
+
+    double
+    hashFraction() const
+    {
+        return total() ? static_cast<double>(hash) /
+                             static_cast<double>(total())
+                       : 0.0;
+    }
+
+    double
+    memcachedFraction() const
+    {
+        return total() ? static_cast<double>(memcached) /
+                             static_cast<double>(total())
+                       : 0.0;
+    }
+};
+
+/** Timing of one request. */
+struct RequestTiming
+{
+    Tick rtt = 0;
+    RttBreakdown breakdown;
+    bool hit = false;
+};
+
+/** Aggregate over a measurement run. */
+struct Measurement
+{
+    double avgTps = 0.0;
+    double avgRttUs = 0.0;
+    RttBreakdown avgBreakdown;  ///< in ticks, averaged
+    double p99RttUs = 0.0;
+    /** Fraction of requests under 1 ms (the paper's SLA claim). */
+    double subMsFraction = 0.0;
+    /** Payload goodput, bytes per second. */
+    double goodput = 0.0;
+};
+
+class ServerModel
+{
+  public:
+    /**
+     * @param params configuration for this core's view of the node
+     * @param shared devices shared with sibling cores on the same
+     *        stack; nullptr creates private devices (single-core
+     *        stack, the paper's measurement setup)
+     */
+    explicit ServerModel(const ServerModelParams &params,
+                         const SharedStackDevices *shared = nullptr);
+
+    /**
+     * Pre-load @p num_keys values of @p value_bytes under a distinct
+     * per-size namespace, bypassing the timing path (the devices are
+     * warmed functionally: flash pages get mapped, caches stay cold).
+     *
+     * @return number of keys actually resident (eviction may cap it).
+     */
+    unsigned populate(unsigned num_keys, std::uint32_t value_bytes);
+
+    /** One timed GET for a previously populated key. */
+    RequestTiming get(const std::string &key);
+
+    /** One timed PUT. */
+    RequestTiming put(const std::string &key,
+                      std::uint32_t value_bytes);
+
+    /**
+     * Closed-loop measurement: populate a working set for
+     * @p value_bytes, run warmup + samples requests of the given
+     * kind over random keys, and aggregate.
+     */
+    Measurement measureGets(std::uint32_t value_bytes,
+                            unsigned samples = 12,
+                            unsigned warmup = 4);
+    Measurement measurePuts(std::uint32_t value_bytes,
+                            unsigned samples = 12,
+                            unsigned warmup = 4);
+
+    kvstore::Store &store() { return *store_; }
+    const ServerModelParams &params() const { return params_; }
+    Tick now() const { return cursor_; }
+
+    /** Idle the node until @p tick (no-op if already past it);
+     * used by open-loop load generators. */
+    void
+    advanceTo(Tick tick)
+    {
+        cursor_ = std::max(cursor_, tick);
+    }
+
+    /** The backing data device (DRAM or flash), for stats. */
+    mem::MemDevice &dataDevice();
+
+    mem::CacheHierarchy &caches() { return *caches_; }
+
+  private:
+    struct PhaseTimes
+    {
+        Tick netstack = 0;
+        Tick hash = 0;
+        Tick memcached = 0;
+    };
+
+    /** Run one trace as a phase, returning elapsed time. */
+    Tick runPhase(const cpu::OpTrace &trace);
+
+    void buildRxPhase(cpu::OpTrace &trace, std::uint64_t payload_bytes,
+                      unsigned packets, bool udp = false);
+    void buildTxCodePhase(cpu::OpTrace &trace, unsigned packets,
+                          bool udp = false);
+    /** Random line in the kernel socket-state region. */
+    Addr randomSockLine();
+
+    /** The flash channel serving this core's slice. */
+    unsigned ourChannel() const;
+
+    /** Where a mutable-metadata store for @p line actually lands
+     * (DRAM in place; SRAM working area on Iridium). */
+    Addr mutableMetaAddr(Addr line);
+    void buildHashPhase(cpu::OpTrace &trace,
+                        std::size_t key_len) const;
+    void buildLookupPhase(cpu::OpTrace &trace,
+                          const kvstore::ProbeTrace &probe,
+                          bool is_put);
+    /** Stream the value between the store and the buffer ring. */
+    void buildValueCopy(cpu::OpTrace &trace, Addr value_addr,
+                        std::uint64_t bytes, bool to_store);
+
+    Measurement measure(bool puts, std::uint32_t value_bytes,
+                        unsigned samples, unsigned warmup);
+
+    std::string keyFor(std::uint32_t value_bytes, unsigned index) const;
+
+    /** Namespace bookkeeping for populated working sets. */
+    unsigned populatedKeys(std::uint32_t value_bytes) const;
+
+    ServerModelParams params_;
+    AddressMap map_;
+
+    // Owned devices (empty when shared devices are injected).
+    std::unique_ptr<mem::DramModel> ownedDram_;
+    std::unique_ptr<mem::FlashController> ownedFlash_;
+    std::unique_ptr<net::NetworkPath> ownedC2s_;
+    std::unique_ptr<net::NetworkPath> ownedS2c_;
+
+    // Per-core devices.
+    std::unique_ptr<mem::SimpleMemory> sram_;
+    std::unique_ptr<mem::RegionRouter> router_;
+
+    // Working pointers (owned or shared).
+    mem::DramModel *dram_ = nullptr;
+    mem::FlashController *flash_ = nullptr;
+    net::NetworkPath *c2s_ = nullptr;
+    net::NetworkPath *s2c_ = nullptr;
+    mem::MemDevice *memory_ = nullptr;
+
+    std::unique_ptr<mem::CacheHierarchy> caches_;
+    std::unique_ptr<cpu::CoreModel> core_;
+
+    std::unique_ptr<kvstore::Store> store_;
+
+    Tick cursor_ = 0;
+    std::uint64_t bufferCursor_ = 0;
+    /** Previous hot item (stands in for the LRU list head
+     * neighbours that a strict-LRU relink dirties). */
+    Addr lastHotItem_ = 0;
+
+    Rng rng_;
+    std::map<std::uint32_t, unsigned> populated_;
+};
+
+} // namespace mercury::server
+
+#endif // MERCURY_SERVER_SERVER_MODEL_HH

@@ -1,0 +1,106 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace mercury
+{
+
+Event::~Event()
+{
+    mercury_assert(!_scheduled,
+                   "event destroyed while scheduled: ", description());
+}
+
+EventQueue::EventQueue(std::string name)
+    : _name(std::move(name))
+{}
+
+void
+EventQueue::schedule(Event *event, Tick when)
+{
+    mercury_assert(event != nullptr, "null event scheduled on ", _name);
+    mercury_assert(!event->_scheduled,
+                   "double-schedule of event: ", event->description());
+    if (when < _curTick) {
+        mercury_panic("event '", event->description(),
+                      "' scheduled in the past: when=", when,
+                      " curTick=", _curTick);
+    }
+
+    event->_when = when;
+    event->_sequence = _nextSequence++;
+    event->_scheduled = true;
+    queue_.insert(Entry{when, event->priority(), event->_sequence, event});
+}
+
+void
+EventQueue::deschedule(Event *event)
+{
+    mercury_assert(event != nullptr, "null event descheduled on ", _name);
+    mercury_assert(event->_scheduled,
+                   "deschedule of unscheduled event: ",
+                   event->description());
+
+    Entry key{event->_when, event->priority(), event->_sequence, event};
+    auto it = queue_.find(key);
+    mercury_assert(it != queue_.end(),
+                   "scheduled event missing from queue: ",
+                   event->description());
+    queue_.erase(it);
+    event->_scheduled = false;
+}
+
+void
+EventQueue::reschedule(Event *event, Tick when)
+{
+    if (event->scheduled())
+        deschedule(event);
+    schedule(event, when);
+}
+
+Event *
+EventQueue::serviceOne()
+{
+    if (queue_.empty())
+        return nullptr;
+
+    auto it = queue_.begin();
+    Entry entry = *it;
+    queue_.erase(it);
+
+    mercury_assert(entry.when >= _curTick, "event queue time warp");
+    _curTick = entry.when;
+
+    Event *event = entry.event;
+    event->_scheduled = false;
+    ++_numServiced;
+    event->process();
+    return event;
+}
+
+Counter
+EventQueue::run(Tick limit)
+{
+    Counter serviced = 0;
+    while (!queue_.empty() && queue_.begin()->when <= limit) {
+        serviceOne();
+        ++serviced;
+    }
+    if (_curTick < limit && limit != maxTick)
+        _curTick = limit;
+    return serviced;
+}
+
+void
+EventQueue::setCurTick(Tick tick)
+{
+    mercury_assert(tick >= _curTick,
+                   "attempt to move simulated time backwards");
+    if (!queue_.empty()) {
+        mercury_assert(tick <= queue_.begin()->when,
+                       "setCurTick would skip scheduled events");
+    }
+    _curTick = tick;
+}
+
+} // namespace mercury

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The kernel follows the classic gem5 structure: Events are scheduled
+ * on an EventQueue at absolute ticks and are serviced in (tick,
+ * priority, insertion-order) order. The queue owns nothing; event
+ * lifetime is the caller's responsibility, which allows events to be
+ * members of the objects they operate on.
+ */
+
+#ifndef MERCURY_SIM_EVENT_QUEUE_HH
+#define MERCURY_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace mercury
+{
+
+class EventQueue;
+
+/**
+ * An occurrence scheduled to happen at a future tick.
+ *
+ * Derive and implement process(), or use EventFunctionWrapper for
+ * lambda-based events.
+ */
+class Event
+{
+  public:
+    /** Relative ordering of events scheduled for the same tick;
+     * lower values are serviced first. */
+    using Priority = int;
+
+    static constexpr Priority defaultPriority = 0;
+    /** Service before ordinary events at the same tick. */
+    static constexpr Priority highPriority = -100;
+    /** Service after ordinary events at the same tick (e.g. stats
+     * sampling). */
+    static constexpr Priority lowPriority = 100;
+
+    explicit Event(Priority priority = defaultPriority)
+        : _priority(priority)
+    {}
+
+    virtual ~Event();
+
+    /** The event's action, invoked when the queue reaches its tick. */
+    virtual void process() = 0;
+
+    /** Human-readable description for debugging. */
+    virtual std::string description() const { return "generic event"; }
+
+    /** Tick this event is currently scheduled for. Only meaningful
+     * while scheduled() is true. */
+    Tick when() const { return _when; }
+
+    Priority priority() const { return _priority; }
+
+    /** True while the event sits in a queue awaiting service. */
+    bool scheduled() const { return _scheduled; }
+
+  private:
+    friend class EventQueue;
+
+    Tick _when = 0;
+    std::uint64_t _sequence = 0;
+    Priority _priority;
+    bool _scheduled = false;
+};
+
+/** Convenience event that runs a captured callable. */
+class EventFunctionWrapper : public Event
+{
+  public:
+    EventFunctionWrapper(std::function<void()> callback,
+                         std::string name = "function event",
+                         Priority priority = defaultPriority)
+        : Event(priority), callback_(std::move(callback)),
+          name_(std::move(name))
+    {}
+
+    void process() override { callback_(); }
+    std::string description() const override { return name_; }
+
+  private:
+    std::function<void()> callback_;
+    std::string name_;
+};
+
+/**
+ * The event queue: a priority queue of events ordered by tick,
+ * priority, then insertion order (for determinism).
+ */
+class EventQueue
+{
+  public:
+    explicit EventQueue(std::string name = "event queue");
+
+    /** Current simulated time. */
+    Tick curTick() const { return _curTick; }
+
+    const std::string &name() const { return _name; }
+
+    /** Number of events awaiting service. */
+    std::size_t size() const { return queue_.size(); }
+
+    bool empty() const { return queue_.empty(); }
+
+    /** Total events serviced since construction. */
+    Counter numServiced() const { return _numServiced; }
+
+    /**
+     * Schedule an event at an absolute tick.
+     *
+     * @pre when >= curTick(); scheduling in the past is a simulator
+     *      bug and panics.
+     * @pre the event is not already scheduled.
+     */
+    void schedule(Event *event, Tick when);
+
+    /** Remove a scheduled event from the queue without running it. */
+    void deschedule(Event *event);
+
+    /** Deschedule (if needed) and schedule at a new tick. */
+    void reschedule(Event *event, Tick when);
+
+    /**
+     * Service the single next event, advancing curTick to its time.
+     *
+     * @return the event serviced, or nullptr if the queue was empty.
+     */
+    Event *serviceOne();
+
+    /**
+     * Run until the queue drains or the time limit is exceeded.
+     * Events scheduled exactly at @p limit are still serviced.
+     *
+     * @return number of events serviced.
+     */
+    Counter run(Tick limit = maxTick);
+
+    /** Advance time with no event semantics (used by timing-walk
+     * models that share a clock with the event world). */
+    void setCurTick(Tick tick);
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        Event::Priority priority;
+        std::uint64_t sequence;
+        Event *event;
+    };
+
+    struct EntryLess
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when < b.when;
+            if (a.priority != b.priority)
+                return a.priority < b.priority;
+            return a.sequence < b.sequence;
+        }
+    };
+
+    std::string _name;
+    Tick _curTick = 0;
+    std::uint64_t _nextSequence = 0;
+    Counter _numServiced = 0;
+    /** Ordered set so deschedule() can erase by key in O(log n). */
+    std::set<Entry, EntryLess> queue_;
+};
+
+} // namespace mercury
+
+#endif // MERCURY_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,101 @@
+#include "sim/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace mercury
+{
+
+namespace
+{
+
+struct LogState
+{
+    bool throwMode = false;
+    bool captureMode = false;
+    std::vector<std::string> captured;
+    std::mutex mutex;
+};
+
+LogState &
+state()
+{
+    static LogState s;
+    return s;
+}
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // anonymous namespace
+
+namespace detail
+{
+
+void
+log(LogLevel level, const std::string &message)
+{
+    LogState &s = state();
+    std::lock_guard<std::mutex> guard(s.mutex);
+    if (s.captureMode) {
+        s.captured.push_back(message);
+        return;
+    }
+    std::cerr << levelName(level) << ": " << message << "\n";
+}
+
+void
+logAndAbort(LogLevel level, const std::string &message,
+            const char *file, int line)
+{
+    {
+        LogState &s = state();
+        std::lock_guard<std::mutex> guard(s.mutex);
+        if (!s.captureMode) {
+            std::cerr << levelName(level) << ": " << message
+                      << " (" << file << ":" << line << ")\n";
+        }
+        if (s.throwMode)
+            throw SimFatalError(message);
+    }
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+ScopedLogCapture::ScopedLogCapture()
+{
+    LogState &s = state();
+    std::lock_guard<std::mutex> guard(s.mutex);
+    s.throwMode = true;
+    s.captureMode = true;
+    s.captured.clear();
+}
+
+ScopedLogCapture::~ScopedLogCapture()
+{
+    LogState &s = state();
+    std::lock_guard<std::mutex> guard(s.mutex);
+    s.throwMode = false;
+    s.captureMode = false;
+}
+
+const std::vector<std::string> &
+ScopedLogCapture::messages() const
+{
+    return state().captured;
+}
+
+} // namespace mercury

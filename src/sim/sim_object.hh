@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Base class for named simulation components.
+ */
+
+#ifndef MERCURY_SIM_SIM_OBJECT_HH
+#define MERCURY_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+namespace mercury
+{
+
+/**
+ * A named component of the simulated system.
+ *
+ * Names are hierarchical, dot-separated paths (e.g.
+ * "server.stack0.core3.l1d") so statistics output can be grouped by
+ * component.
+ */
+class SimObject
+{
+  public:
+    explicit SimObject(std::string name)
+        : _name(std::move(name))
+    {}
+
+    virtual ~SimObject() = default;
+
+    const std::string &name() const { return _name; }
+
+    /** Reset any accumulated statistics / transient state. */
+    virtual void reset() {}
+
+  private:
+    std::string _name;
+};
+
+} // namespace mercury
+
+#endif // MERCURY_SIM_SIM_OBJECT_HH

@@ -1,0 +1,216 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace mercury::stats
+{
+
+StatBase::StatBase(StatGroup *parent, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    mercury_assert(parent != nullptr,
+                   "statistic '", _name, "' needs a parent group");
+    parent->addStat(this);
+}
+
+namespace
+{
+
+void
+formatLine(std::ostream &os, const std::string &prefix,
+           const std::string &name, double value, const std::string &desc)
+{
+    std::ostringstream full;
+    full << prefix << name;
+    os << std::left << std::setw(44) << full.str()
+       << std::right << std::setw(16) << value
+       << "  # " << desc << "\n";
+}
+
+} // anonymous namespace
+
+void
+Scalar::format(std::ostream &os, const std::string &prefix) const
+{
+    formatLine(os, prefix, name(), _value, desc());
+}
+
+void
+Average::format(std::ostream &os, const std::string &prefix) const
+{
+    formatLine(os, prefix, name() + "::mean", mean(), desc());
+    formatLine(os, prefix, name() + "::count",
+               static_cast<double>(_count), desc());
+}
+
+Histogram::Histogram(StatGroup *parent, std::string name, std::string desc,
+                     Scale scale, std::size_t buckets, double lo, double hi)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      scale_(scale), lo_(lo), hi_(hi), buckets_(buckets, 0)
+{
+    mercury_assert(buckets > 0, "histogram needs at least one bucket");
+    if (scale_ == Scale::Linear)
+        mercury_assert(hi_ > lo_, "linear histogram needs hi > lo");
+}
+
+std::size_t
+Histogram::bucketFor(double value) const
+{
+    if (scale_ == Scale::Log2) {
+        if (value < 1.0)
+            return 0;
+        auto b = static_cast<std::size_t>(std::floor(std::log2(value)));
+        return std::min(b + 1, buckets_.size() - 1);
+    }
+    if (value < lo_)
+        return 0;
+    if (value >= hi_)
+        return buckets_.size() - 1;
+    double frac = (value - lo_) / (hi_ - lo_);
+    auto b = static_cast<std::size_t>(frac * buckets_.size());
+    return std::min(b, buckets_.size() - 1);
+}
+
+double
+Histogram::bucketLow(std::size_t index) const
+{
+    if (scale_ == Scale::Log2)
+        return index == 0 ? 0.0 : std::exp2(static_cast<double>(index - 1));
+    return lo_ + (hi_ - lo_) * static_cast<double>(index) /
+           static_cast<double>(buckets_.size());
+}
+
+double
+Histogram::bucketHigh(std::size_t index) const
+{
+    if (scale_ == Scale::Log2)
+        return std::exp2(static_cast<double>(index));
+    return lo_ + (hi_ - lo_) * static_cast<double>(index + 1) /
+           static_cast<double>(buckets_.size());
+}
+
+void
+Histogram::sample(double value, std::uint64_t weight)
+{
+    buckets_[bucketFor(value)] += weight;
+    _count += weight;
+    _sum += value * static_cast<double>(weight);
+    _min = std::min(_min, value);
+    _max = std::max(_max, value);
+}
+
+double
+Histogram::percentile(double p) const
+{
+    mercury_assert(p >= 0.0 && p <= 1.0, "percentile requires p in [0,1]");
+    if (_count == 0)
+        return 0.0;
+
+    const double target = p * static_cast<double>(_count);
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        double next = cumulative + static_cast<double>(buckets_[i]);
+        if (next >= target && buckets_[i] > 0) {
+            double frac = (target - cumulative) /
+                          static_cast<double>(buckets_[i]);
+            double low = std::max(bucketLow(i), _min);
+            double high = std::min(bucketHigh(i), _max);
+            return low + frac * (high - low);
+        }
+        cumulative = next;
+    }
+    return _max;
+}
+
+double
+Histogram::fractionBelow(double threshold) const
+{
+    if (_count == 0)
+        return 0.0;
+
+    std::uint64_t below = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (bucketHigh(i) <= threshold) {
+            below += buckets_[i];
+        } else if (bucketLow(i) < threshold) {
+            // Partial bucket: assume uniform within the bucket.
+            double span = bucketHigh(i) - bucketLow(i);
+            double covered = threshold - bucketLow(i);
+            below += static_cast<std::uint64_t>(
+                static_cast<double>(buckets_[i]) * covered / span);
+        }
+    }
+    return static_cast<double>(below) / static_cast<double>(_count);
+}
+
+void
+Histogram::format(std::ostream &os, const std::string &prefix) const
+{
+    formatLine(os, prefix, name() + "::count",
+               static_cast<double>(_count), desc());
+    formatLine(os, prefix, name() + "::mean", mean(), desc());
+    if (_count > 0) {
+        formatLine(os, prefix, name() + "::min", _min, desc());
+        formatLine(os, prefix, name() + "::max", _max, desc());
+        formatLine(os, prefix, name() + "::p50", percentile(0.50), desc());
+        formatLine(os, prefix, name() + "::p95", percentile(0.95), desc());
+        formatLine(os, prefix, name() + "::p99", percentile(0.99), desc());
+    }
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    _count = 0;
+    _sum = 0.0;
+    _min = std::numeric_limits<double>::infinity();
+    _max = -std::numeric_limits<double>::infinity();
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : _name(std::move(name)), parent_(parent)
+{
+    if (parent_)
+        parent_->addChild(this);
+}
+
+StatGroup::~StatGroup()
+{
+    if (parent_)
+        parent_->removeChild(this);
+}
+
+void
+StatGroup::removeChild(StatGroup *child)
+{
+    auto it = std::find(children_.begin(), children_.end(), child);
+    if (it != children_.end())
+        children_.erase(it);
+}
+
+void
+StatGroup::format(std::ostream &os, const std::string &prefix) const
+{
+    const std::string full =
+        prefix.empty() ? _name + "." : prefix + _name + ".";
+    for (const auto *stat : stats_)
+        stat->format(os, full);
+    for (const auto *child : children_)
+        child->format(os, full);
+}
+
+void
+StatGroup::resetStats()
+{
+    for (auto *stat : stats_)
+        stat->reset();
+    for (auto *child : children_)
+        child->resetStats();
+}
+
+} // namespace mercury::stats

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Components own typed statistics (Scalar, Average, Histogram) that
+ * register themselves with a StatGroup. A group can format all of its
+ * statistics to a stream, gem5 stats.txt style, and reset them between
+ * measurement intervals.
+ */
+
+#ifndef MERCURY_SIM_STATS_HH
+#define MERCURY_SIM_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mercury::stats
+{
+
+class StatGroup;
+
+/** Common name/description plumbing for all statistic types. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup *parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Write "name value # desc" style lines to the stream. */
+    virtual void format(std::ostream &os,
+                        const std::string &prefix) const = 0;
+
+    /** Zero out accumulated values. */
+    virtual void reset() = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** A simple accumulating counter / gauge. */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &operator++() { ++_value; return *this; }
+    Scalar &operator+=(double amount) { _value += amount; return *this; }
+    Scalar &operator-=(double amount) { _value -= amount; return *this; }
+    Scalar &operator=(double value) { _value = value; return *this; }
+
+    double value() const { return _value; }
+
+    void format(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { _value = 0.0; }
+
+  private:
+    double _value = 0.0;
+};
+
+/** Mean of a stream of samples. */
+class Average : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void sample(double value) { _sum += value; ++_count; }
+
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double sum() const { return _sum; }
+    std::uint64_t count() const { return _count; }
+
+    void format(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { _sum = 0.0; _count = 0; }
+
+  private:
+    double _sum = 0.0;
+    std::uint64_t _count = 0;
+};
+
+/**
+ * A bucketed sample distribution.
+ *
+ * Buckets are either linear over [min, max) or logarithmic (powers of
+ * two starting at 1). Percentiles are estimated by linear
+ * interpolation within the containing bucket, which is plenty for
+ * latency-SLA style reporting.
+ */
+class Histogram : public StatBase
+{
+  public:
+    enum class Scale { Linear, Log2 };
+
+    /**
+     * @param buckets number of buckets (excluding underflow/overflow)
+     * @param lo lowest representable sample (linear scale)
+     * @param hi highest representable sample (linear scale)
+     */
+    Histogram(StatGroup *parent, std::string name, std::string desc,
+              Scale scale = Scale::Log2, std::size_t buckets = 48,
+              double lo = 0.0, double hi = 1.0);
+
+    void sample(double value, std::uint64_t weight = 1);
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double minValue() const { return _min; }
+    double maxValue() const { return _max; }
+
+    /** Estimated p-quantile (p in [0,1]). */
+    double percentile(double p) const;
+
+    /** Fraction of samples with value <= threshold. */
+    double fractionBelow(double threshold) const;
+
+    void format(std::ostream &os, const std::string &prefix) const override;
+    void reset() override;
+
+  private:
+    std::size_t bucketFor(double value) const;
+    double bucketLow(std::size_t index) const;
+    double bucketHigh(std::size_t index) const;
+
+    Scale scale_;
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * A named collection of statistics belonging to one component.
+ * Groups may nest; format() walks the subtree.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+    ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return _name; }
+
+    /** Dump every statistic in this group and its children. */
+    void format(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Reset every statistic in this group and its children. */
+    void resetStats();
+
+  private:
+    friend class StatBase;
+
+    void addStat(StatBase *stat) { stats_.push_back(stat); }
+    void addChild(StatGroup *child) { children_.push_back(child); }
+    void removeChild(StatGroup *child);
+
+    std::string _name;
+    StatGroup *parent_;
+    std::vector<StatBase *> stats_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace mercury::stats
+
+#endif // MERCURY_SIM_STATS_HH

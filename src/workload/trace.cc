@@ -1,0 +1,104 @@
+#include "workload/trace.hh"
+
+#include <istream>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace mercury::workload
+{
+
+RequestTrace
+RequestTrace::capture(WorkloadGenerator &generator, std::size_t count)
+{
+    RequestTrace trace;
+    trace.requests_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        trace.append(generator.next());
+    return trace;
+}
+
+void
+RequestTrace::save(std::ostream &os) const
+{
+    os << "mercury-trace v1 " << requests_.size() << "\n";
+    for (const Request &request : requests_) {
+        os << (request.op == Request::Op::Get ? 'G' : 'S') << ' '
+           << request.keyId << ' ' << request.valueBytes << "\n";
+    }
+}
+
+RequestTrace
+RequestTrace::load(std::istream &is)
+{
+    std::string magic, version;
+    std::size_t count = 0;
+    if (!(is >> magic >> version >> count) ||
+        magic != "mercury-trace" || version != "v1") {
+        mercury_fatal("not a mercury trace stream");
+    }
+
+    RequestTrace trace;
+    trace.requests_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        char op = 0;
+        Request request;
+        if (!(is >> op >> request.keyId >> request.valueBytes) ||
+            (op != 'G' && op != 'S')) {
+            mercury_fatal("malformed trace record at index ", i);
+        }
+        request.op =
+            op == 'G' ? Request::Op::Get : Request::Op::Set;
+        trace.requests_.push_back(request);
+    }
+    return trace;
+}
+
+RequestTrace::Summary
+RequestTrace::summarize() const
+{
+    Summary summary;
+    summary.requests = requests_.size();
+    std::set<std::uint64_t> keys;
+    for (const Request &request : requests_) {
+        if (request.op == Request::Op::Get)
+            ++summary.gets;
+        else
+            ++summary.sets;
+        keys.insert(request.keyId);
+        summary.totalValueBytes += request.valueBytes;
+        summary.maxValueBytes =
+            std::max(summary.maxValueBytes, request.valueBytes);
+    }
+    summary.distinctKeys = keys.size();
+    return summary;
+}
+
+TraceReplayer::TraceReplayer(const RequestTrace &trace, bool loop)
+    : trace_(trace), loop_(loop)
+{
+    mercury_assert(!trace_.empty() || !loop,
+                   "cannot loop an empty trace");
+}
+
+bool
+TraceReplayer::hasNext() const
+{
+    return loop_ ? !trace_.empty() : position_ < trace_.size();
+}
+
+Request
+TraceReplayer::next()
+{
+    mercury_assert(hasNext(), "trace exhausted");
+    const Request request = trace_[position_];
+    ++position_;
+    if (loop_ && position_ >= trace_.size())
+        position_ = 0;
+    return request;
+}
+
+} // namespace mercury::workload

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Request-trace recording and replay.
+ *
+ * Workloads can be captured to a compact text format (one request
+ * per line: op, key id, value bytes) and replayed deterministically,
+ * which makes experiments repeatable across machines and lets users
+ * feed their own production-shaped traces into the simulator.
+ */
+
+#ifndef MERCURY_WORKLOAD_TRACE_HH
+#define MERCURY_WORKLOAD_TRACE_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace mercury::workload
+{
+
+/** An in-memory request trace. */
+class RequestTrace
+{
+  public:
+    RequestTrace() = default;
+
+    void
+    append(const Request &request)
+    {
+        requests_.push_back(request);
+    }
+
+    /** Capture @p count requests from a generator. */
+    static RequestTrace capture(WorkloadGenerator &generator,
+                                std::size_t count);
+
+    std::size_t size() const { return requests_.size(); }
+    bool empty() const { return requests_.empty(); }
+
+    const Request &operator[](std::size_t i) const
+    {
+        return requests_[i];
+    }
+
+    auto begin() const { return requests_.begin(); }
+    auto end() const { return requests_.end(); }
+
+    /** Serialize: header line + one "G|S <keyId> <bytes>" per
+     * request. */
+    void save(std::ostream &os) const;
+
+    /** Parse a trace written by save(). Throws SimFatalError on a
+     * malformed stream. */
+    static RequestTrace load(std::istream &is);
+
+    /** Summary statistics of the trace. */
+    struct Summary
+    {
+        std::size_t requests = 0;
+        std::size_t gets = 0;
+        std::size_t sets = 0;
+        std::uint64_t distinctKeys = 0;
+        std::uint64_t totalValueBytes = 0;
+        std::uint32_t maxValueBytes = 0;
+    };
+
+    Summary summarize() const;
+
+  private:
+    std::vector<Request> requests_;
+};
+
+/** Replays a trace as a request source, optionally looping. */
+class TraceReplayer
+{
+  public:
+    explicit TraceReplayer(const RequestTrace &trace,
+                           bool loop = false);
+
+    /** True while next() has requests to hand out. */
+    bool hasNext() const;
+
+    Request next();
+
+    std::size_t position() const { return position_; }
+
+    void reset() { position_ = 0; }
+
+  private:
+    const RequestTrace &trace_;
+    bool loop_;
+    std::size_t position_ = 0;
+};
+
+} // namespace mercury::workload
+
+#endif // MERCURY_WORKLOAD_TRACE_HH

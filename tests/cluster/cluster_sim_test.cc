@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the cluster timing simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_sim.hh"
+
+namespace
+{
+
+using namespace mercury;
+using namespace mercury::cluster;
+
+ClusterSimParams
+smallCluster(unsigned nodes, double theta = 0.99)
+{
+    ClusterSimParams p;
+    p.node.core = cpu::cortexA7Params();
+    p.node.withL2 = false;
+    p.node.storeMemLimit = 32 * miB;
+    p.nodes = nodes;
+    p.numKeys = 1000;
+    p.zipfTheta = theta;
+    p.requests = 800;
+    p.warmup = 100;
+    return p;
+}
+
+TEST(ClusterSim, AggregateCapacityScalesWithNodes)
+{
+    ClusterSim four(smallCluster(4));
+    ClusterSim eight(smallCluster(8));
+    EXPECT_NEAR(eight.aggregateCapacity() / four.aggregateCapacity(),
+                2.0, 0.05);
+}
+
+TEST(ClusterSim, LightLoadStaysSubMillisecond)
+{
+    ClusterSim sim(smallCluster(8));
+    const ClusterSimResult r =
+        sim.run(0.2 * sim.aggregateCapacity());
+    EXPECT_GT(r.subMsFraction, 0.97);
+    EXPECT_LT(r.avgLatencyUs, 400.0);
+}
+
+TEST(ClusterSim, SkewConcentratesLoad)
+{
+    ClusterSim skewed(smallCluster(8, 0.99));
+    ClusterSim flat(smallCluster(8, 0.15));
+    const double cap = skewed.aggregateCapacity();
+    const ClusterSimResult hot = skewed.run(0.3 * cap);
+    const ClusterSimResult even = flat.run(0.3 * cap);
+    EXPECT_GT(hot.hottestNodeShare, even.hottestNodeShare);
+}
+
+TEST(ClusterSim, HigherLoadRaisesTail)
+{
+    ClusterSim sim(smallCluster(8, 0.7));
+    const double cap = sim.aggregateCapacity();
+    const ClusterSimResult light = sim.run(0.2 * cap);
+    ClusterSim sim2(smallCluster(8, 0.7));
+    const ClusterSimResult heavy = sim2.run(0.7 * cap);
+    EXPECT_GT(heavy.p99LatencyUs, light.p99LatencyUs);
+}
+
+TEST(ClusterSim, HotKeyDefeatsThinNodesUnderExtremeSkew)
+{
+    // The emergent limit of the Sec. 3.8 argument (see
+    // bench/cluster_tail): same aggregate capacity, same load, but
+    // the fine-grained cluster queues on the unshardable hot key.
+    ClusterSim fat(smallCluster(4, 0.99));
+    ClusterSim thin(smallCluster(32, 0.99));
+    const ClusterSimResult fat_r =
+        fat.run(0.6 * fat.aggregateCapacity());
+    const ClusterSimResult thin_r =
+        thin.run(0.6 * thin.aggregateCapacity());
+    EXPECT_GT(thin_r.p99LatencyUs, fat_r.p99LatencyUs);
+}
+
+TEST(ClusterSim, DeterministicForSeed)
+{
+    ClusterSim a(smallCluster(4)), b(smallCluster(4));
+    const ClusterSimResult ra = a.run(20000.0);
+    const ClusterSimResult rb = b.run(20000.0);
+    EXPECT_DOUBLE_EQ(ra.avgLatencyUs, rb.avgLatencyUs);
+    EXPECT_DOUBLE_EQ(ra.p99LatencyUs, rb.p99LatencyUs);
+}
+
+} // anonymous namespace

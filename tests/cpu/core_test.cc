@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for core timing models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cpu/core.hh"
+#include "mem/dram.hh"
+
+namespace
+{
+
+using namespace mercury;
+using namespace mercury::cpu;
+using namespace mercury::mem;
+
+struct Rig
+{
+    explicit Rig(CoreParams core_params, bool with_l2 = false,
+                 Tick dram_latency = 100 * tickNs)
+    {
+        DramParams dp = stackedDramParams();
+        dp.arrayLatency = dram_latency;
+        dram = std::make_unique<DramModel>(dp);
+        caches = std::make_unique<CacheHierarchy>(
+            defaultHierarchy(core_params.type, with_l2), dram.get());
+        core = std::make_unique<CoreModel>(core_params, caches.get());
+    }
+
+    std::unique_ptr<DramModel> dram;
+    std::unique_ptr<CacheHierarchy> caches;
+    std::unique_ptr<CoreModel> core;
+};
+
+TEST(CoreModel, PureComputeTimeMatchesIpcAndFrequency)
+{
+    Rig rig(cortexA7Params());
+    OpTrace trace{Op::compute(1000)};
+    auto r = rig.core->run(trace, 0);
+    // A7: 1 IPC at 1 GHz -> 1000 ns.
+    EXPECT_EQ(r.elapsed(), 1000 * tickNs);
+    EXPECT_EQ(r.instructions, 1000u);
+    EXPECT_EQ(r.stallTicks, 0u);
+}
+
+TEST(CoreModel, FasterClockShortensCompute)
+{
+    Rig rig(cortexA15Params(1.5));
+    OpTrace trace{Op::compute(2300)};
+    auto r = rig.core->run(trace, 0);
+    // A15: 2.3 IPC at 1.5 GHz -> 1000 cycles -> 666.67 ns.
+    EXPECT_NEAR(static_cast<double>(r.elapsed()),
+                1000.0 / 1.5 * tickNs, 2.0 * tickNs);
+}
+
+TEST(CoreModel, InOrderStallsOnEveryMiss)
+{
+    Rig rig(cortexA7Params(), false, 100 * tickNs);
+    OpTrace trace;
+    TraceBuilder(trace).streamRead(0, 8 * 64);
+    auto r = rig.core->run(trace, 0);
+    // Eight cold misses at ~100 ns each, serialized.
+    EXPECT_GE(r.elapsed(), 8 * 100 * tickNs);
+    EXPECT_GT(r.stallTicks, r.computeTicks);
+}
+
+TEST(CoreModel, OutOfOrderOverlapsIndependentMisses)
+{
+    CoreParams a15 = cortexA15Params(1.0);
+    Rig in_order(cortexA7Params(), false, 100 * tickNs);
+    Rig ooo(a15, false, 100 * tickNs);
+
+    OpTrace trace;
+    // Strided independent loads across distinct DRAM banks.
+    for (int i = 0; i < 16; ++i)
+        trace.push_back(Op::load(static_cast<Addr>(i) * 32 * miB,
+                                 Stream::Random));
+
+    auto serial = in_order.core->run(trace, 0);
+    auto overlapped = ooo.core->run(trace, 0);
+    EXPECT_LT(overlapped.elapsed() * 2, serial.elapsed())
+        << "OoO must overlap independent misses substantially";
+}
+
+TEST(CoreModel, DependentChainSerializesEvenOutOfOrder)
+{
+    Rig ooo(cortexA15Params(1.0), false, 100 * tickNs);
+
+    OpTrace chain;
+    for (int i = 0; i < 16; ++i)
+        chain.push_back(Op::load(static_cast<Addr>(i) * 32 * miB,
+                                 Stream::Dependent));
+
+    auto r = ooo.core->run(chain, 0);
+    EXPECT_GE(r.elapsed(), 16 * 100 * tickNs);
+}
+
+TEST(CoreModel, CacheHitsDoNotStall)
+{
+    Rig rig(cortexA7Params(), false, 100 * tickNs);
+    OpTrace warm;
+    TraceBuilder(warm).streamRead(0, 4 * 64);
+    rig.core->run(warm, 0);
+
+    OpTrace again;
+    TraceBuilder(again).streamRead(0, 4 * 64);
+    auto r = rig.core->run(again, tickMs);
+    EXPECT_LT(r.elapsed(), 20 * tickNs);
+}
+
+TEST(CoreModel, CodePassDistributesInstructions)
+{
+    Rig rig(cortexA7Params(), false, 10 * tickNs);
+    OpTrace trace;
+    TraceBuilder(trace).codePass(0x100000, 64 * 64, 6400);
+    auto r = rig.core->run(trace, 0);
+    EXPECT_EQ(r.instructions, 6400u);
+    EXPECT_EQ(r.memOps, 64u);
+}
+
+TEST(CoreModel, L2TurnsRepeatSweepsIntoL2Hits)
+{
+    // The Iridium argument (Sec. 4.2.1): with a 2 MB L2 the
+    // instruction footprint stays on-stack-SRAM instead of flash.
+    Rig with_l2(cortexA7Params(), true, 100 * tickNs);
+    Rig without(cortexA7Params(), false, 100 * tickNs);
+
+    OpTrace sweep;
+    // 128 KiB code footprint: thrashes 32 KiB L1I, fits in L2.
+    TraceBuilder(sweep).codePass(0, 128 * kiB, 10000);
+
+    with_l2.core->run(sweep, 0);
+    without.core->run(sweep, 0);
+    auto warm_l2 = with_l2.core->run(sweep, tickSec);
+    auto warm_no = without.core->run(sweep, tickSec);
+
+    EXPECT_LT(warm_l2.elapsed(), warm_no.elapsed());
+    // With the L2 the second sweep generates no memory traffic at
+    // all: 2048 cold fills total vs 2048 per sweep without it.
+    EXPECT_EQ(with_l2.caches->memoryAccesses(), 2048u);
+    EXPECT_EQ(without.caches->memoryAccesses(), 4096u);
+}
+
+TEST(CoreModel, PresetsMatchPaperTable1)
+{
+    EXPECT_DOUBLE_EQ(cortexA7Params().activePowerW, 0.1);
+    EXPECT_DOUBLE_EQ(cortexA7Params().areaMm2, 0.58);
+    EXPECT_DOUBLE_EQ(cortexA15Params(1.0).activePowerW, 0.6);
+    EXPECT_DOUBLE_EQ(cortexA15Params(1.5).activePowerW, 1.0);
+    EXPECT_DOUBLE_EQ(cortexA15Params(1.5).areaMm2, 2.82);
+    EXPECT_FALSE(cortexA7Params().outOfOrder);
+    EXPECT_TRUE(cortexA15Params(1.0).outOfOrder);
+    EXPECT_TRUE(xeonParams().outOfOrder);
+}
+
+TEST(CoreModel, RunResultAccountingIsConsistent)
+{
+    Rig rig(cortexA7Params(), false, 50 * tickNs);
+    OpTrace trace;
+    TraceBuilder(trace)
+        .compute(500)
+        .streamRead(0x2000, 4 * 64)
+        .compute(500);
+    auto r = rig.core->run(trace, 12345);
+    EXPECT_EQ(r.start, 12345u);
+    EXPECT_EQ(r.end, r.start + r.elapsed());
+    EXPECT_EQ(r.computeTicks + r.stallTicks, r.elapsed());
+}
+
+} // anonymous namespace

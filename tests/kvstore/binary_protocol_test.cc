@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Unit tests for the memcached binary protocol session.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "kvstore/binary_protocol.hh"
+
+namespace
+{
+
+using namespace mercury;
+using namespace mercury::kvstore;
+
+/** Build a binary request packet. */
+std::string
+packet(BinOp op, std::string_view key, std::string_view value = {},
+       std::string_view extras = {}, std::uint64_t cas = 0,
+       std::uint32_t opaque = 0xabcd)
+{
+    std::string p;
+    auto push16 = [&p](std::uint16_t v) {
+        p.push_back(static_cast<char>(v >> 8));
+        p.push_back(static_cast<char>(v));
+    };
+    auto push32 = [&p, &push16](std::uint32_t v) {
+        push16(static_cast<std::uint16_t>(v >> 16));
+        push16(static_cast<std::uint16_t>(v));
+    };
+
+    p.push_back(static_cast<char>(0x80));
+    p.push_back(static_cast<char>(op));
+    push16(static_cast<std::uint16_t>(key.size()));
+    p.push_back(static_cast<char>(extras.size()));
+    p.push_back(0);
+    push16(0);
+    push32(static_cast<std::uint32_t>(extras.size() + key.size() +
+                                      value.size()));
+    push32(opaque);
+    push32(static_cast<std::uint32_t>(cas >> 32));
+    push32(static_cast<std::uint32_t>(cas));
+    p.append(extras);
+    p.append(key);
+    p.append(value);
+    return p;
+}
+
+std::string
+setExtras(std::uint32_t flags = 0, std::uint32_t expiry = 0)
+{
+    std::string e;
+    for (int shift = 24; shift >= 0; shift -= 8)
+        e.push_back(static_cast<char>(flags >> shift));
+    for (int shift = 24; shift >= 0; shift -= 8)
+        e.push_back(static_cast<char>(expiry >> shift));
+    return e;
+}
+
+struct Parsed
+{
+    std::uint8_t magic;
+    std::uint8_t opcode;
+    std::uint16_t status;
+    std::uint32_t opaque;
+    std::uint64_t cas;
+    std::string extras;
+    std::string key;
+    std::string value;
+    std::size_t consumed;
+};
+
+Parsed
+parse(std::string_view bytes)
+{
+    EXPECT_GE(bytes.size(), 24u);
+    auto u = [&](std::size_t i) {
+        return static_cast<std::uint8_t>(bytes[i]);
+    };
+    Parsed r;
+    r.magic = u(0);
+    r.opcode = u(1);
+    const std::uint16_t key_len = (u(2) << 8) | u(3);
+    const std::uint8_t extras_len = u(4);
+    r.status = static_cast<std::uint16_t>((u(6) << 8) | u(7));
+    const std::uint32_t body =
+        (std::uint32_t(u(8)) << 24) | (std::uint32_t(u(9)) << 16) |
+        (std::uint32_t(u(10)) << 8) | u(11);
+    r.opaque = (std::uint32_t(u(12)) << 24) |
+               (std::uint32_t(u(13)) << 16) |
+               (std::uint32_t(u(14)) << 8) | u(15);
+    r.cas = 0;
+    for (int i = 0; i < 8; ++i)
+        r.cas = (r.cas << 8) | u(16 + static_cast<std::size_t>(i));
+    r.extras = std::string(bytes.substr(24, extras_len));
+    r.key = std::string(bytes.substr(24 + extras_len, key_len));
+    r.value = std::string(
+        bytes.substr(24 + extras_len + key_len,
+                     body - extras_len - key_len));
+    r.consumed = 24 + body;
+    return r;
+}
+
+class BinaryProtocolTest : public ::testing::Test
+{
+  protected:
+    BinaryProtocolTest()
+        : store_([] {
+              StoreParams p;
+              p.memLimit = 8 * miB;
+              return p;
+          }()),
+          session_(store_)
+    {}
+
+    Store store_;
+    BinarySession session_;
+};
+
+TEST_F(BinaryProtocolTest, SetThenGet)
+{
+    const Parsed set = parse(session_.consume(
+        packet(BinOp::Set, "foo", "hello", setExtras(7))));
+    EXPECT_EQ(set.status,
+              static_cast<std::uint16_t>(BinStatus::Ok));
+    EXPECT_GT(set.cas, 0u);
+
+    const Parsed get =
+        parse(session_.consume(packet(BinOp::Get, "foo")));
+    EXPECT_EQ(get.status, 0u);
+    EXPECT_EQ(get.value, "hello");
+    ASSERT_EQ(get.extras.size(), 4u);
+    EXPECT_EQ(static_cast<std::uint8_t>(get.extras[3]), 7u);
+    EXPECT_EQ(get.opaque, 0xabcdu);
+}
+
+TEST_F(BinaryProtocolTest, GetMissReturnsKeyNotFound)
+{
+    const Parsed r =
+        parse(session_.consume(packet(BinOp::Get, "ghost")));
+    EXPECT_EQ(r.status,
+              static_cast<std::uint16_t>(BinStatus::KeyNotFound));
+}
+
+TEST_F(BinaryProtocolTest, QuietGetMissIsSilent)
+{
+    EXPECT_TRUE(
+        session_.consume(packet(BinOp::GetQ, "ghost")).empty());
+}
+
+TEST_F(BinaryProtocolTest, GetKEchoesKey)
+{
+    session_.consume(packet(BinOp::Set, "k", "v", setExtras()));
+    const Parsed r =
+        parse(session_.consume(packet(BinOp::GetK, "k")));
+    EXPECT_EQ(r.key, "k");
+    EXPECT_EQ(r.value, "v");
+}
+
+TEST_F(BinaryProtocolTest, AddAndReplaceSemantics)
+{
+    EXPECT_EQ(parse(session_.consume(packet(BinOp::Add, "k", "1",
+                                            setExtras())))
+                  .status,
+              0u);
+    EXPECT_EQ(parse(session_.consume(packet(BinOp::Add, "k", "2",
+                                            setExtras())))
+                  .status,
+              static_cast<std::uint16_t>(BinStatus::NotStored));
+    EXPECT_EQ(parse(session_.consume(packet(BinOp::Replace, "k",
+                                            "3", setExtras())))
+                  .status,
+              0u);
+    EXPECT_EQ(parse(session_.consume(packet(BinOp::Replace, "nope",
+                                            "4", setExtras())))
+                  .status,
+              static_cast<std::uint16_t>(BinStatus::NotStored));
+}
+
+TEST_F(BinaryProtocolTest, CasViaHeaderField)
+{
+    const Parsed set = parse(session_.consume(
+        packet(BinOp::Set, "k", "v1", setExtras())));
+    const Parsed good = parse(session_.consume(
+        packet(BinOp::Set, "k", "v2", setExtras(), set.cas)));
+    EXPECT_EQ(good.status, 0u);
+    const Parsed stale = parse(session_.consume(
+        packet(BinOp::Set, "k", "v3", setExtras(), set.cas)));
+    EXPECT_EQ(stale.status,
+              static_cast<std::uint16_t>(BinStatus::KeyExists));
+}
+
+TEST_F(BinaryProtocolTest, DeleteFlow)
+{
+    session_.consume(packet(BinOp::Set, "k", "v", setExtras()));
+    EXPECT_EQ(parse(session_.consume(packet(BinOp::Delete, "k")))
+                  .status,
+              0u);
+    EXPECT_EQ(parse(session_.consume(packet(BinOp::Delete, "k")))
+                  .status,
+              static_cast<std::uint16_t>(BinStatus::KeyNotFound));
+}
+
+TEST_F(BinaryProtocolTest, IncrementWithSeed)
+{
+    std::string extras;
+    auto push64 = [&extras](std::uint64_t v) {
+        for (int shift = 56; shift >= 0; shift -= 8)
+            extras.push_back(static_cast<char>(v >> shift));
+    };
+    push64(5);    // delta
+    push64(100);  // initial
+    for (int i = 0; i < 4; ++i)
+        extras.push_back(0);  // expiry 0 -> seeding allowed
+
+    // Missing key: seeded with the initial value.
+    Parsed r = parse(session_.consume(
+        packet(BinOp::Increment, "n", {}, extras)));
+    EXPECT_EQ(r.status, 0u);
+    std::uint64_t value = 0;
+    for (char c : r.value)
+        value = (value << 8) | static_cast<std::uint8_t>(c);
+    EXPECT_EQ(value, 100u);
+
+    // Second increment applies the delta.
+    r = parse(session_.consume(
+        packet(BinOp::Increment, "n", {}, extras)));
+    value = 0;
+    for (char c : r.value)
+        value = (value << 8) | static_cast<std::uint8_t>(c);
+    EXPECT_EQ(value, 105u);
+}
+
+TEST_F(BinaryProtocolTest, AppendPrepend)
+{
+    session_.consume(packet(BinOp::Set, "k", "mid", setExtras()));
+    EXPECT_EQ(parse(session_.consume(
+                        packet(BinOp::Append, "k", "-end")))
+                  .status,
+              0u);
+    EXPECT_EQ(parse(session_.consume(
+                        packet(BinOp::Prepend, "k", "start-")))
+                  .status,
+              0u);
+    EXPECT_EQ(store_.get("k").value, "start-mid-end");
+    EXPECT_EQ(parse(session_.consume(
+                        packet(BinOp::Append, "ghost", "x")))
+                  .status,
+              static_cast<std::uint16_t>(BinStatus::NotStored));
+}
+
+TEST_F(BinaryProtocolTest, TouchAndFlush)
+{
+    session_.consume(packet(BinOp::Set, "k", "v", setExtras()));
+    std::string touch_extras(4, '\0');
+    touch_extras[3] = 100;
+    EXPECT_EQ(parse(session_.consume(packet(BinOp::Touch, "k", {},
+                                            touch_extras)))
+                  .status,
+              0u);
+    EXPECT_EQ(parse(session_.consume(packet(BinOp::Flush, {})))
+                  .status,
+              0u);
+    EXPECT_FALSE(store_.get("k").hit);
+}
+
+TEST_F(BinaryProtocolTest, NoOpAndVersion)
+{
+    EXPECT_EQ(parse(session_.consume(packet(BinOp::NoOp, {})))
+                  .status,
+              0u);
+    const Parsed v =
+        parse(session_.consume(packet(BinOp::Version, {})));
+    EXPECT_NE(v.value.find("mercury"), std::string::npos);
+}
+
+TEST_F(BinaryProtocolTest, FragmentedPacketsReassemble)
+{
+    const std::string p =
+        packet(BinOp::Set, "frag", "value", setExtras());
+    std::string out;
+    for (char c : p)
+        out += session_.consume(std::string_view(&c, 1));
+    EXPECT_EQ(parse(out).status, 0u);
+    EXPECT_EQ(store_.get("frag").value, "value");
+}
+
+TEST_F(BinaryProtocolTest, PipelinedRequests)
+{
+    const std::string batch =
+        packet(BinOp::Set, "a", "1", setExtras()) +
+        packet(BinOp::Set, "b", "2", setExtras()) +
+        packet(BinOp::Get, "a");
+    const std::string out = session_.consume(batch);
+    // Three responses back to back.
+    const Parsed first = parse(out);
+    const Parsed second =
+        parse(std::string_view(out).substr(first.consumed));
+    const Parsed third = parse(std::string_view(out).substr(
+        first.consumed + second.consumed));
+    EXPECT_EQ(third.value, "1");
+}
+
+TEST_F(BinaryProtocolTest, QuitClosesSession)
+{
+    session_.consume(packet(BinOp::Quit, {}));
+    EXPECT_TRUE(session_.closed());
+    EXPECT_TRUE(
+        session_.consume(packet(BinOp::NoOp, {})).empty());
+}
+
+TEST_F(BinaryProtocolTest, BadMagicClosesSession)
+{
+    std::string garbage(24, '\x42');
+    EXPECT_TRUE(session_.consume(garbage).empty());
+    EXPECT_TRUE(session_.closed());
+}
+
+TEST_F(BinaryProtocolTest, TextAndBinarySeeTheSameStore)
+{
+    session_.consume(packet(BinOp::Set, "shared", "frombin",
+                            setExtras()));
+    EXPECT_EQ(store_.get("shared").value, "frombin");
+}
+
+} // anonymous namespace

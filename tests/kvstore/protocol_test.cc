@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit tests for the memcached text protocol session.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kvstore/protocol.hh"
+
+namespace
+{
+
+using namespace mercury;
+using namespace mercury::kvstore;
+
+class ProtocolTest : public ::testing::Test
+{
+  protected:
+    ProtocolTest()
+        : store_([] {
+              StoreParams p;
+              p.memLimit = 8 * miB;
+              return p;
+          }()),
+          session_(store_)
+    {}
+
+    Store store_;
+    ServerSession session_;
+};
+
+TEST_F(ProtocolTest, SetThenGet)
+{
+    EXPECT_EQ(session_.consume("set foo 7 0 5\r\nhello\r\n"),
+              "STORED\r\n");
+    EXPECT_EQ(session_.consume("get foo\r\n"),
+              "VALUE foo 7 5\r\nhello\r\nEND\r\n");
+}
+
+TEST_F(ProtocolTest, GetMissReturnsJustEnd)
+{
+    EXPECT_EQ(session_.consume("get missing\r\n"), "END\r\n");
+}
+
+TEST_F(ProtocolTest, MultiKeyGet)
+{
+    session_.consume("set a 0 0 1\r\nA\r\n");
+    session_.consume("set b 0 0 1\r\nB\r\n");
+    const std::string out = session_.consume("get a nope b\r\n");
+    EXPECT_EQ(out,
+              "VALUE a 0 1\r\nA\r\nVALUE b 0 1\r\nB\r\nEND\r\n");
+}
+
+TEST_F(ProtocolTest, GetsIncludesCasToken)
+{
+    session_.consume("set foo 0 0 3\r\nbar\r\n");
+    const std::string out = session_.consume("gets foo\r\n");
+    EXPECT_EQ(out.rfind("VALUE foo 0 3 ", 0), 0u) << out;
+    EXPECT_NE(out.find("\r\nbar\r\nEND\r\n"), std::string::npos);
+}
+
+TEST_F(ProtocolTest, CasFlow)
+{
+    session_.consume("set foo 0 0 3\r\nbar\r\n");
+    const std::string gets = session_.consume("gets foo\r\n");
+    // Extract the token between the third space-group and \r\n.
+    const auto line_end = gets.find("\r\n");
+    const auto tok_start = gets.rfind(' ', line_end);
+    const std::string token =
+        gets.substr(tok_start + 1, line_end - tok_start - 1);
+
+    EXPECT_EQ(session_.consume("cas foo 0 0 3 " + token +
+                               "\r\nnew\r\n"),
+              "STORED\r\n");
+    EXPECT_EQ(session_.consume("cas foo 0 0 3 " + token +
+                               "\r\nxxx\r\n"),
+              "EXISTS\r\n");
+}
+
+TEST_F(ProtocolTest, AddAndReplaceSemantics)
+{
+    EXPECT_EQ(session_.consume("add k 0 0 1\r\nA\r\n"), "STORED\r\n");
+    EXPECT_EQ(session_.consume("add k 0 0 1\r\nB\r\n"),
+              "NOT_STORED\r\n");
+    EXPECT_EQ(session_.consume("replace k 0 0 1\r\nC\r\n"),
+              "STORED\r\n");
+    EXPECT_EQ(session_.consume("replace ghost 0 0 1\r\nD\r\n"),
+              "NOT_STORED\r\n");
+}
+
+TEST_F(ProtocolTest, DeleteFlow)
+{
+    session_.consume("set k 0 0 1\r\nx\r\n");
+    EXPECT_EQ(session_.consume("delete k\r\n"), "DELETED\r\n");
+    EXPECT_EQ(session_.consume("delete k\r\n"), "NOT_FOUND\r\n");
+}
+
+TEST_F(ProtocolTest, IncrDecrFlow)
+{
+    session_.consume("set n 0 0 2\r\n10\r\n");
+    EXPECT_EQ(session_.consume("incr n 5\r\n"), "15\r\n");
+    EXPECT_EQ(session_.consume("decr n 100\r\n"), "0\r\n");
+    EXPECT_EQ(session_.consume("incr ghost 1\r\n"), "NOT_FOUND\r\n");
+    session_.consume("set s 0 0 3\r\nabc\r\n");
+    EXPECT_NE(session_.consume("incr s 1\r\n").find("CLIENT_ERROR"),
+              std::string::npos);
+}
+
+TEST_F(ProtocolTest, TouchFlow)
+{
+    session_.consume("set k 0 0 1\r\nx\r\n");
+    EXPECT_EQ(session_.consume("touch k 100\r\n"), "TOUCHED\r\n");
+    EXPECT_EQ(session_.consume("touch ghost 100\r\n"),
+              "NOT_FOUND\r\n");
+}
+
+TEST_F(ProtocolTest, FlushAll)
+{
+    session_.consume("set k 0 0 1\r\nx\r\n");
+    EXPECT_EQ(session_.consume("flush_all\r\n"), "OK\r\n");
+    EXPECT_EQ(session_.consume("get k\r\n"), "END\r\n");
+}
+
+TEST_F(ProtocolTest, NoreplySuppressesResponse)
+{
+    EXPECT_EQ(session_.consume("set k 0 0 1 noreply\r\nx\r\n"), "");
+    EXPECT_EQ(session_.consume("get k\r\n"),
+              "VALUE k 0 1\r\nx\r\nEND\r\n");
+}
+
+TEST_F(ProtocolTest, FragmentedInputReassembles)
+{
+    EXPECT_EQ(session_.consume("set fo"), "");
+    EXPECT_EQ(session_.consume("o 0 0 5\r\nhe"), "");
+    EXPECT_EQ(session_.consume("llo\r"), "");
+    EXPECT_EQ(session_.consume("\nget foo\r\n"),
+              "STORED\r\nVALUE foo 0 5\r\nhello\r\nEND\r\n");
+}
+
+TEST_F(ProtocolTest, PipelinedCommandsAllAnswered)
+{
+    const std::string out = session_.consume(
+        "set a 0 0 1\r\nA\r\nset b 0 0 1\r\nB\r\nget a b\r\n");
+    EXPECT_EQ(out,
+              "STORED\r\nSTORED\r\n"
+              "VALUE a 0 1\r\nA\r\nVALUE b 0 1\r\nB\r\nEND\r\n");
+}
+
+TEST_F(ProtocolTest, DataBlockMayContainCrLf)
+{
+    EXPECT_EQ(session_.consume("set k 0 0 5\r\na\r\nb!\r\n"),
+              "STORED\r\n");
+    EXPECT_EQ(session_.consume("get k\r\n"),
+              "VALUE k 0 5\r\na\r\nb!\r\nEND\r\n");
+}
+
+TEST_F(ProtocolTest, VersionAndStats)
+{
+    EXPECT_EQ(session_.consume("version\r\n").rfind("VERSION ", 0), 0u);
+    session_.consume("set k 0 0 1\r\nx\r\n");
+    session_.consume("get k\r\n");
+    const std::string stats = session_.consume("stats\r\n");
+    EXPECT_NE(stats.find("STAT cmd_get 1"), std::string::npos);
+    EXPECT_NE(stats.find("STAT get_hits 1"), std::string::npos);
+    EXPECT_NE(stats.find("STAT curr_items 1"), std::string::npos);
+    EXPECT_NE(stats.find("END\r\n"), std::string::npos);
+}
+
+TEST_F(ProtocolTest, UnknownCommandIsError)
+{
+    EXPECT_EQ(session_.consume("frobnicate\r\n"), "ERROR\r\n");
+}
+
+TEST_F(ProtocolTest, MalformedSetIsClientError)
+{
+    EXPECT_NE(session_.consume("set k 0 0 notanumber\r\n")
+                  .find("CLIENT_ERROR"),
+              std::string::npos);
+    EXPECT_EQ(session_.consume("set k 0 0\r\n"), "ERROR\r\n");
+}
+
+TEST_F(ProtocolTest, QuitClosesSession)
+{
+    EXPECT_FALSE(session_.closed());
+    session_.consume("quit\r\n");
+    EXPECT_TRUE(session_.closed());
+    // Further input is ignored.
+    EXPECT_EQ(session_.consume("get k\r\n"), "");
+}
+
+
+TEST_F(ProtocolTest, AppendPrependFlow)
+{
+    EXPECT_EQ(session_.consume("append k 0 0 1\r\nx\r\n"),
+              "NOT_STORED\r\n");
+    session_.consume("set k 0 0 3\r\nmid\r\n");
+    EXPECT_EQ(session_.consume("append k 0 0 4\r\n-end\r\n"),
+              "STORED\r\n");
+    EXPECT_EQ(session_.consume("prepend k 0 0 6\r\nstart-\r\n"),
+              "STORED\r\n");
+    EXPECT_EQ(session_.consume("get k\r\n"),
+              "VALUE k 0 13\r\nstart-mid-end\r\nEND\r\n");
+}
+
+} // anonymous namespace

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Unit and property tests for the flash device, FTL and controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/flash.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace
+{
+
+using namespace mercury;
+using namespace mercury::mem;
+
+/** Small FTL for fast property testing: 64 blocks x 16 pages. */
+mercury::mem::Ftl
+smallFtl()
+{
+    return Ftl(64 * 16, 16, 0.15, 3, 8);
+}
+
+TEST(Ftl, LogicalSpaceIsSmallerThanPhysical)
+{
+    Ftl ftl = smallFtl();
+    EXPECT_LT(ftl.logicalPages(), ftl.physicalPages());
+    EXPECT_GT(ftl.logicalPages(), 0u);
+}
+
+TEST(Ftl, PagesStartUnmapped)
+{
+    Ftl ftl = smallFtl();
+    for (std::uint64_t lpn = 0; lpn < ftl.logicalPages(); ++lpn)
+        EXPECT_FALSE(ftl.isMapped(lpn));
+}
+
+TEST(Ftl, WriteMapsAndTranslates)
+{
+    Ftl ftl = smallFtl();
+    auto outcome = ftl.write(5);
+    EXPECT_TRUE(ftl.isMapped(5));
+    EXPECT_EQ(ftl.translate(5), outcome.physicalPage);
+    EXPECT_EQ(outcome.movedPages, 0u);
+}
+
+TEST(Ftl, OverwriteRelocatesToNewPhysicalPage)
+{
+    Ftl ftl = smallFtl();
+    auto first = ftl.write(7);
+    auto second = ftl.write(7);
+    EXPECT_NE(first.physicalPage, second.physicalPage);
+    EXPECT_EQ(ftl.translate(7), second.physicalPage);
+}
+
+TEST(Ftl, SequentialWritesUseDistinctPhysicalPages)
+{
+    Ftl ftl = smallFtl();
+    std::set<std::uint64_t> ppns;
+    for (std::uint64_t lpn = 0; lpn < 32; ++lpn)
+        ppns.insert(ftl.write(lpn).physicalPage);
+    EXPECT_EQ(ppns.size(), 32u);
+}
+
+TEST(Ftl, TrimUnmaps)
+{
+    Ftl ftl = smallFtl();
+    ftl.write(3);
+    ftl.trim(3);
+    EXPECT_FALSE(ftl.isMapped(3));
+    EXPECT_TRUE(ftl.checkConsistency());
+}
+
+TEST(Ftl, TrimOfUnmappedIsHarmless)
+{
+    Ftl ftl = smallFtl();
+    EXPECT_NO_THROW(ftl.trim(9));
+}
+
+TEST(Ftl, FillingLogicalSpaceKeepsConsistency)
+{
+    Ftl ftl = smallFtl();
+    for (std::uint64_t lpn = 0; lpn < ftl.logicalPages(); ++lpn)
+        ftl.write(lpn);
+    EXPECT_TRUE(ftl.checkConsistency());
+    for (std::uint64_t lpn = 0; lpn < ftl.logicalPages(); ++lpn)
+        EXPECT_TRUE(ftl.isMapped(lpn));
+}
+
+TEST(Ftl, SteadyStateOverwritesTriggerGc)
+{
+    Ftl ftl = smallFtl();
+    // Fill once, then overwrite randomly for several device-fills.
+    for (std::uint64_t lpn = 0; lpn < ftl.logicalPages(); ++lpn)
+        ftl.write(lpn);
+
+    Rng rng(1234);
+    const std::uint64_t rewrites = ftl.logicalPages() * 6;
+    for (std::uint64_t i = 0; i < rewrites; ++i)
+        ftl.write(rng.nextInt(ftl.logicalPages()));
+
+    EXPECT_GT(ftl.totalErases(), 0u);
+    EXPECT_GT(ftl.totalMoves(), 0u);
+    EXPECT_TRUE(ftl.checkConsistency());
+    // All data still addressable.
+    for (std::uint64_t lpn = 0; lpn < ftl.logicalPages(); ++lpn)
+        EXPECT_TRUE(ftl.isMapped(lpn));
+}
+
+TEST(Ftl, WriteAmplificationAboveOneUnderRandomOverwrite)
+{
+    Ftl ftl = smallFtl();
+    for (std::uint64_t lpn = 0; lpn < ftl.logicalPages(); ++lpn)
+        ftl.write(lpn);
+    Rng rng(99);
+    for (std::uint64_t i = 0; i < ftl.logicalPages() * 8; ++i)
+        ftl.write(rng.nextInt(ftl.logicalPages()));
+
+    EXPECT_GT(ftl.writeAmplification(), 1.0);
+    EXPECT_LT(ftl.writeAmplification(), 10.0)
+        << "WA should stay bounded with 15% overprovision";
+}
+
+TEST(Ftl, SequentialOverwriteHasLowWriteAmplification)
+{
+    Ftl ftl = smallFtl();
+    for (int pass = 0; pass < 8; ++pass) {
+        for (std::uint64_t lpn = 0; lpn < ftl.logicalPages(); ++lpn)
+            ftl.write(lpn);
+    }
+    // Sequential overwrite invalidates whole blocks: GC moves little.
+    EXPECT_LT(ftl.writeAmplification(), 1.2);
+}
+
+TEST(Ftl, WearLevelingBoundsEraseSpread)
+{
+    Ftl ftl(64 * 16, 16, 0.15, 3, 8);
+    for (std::uint64_t lpn = 0; lpn < ftl.logicalPages(); ++lpn)
+        ftl.write(lpn);
+
+    // Hammer a tiny hot set; without wear leveling the spread would
+    // grow without bound while cold blocks never cycle.
+    Rng rng(7);
+    for (int i = 0; i < 60000; ++i)
+        ftl.write(rng.nextInt(8));
+
+    // Without wear leveling this workload concentrates essentially
+    // every erase (~4000) on the overprovision blocks, so the spread
+    // approaches the total erase count. Static wear leveling must keep
+    // it orders of magnitude lower.
+    EXPECT_GT(ftl.totalErases(), 1000u);
+    EXPECT_LE(ftl.eraseSpread(), 128u)
+        << "erase spread must stay bounded under a hot-spot workload";
+    EXPECT_LT(static_cast<double>(ftl.eraseSpread()),
+              0.05 * static_cast<double>(ftl.totalErases()));
+    EXPECT_TRUE(ftl.checkConsistency());
+}
+
+class FtlPropertyTest : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(FtlPropertyTest, RandomWorkloadPreservesMappingInvariant)
+{
+    Ftl ftl = smallFtl();
+    Rng rng(GetParam());
+
+    // Mixed writes and trims; the map must always be consistent and
+    // the most recent write of each lpn must remain visible.
+    std::vector<bool> live(ftl.logicalPages(), false);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t lpn = rng.nextInt(ftl.logicalPages());
+        if (rng.nextBool(0.85)) {
+            ftl.write(lpn);
+            live[lpn] = true;
+        } else {
+            ftl.trim(lpn);
+            live[lpn] = false;
+        }
+    }
+
+    ASSERT_TRUE(ftl.checkConsistency());
+    for (std::uint64_t lpn = 0; lpn < ftl.logicalPages(); ++lpn)
+        EXPECT_EQ(ftl.isMapped(lpn), live[lpn]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FtlPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+FlashParams
+smallFlash()
+{
+    FlashParams p;
+    p.numChannels = 4;
+    p.capacity = 64ull * miB;
+    p.pageBytes = 4096;
+    p.pagesPerBlock = 64;
+    return p;
+}
+
+TEST(FlashController, CapacityReflectsOverprovision)
+{
+    FlashController flash(smallFlash());
+    EXPECT_LT(flash.capacityBytes(), 64ull * miB);
+    EXPECT_GT(flash.capacityBytes(), 48ull * miB);
+}
+
+TEST(FlashController, ColdReadOfErasedAreaIsCheap)
+{
+    FlashController flash(smallFlash());
+    // Never-written page: no array sense needed.
+    const Tick done = flash.access(AccessType::Read, 0, 64, 0);
+    EXPECT_LT(done, tickUs);
+}
+
+TEST(FlashController, ReadOfWrittenPagePaysSenseLatency)
+{
+    FlashParams p = smallFlash();
+    FlashController flash(p);
+
+    // Write a line, drain, then force the register off the page by
+    // touching a different page on the same channel.
+    flash.access(AccessType::Write, 0, 64, 0);
+    Tick now = flash.drainWrites(tickMs);
+    now = flash.access(AccessType::Read, 2 * p.pageBytes, 64, now);
+
+    const Tick start = now;
+    const Tick done = flash.access(AccessType::Read, 0, 64, now);
+    EXPECT_GE(done - start, p.readLatency);
+}
+
+TEST(FlashController, RegisterHitsAreTransferOnly)
+{
+    FlashParams p = smallFlash();
+    FlashController flash(p);
+    flash.access(AccessType::Write, 0, 64, 0);
+    Tick now = flash.drainWrites(tickMs);
+
+    now = flash.access(AccessType::Read, 0, 64, now);
+    const Tick start = now;
+    // Another line in the same page: register hit.
+    const Tick done = flash.access(AccessType::Read, 128, 64, now);
+    EXPECT_LT(done - start, tickUs);
+}
+
+TEST(FlashController, WritesCoalesceWithinAPage)
+{
+    FlashParams p = smallFlash();
+    FlashController flash(p);
+
+    // 64 line writes filling one page: one program on drain.
+    Tick now = 0;
+    for (unsigned i = 0; i < p.pageBytes / 64; ++i)
+        now = flash.access(AccessType::Write, i * 64, 64, now);
+    EXPECT_LT(now, p.programLatency)
+        << "writes within one page must coalesce in the register";
+
+    flash.drainWrites(now);
+    std::ostringstream os;
+    flash.statGroup().format(os);
+    EXPECT_NE(os.str().find("pagePrograms"), std::string::npos);
+}
+
+TEST(FlashController, ScatteredWritesPayProgramWhenBufferIsFull)
+{
+    FlashParams p = smallFlash();
+    p.writeBufferPages = 1;
+    FlashController flash(p);
+
+    // With a single write-buffer slot, dirtying a second page must
+    // program the first out.
+    Tick now = flash.access(AccessType::Write, 0, 64, 0);
+    const Tick before = now;
+    now = flash.access(AccessType::Write, 4 * p.pageBytes, 64, now);
+    EXPECT_GE(now - before, p.programLatency);
+}
+
+TEST(FlashController, WriteBufferCoalescesScatteredPages)
+{
+    FlashParams p = smallFlash();
+    p.writeBufferPages = 16;
+    FlashController flash(p);
+
+    // Up to 16 distinct dirty pages gather without any program.
+    Tick now = 0;
+    for (unsigned i = 0; i < 16; ++i) {
+        now = flash.access(AccessType::Write,
+                           i * 4 * p.pageBytes, 64, now);
+    }
+    EXPECT_LT(now, p.programLatency);
+
+    // The 17th distinct page evicts the LRU slot.
+    const Tick before = now;
+    now = flash.access(AccessType::Write, 70 * p.pageBytes, 64, now);
+    EXPECT_GE(now - before, p.programLatency);
+}
+
+TEST(FlashController, ReadsHitTheWriteBuffer)
+{
+    FlashParams p = smallFlash();
+    FlashController flash(p);
+    Tick now = flash.access(AccessType::Write, 0, 64, 0);
+    // Reading a line of a buffered dirty page needs no sense.
+    const Tick before = now;
+    now = flash.access(AccessType::Read, 128, 64, now);
+    EXPECT_LT(now - before, tickUs);
+}
+
+TEST(FlashController, ChannelsOperateIndependently)
+{
+    FlashParams p = smallFlash();
+    FlashController flash(p);
+    const std::uint64_t channel_bytes =
+        flash.capacityBytes() / p.numChannels;
+
+    flash.access(AccessType::Write, 0, 64, 0);
+    // Concurrent write on another channel is not delayed.
+    const Tick done =
+        flash.access(AccessType::Write, channel_bytes, 64, 0);
+    EXPECT_LT(done, tickUs);
+}
+
+TEST(FlashController, DrainWritesLeavesNoDirtyState)
+{
+    FlashController flash(smallFlash());
+    flash.access(AccessType::Write, 0, 64, 0);
+    flash.access(AccessType::Write, 123456, 64, 0);
+    const Tick t = flash.drainWrites(tickMs);
+    EXPECT_GT(t, tickMs);
+    // Draining again is a no-op.
+    EXPECT_EQ(flash.drainWrites(t), t);
+}
+
+TEST(FlashController, SustainedOverwriteDrivesGc)
+{
+    FlashParams p = smallFlash();
+    FlashController flash(p);
+    Rng rng(5);
+
+    Tick now = 0;
+    const std::uint64_t pages =
+        flash.capacityBytes() / p.pageBytes;
+    for (std::uint64_t i = 0; i < pages * 3; ++i) {
+        const Addr addr = rng.nextInt(pages) * p.pageBytes;
+        now = flash.access(AccessType::Write, addr, 64, now);
+    }
+    flash.drainWrites(now);
+
+    EXPECT_GT(flash.totalErases(), 0u);
+    EXPECT_GE(flash.writeAmplification(), 1.0);
+}
+
+TEST(FlashController, IdleReadLatencyMatchesConfig)
+{
+    FlashParams p = smallFlash();
+    p.readLatency = 20 * tickUs;
+    FlashController flash(p);
+    EXPECT_GE(flash.idleReadLatency(), 20 * tickUs);
+}
+
+TEST(FlashController, RejectsOversizedAccess)
+{
+    ScopedLogCapture capture;
+    FlashController flash(smallFlash());
+    EXPECT_THROW(flash.access(AccessType::Read, 0, 8192, 0),
+                 SimFatalError);
+}
+
+} // anonymous namespace

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the network path model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/network.hh"
+
+namespace
+{
+
+using namespace mercury;
+using namespace mercury::net;
+
+TEST(TcpSegmenter, SmallPayloadIsOnePacket)
+{
+    TcpSegmenter seg(tenGbEParams());
+    EXPECT_EQ(seg.numSegments(0), 1u);
+    EXPECT_EQ(seg.numSegments(64), 1u);
+    EXPECT_EQ(seg.numSegments(1448), 1u);
+}
+
+TEST(TcpSegmenter, LargePayloadSplitsAtMss)
+{
+    TcpSegmenter seg(tenGbEParams());
+    EXPECT_EQ(seg.numSegments(1449), 2u);
+    EXPECT_EQ(seg.numSegments(64 * kiB), 46u);
+    EXPECT_EQ(seg.numSegments(1 * miB), 725u);
+}
+
+TEST(TcpSegmenter, SegmentSizesSumToPayload)
+{
+    TcpSegmenter seg(tenGbEParams());
+    for (std::uint64_t payload : {0ull, 64ull, 1448ull, 5000ull,
+                                  1048576ull}) {
+        auto sizes = seg.segmentSizes(payload);
+        std::uint64_t total = 0;
+        for (unsigned s : sizes) {
+            EXPECT_LE(s, 1448u);
+            total += s;
+        }
+        EXPECT_EQ(total, payload);
+        EXPECT_EQ(sizes.size(), seg.numSegments(payload));
+    }
+}
+
+TEST(TcpSegmenter, WireBytesIncludePerPacketOverhead)
+{
+    NetParams p = tenGbEParams();
+    TcpSegmenter seg(p);
+    EXPECT_EQ(seg.wireBytes(64), 64 + p.perPacketOverhead);
+    EXPECT_EQ(seg.wireBytes(2896),
+              2896 + 2ull * p.perPacketOverhead);
+}
+
+TEST(NetworkPath, SmallMessageLatencyIsFixedCostsPlusSerialization)
+{
+    NetParams p = tenGbEParams();
+    NetworkPath path(p);
+    auto r = path.deliver(64, 0);
+    const Tick wire = secondsToTicks((64.0 + p.perPacketOverhead) /
+                                     p.linkBandwidth);
+    EXPECT_EQ(r.completion, wire + p.phyLatency + p.macLatency +
+              p.propagation);
+    EXPECT_EQ(r.packets, 1u);
+}
+
+TEST(NetworkPath, LargeMessagePaysSerializationPerByte)
+{
+    NetworkPath path(tenGbEParams());
+    auto small = path.deliver(64, 0);
+    NetworkPath path2(tenGbEParams());
+    auto large = path2.deliver(1 * miB, 0);
+    // 1 MiB at 1.25 GB/s is ~839 us of serialization alone.
+    EXPECT_GT(large.completion, small.completion + 800 * tickUs);
+    EXPECT_EQ(large.packets, 725u);
+}
+
+TEST(NetworkPath, BackToBackMessagesQueueOnTheLink)
+{
+    NetworkPath path(tenGbEParams());
+    auto first = path.deliver(1 * miB, 0);
+    auto second = path.deliver(64, 0);
+    // The second message waits for the first's serialization.
+    EXPECT_GT(second.completion, first.completion - 10 * tickUs);
+}
+
+TEST(NetworkPath, IndependentPathsDoNotInterfere)
+{
+    NetworkPath a(tenGbEParams());
+    NetworkPath b(tenGbEParams());
+    a.deliver(1 * miB, 0);
+    auto r = b.deliver(64, 0);
+    EXPECT_LT(r.completion, 10 * tickUs);
+}
+
+TEST(NetworkPath, UtilizationTracksOfferedLoad)
+{
+    NetworkPath path(tenGbEParams());
+    // Offer all messages at once: the link serializes them back to
+    // back and should run near line rate.
+    Tick last = 0;
+    for (int i = 0; i < 100; ++i)
+        last = path.deliver(1448, 0).completion;
+    const double util = path.utilization(last);
+    EXPECT_GT(util, 0.8);
+    EXPECT_LE(util, 1.0);
+}
+
+TEST(NetworkPath, ResetClearsLinkState)
+{
+    NetworkPath path(tenGbEParams());
+    path.deliver(1 * miB, 0);
+    path.reset();
+    auto r = path.deliver(64, 0);
+    EXPECT_LT(r.completion, 10 * tickUs);
+}
+
+TEST(NetworkPath, TenGigLineRateForBigTransfers)
+{
+    // Property: sustained throughput approaches but never exceeds
+    // 10 Gb/s.
+    NetworkPath path(tenGbEParams());
+    Tick now = 0;
+    const int messages = 50;
+    for (int i = 0; i < messages; ++i)
+        now = path.deliver(256 * kiB, now).completion;
+    const double goodput =
+        static_cast<double>(messages) * 256 * kiB /
+        ticksToSeconds(now);
+    EXPECT_LT(goodput, 1.25e9);
+    EXPECT_GT(goodput, 1.0e9);
+}
+
+} // anonymous namespace

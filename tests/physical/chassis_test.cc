@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the physical (power/area/density) models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "physical/chassis.hh"
+
+namespace
+{
+
+using namespace mercury;
+using namespace mercury::physical;
+
+TEST(ComponentCatalog, MatchesPaperTable1)
+{
+    const ComponentCatalog &c = defaultCatalog();
+    EXPECT_DOUBLE_EQ(c.a7PowerW, 0.100);
+    EXPECT_DOUBLE_EQ(c.a7AreaMm2, 0.58);
+    EXPECT_DOUBLE_EQ(c.a15PowerW1GHz, 0.600);
+    EXPECT_DOUBLE_EQ(c.a15PowerW15GHz, 1.000);
+    EXPECT_DOUBLE_EQ(c.a15AreaMm2, 2.82);
+    EXPECT_DOUBLE_EQ(c.dramPowerPerGBs, 0.210);
+    EXPECT_DOUBLE_EQ(c.flashPowerPerGBs, 0.006);
+    EXPECT_DOUBLE_EQ(c.nicMacPowerW, 0.120);
+    EXPECT_DOUBLE_EQ(c.nicPhyPowerW, 0.300);
+    EXPECT_DOUBLE_EQ(c.dramCapacityGB, 4.0);
+    EXPECT_DOUBLE_EQ(c.flashCapacityGB, 19.8);
+}
+
+TEST(ComponentCatalog, CorePowerPicksFrequencyRow)
+{
+    const ComponentCatalog &c = defaultCatalog();
+    EXPECT_DOUBLE_EQ(c.corePowerW(cpu::cortexA7Params()), 0.1);
+    EXPECT_DOUBLE_EQ(c.corePowerW(cpu::cortexA15Params(1.0)), 0.6);
+    EXPECT_DOUBLE_EQ(c.corePowerW(cpu::cortexA15Params(1.5)), 1.0);
+}
+
+TEST(MemoryTechCatalog, MatchesPaperTable2)
+{
+    const auto catalog = memoryTechCatalog();
+    ASSERT_EQ(catalog.size(), 7u);
+    EXPECT_EQ(catalog[0].name, "DDR3-1333");
+    EXPECT_DOUBLE_EQ(catalog[0].bandwidthGBs, 10.7);
+    EXPECT_DOUBLE_EQ(catalog[3].bandwidthGBs, 128.0);
+    EXPECT_DOUBLE_EQ(catalog[6].capacityGB, 4.0);
+    EXPECT_TRUE(catalog[6].stacked);
+}
+
+TEST(ChassisConstraints, PowerBudgetIs472W)
+{
+    const ChassisConstraints &chassis = defaultChassis();
+    EXPECT_DOUBLE_EQ(chassis.stackPowerBudgetW(), (750.0 - 160.0) * 0.8);
+}
+
+TEST(ChassisConstraints, WallPowerInvertsBudget)
+{
+    const ChassisConstraints &chassis = defaultChassis();
+    EXPECT_NEAR(chassis.wallPowerW(472.0), 750.0, 1e-9);
+    EXPECT_NEAR(chassis.wallPowerW(0.0), 160.0, 1e-9);
+}
+
+TEST(ChassisConstraints, AreaFitsAbout126Stacks)
+{
+    // The paper rounds to 128; the plain arithmetic gives 126. Both
+    // exceed the 96-port cap, so the cap never binds results.
+    const ChassisConstraints &chassis = defaultChassis();
+    EXPECT_GE(chassis.maxStacksByArea(), 120u);
+    EXPECT_LE(chassis.maxStacksByArea(), 130u);
+    EXPECT_GT(chassis.maxStacksByArea(), chassis.maxEthernetPorts);
+}
+
+TEST(ChassisConstraints, BoardAreaFor96StacksMatchesTable3)
+{
+    // Table 3 lists 635 cm^2 for full 96-stack configurations.
+    const ChassisConstraints &chassis = defaultChassis();
+    EXPECT_NEAR(chassis.boardAreaFor(96), 635.0, 1.0);
+}
+
+TEST(StackModel, PowerBreakdownAtZeroBandwidth)
+{
+    StackConfig config;
+    config.core = cpu::cortexA7Params();
+    config.coresPerStack = 8;
+    StackModel model(config);
+    // 8 x 0.1 + 0.12 (MAC) + 0.30 (PHY).
+    EXPECT_NEAR(model.powerW(0.0), 1.22, 1e-9);
+}
+
+TEST(StackModel, DramPowerScalesWithBandwidth)
+{
+    StackConfig config;
+    config.coresPerStack = 1;
+    StackModel model(config);
+    EXPECT_NEAR(model.powerW(10.0) - model.powerW(0.0), 2.1, 1e-9);
+}
+
+TEST(StackModel, FlashDrawsFarLessPerGBs)
+{
+    StackConfig dram;
+    dram.coresPerStack = 1;
+    StackConfig flash = dram;
+    flash.memory = StackMemory::Flash3D;
+    StackModel dram_model(dram), flash_model(flash);
+    const double dram_delta =
+        dram_model.powerW(10.0) - dram_model.powerW(0.0);
+    const double flash_delta =
+        flash_model.powerW(10.0) - flash_model.powerW(0.0);
+    EXPECT_NEAR(dram_delta / flash_delta, 35.0, 1.0);
+}
+
+TEST(StackModel, DensityPerMemoryKind)
+{
+    StackConfig dram;
+    StackConfig flash = dram;
+    flash.memory = StackMemory::Flash3D;
+    EXPECT_DOUBLE_EQ(StackModel(dram).densityGB(), 4.0);
+    EXPECT_DOUBLE_EQ(StackModel(flash).densityGB(), 19.8);
+    // The 4.9x density claim of Sec. 4.2.1.
+    EXPECT_NEAR(19.8 / 4.0, 4.95, 0.01);
+}
+
+TEST(StackModel, PortCapLimitsBandwidth)
+{
+    StackConfig config;
+    config.coresPerStack = 4;
+    StackModel model(config);
+    // Demand-limited when cores are slow.
+    EXPECT_NEAR(model.portBandwidthCapGBs(0.2), 0.8, 1e-9);
+    // Port-limited when cores could stream more than 6.25 each.
+    EXPECT_NEAR(model.portBandwidthCapGBs(10.0), 4 * 6.25, 1e-9);
+}
+
+TEST(StackModel, Beyond16CoresSharePorts)
+{
+    StackConfig config;
+    config.coresPerStack = 32;
+    StackModel model(config);
+    // 32 cores but only 16 ports.
+    EXPECT_NEAR(model.portBandwidthCapGBs(10.0), 16 * 6.25, 1e-9);
+}
+
+TEST(StackModel, LogicDieFitsRealisticCounts)
+{
+    StackConfig a7;
+    a7.core = cpu::cortexA7Params();
+    a7.coresPerStack = 32;
+    EXPECT_TRUE(StackModel(a7).fitsLogicDie());
+
+    StackConfig a15;
+    a15.core = cpu::cortexA15Params(1.0);
+    a15.coresPerStack = 32;
+    EXPECT_TRUE(StackModel(a15).fitsLogicDie());
+
+    StackConfig absurd;
+    absurd.core = cpu::cortexA15Params(1.0);
+    absurd.coresPerStack = 64;
+    EXPECT_FALSE(StackModel(absurd).fitsLogicDie());
+}
+
+} // anonymous namespace

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using mercury::Event;
+using mercury::EventFunctionWrapper;
+using mercury::EventQueue;
+using mercury::Tick;
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue queue;
+    EXPECT_EQ(queue.curTick(), 0u);
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.serviceOne(), nullptr);
+}
+
+TEST(EventQueue, ServicesEventsInTimeOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+
+    EventFunctionWrapper a([&] { order.push_back(1); }, "a");
+    EventFunctionWrapper b([&] { order.push_back(2); }, "b");
+    EventFunctionWrapper c([&] { order.push_back(3); }, "c");
+
+    queue.schedule(&c, 300);
+    queue.schedule(&a, 100);
+    queue.schedule(&b, 200);
+
+    queue.run();
+
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(queue.curTick(), 300u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenInsertion)
+{
+    EventQueue queue;
+    std::vector<int> order;
+
+    EventFunctionWrapper low([&] { order.push_back(3); }, "low",
+                             Event::lowPriority);
+    EventFunctionWrapper first([&] { order.push_back(1); }, "first");
+    EventFunctionWrapper second([&] { order.push_back(2); }, "second");
+    EventFunctionWrapper high([&] { order.push_back(0); }, "high",
+                              Event::highPriority);
+
+    queue.schedule(&low, 50);
+    queue.schedule(&first, 50);
+    queue.schedule(&second, 50);
+    queue.schedule(&high, 50);
+
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, ServiceOneAdvancesTickToEvent)
+{
+    EventQueue queue;
+    EventFunctionWrapper e([] {}, "e");
+    queue.schedule(&e, 42);
+
+    Event *serviced = queue.serviceOne();
+    EXPECT_EQ(serviced, &e);
+    EXPECT_EQ(queue.curTick(), 42u);
+    EXPECT_FALSE(e.scheduled());
+}
+
+TEST(EventQueue, DescheduleRemovesEvent)
+{
+    EventQueue queue;
+    int runs = 0;
+    EventFunctionWrapper e([&] { ++runs; }, "e");
+
+    queue.schedule(&e, 10);
+    EXPECT_TRUE(e.scheduled());
+    queue.deschedule(&e);
+    EXPECT_FALSE(e.scheduled());
+
+    queue.run();
+    EXPECT_EQ(runs, 0);
+    EXPECT_EQ(queue.curTick(), 0u);
+}
+
+TEST(EventQueue, RescheduleMovesEvent)
+{
+    EventQueue queue;
+    Tick fired_at = 0;
+    EventFunctionWrapper e([&] { fired_at = queue.curTick(); }, "e");
+
+    queue.schedule(&e, 10);
+    queue.reschedule(&e, 500);
+    queue.run();
+    EXPECT_EQ(fired_at, 500u);
+}
+
+TEST(EventQueue, EventsMayScheduleFurtherEvents)
+{
+    EventQueue queue;
+    int depth = 0;
+    EventFunctionWrapper *self = nullptr;
+    EventFunctionWrapper chain(
+        [&] {
+            if (++depth < 5)
+                queue.schedule(self, queue.curTick() + 7);
+        },
+        "chain");
+    self = &chain;
+
+    queue.schedule(&chain, 7);
+    queue.run();
+
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(queue.curTick(), 35u);
+    EXPECT_EQ(queue.numServiced(), 5u);
+}
+
+TEST(EventQueue, RunHonorsTimeLimit)
+{
+    EventQueue queue;
+    int runs = 0;
+    EventFunctionWrapper a([&] { ++runs; }, "a");
+    EventFunctionWrapper b([&] { ++runs; }, "b");
+
+    queue.schedule(&a, 100);
+    queue.schedule(&b, 200);
+
+    EXPECT_EQ(queue.run(150), 1u);
+    EXPECT_EQ(runs, 1);
+    // Time advances to the limit even with work outstanding.
+    EXPECT_EQ(queue.curTick(), 150u);
+
+    queue.run();
+    EXPECT_EQ(runs, 2);
+}
+
+TEST(EventQueue, RunServicesEventExactlyAtLimit)
+{
+    EventQueue queue;
+    int runs = 0;
+    EventFunctionWrapper a([&] { ++runs; }, "a");
+    queue.schedule(&a, 100);
+    queue.run(100);
+    EXPECT_EQ(runs, 1);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    mercury::ScopedLogCapture capture;
+    EventQueue queue;
+    EventFunctionWrapper a([] {}, "a");
+    EventFunctionWrapper b([] {}, "b");
+
+    queue.schedule(&a, 100);
+    queue.run();
+    EXPECT_THROW(queue.schedule(&b, 50), mercury::SimFatalError);
+}
+
+TEST(EventQueue, DoubleSchedulePanics)
+{
+    mercury::ScopedLogCapture capture;
+    EventQueue queue;
+    EventFunctionWrapper a([] {}, "a");
+    queue.schedule(&a, 10);
+    EXPECT_THROW(queue.schedule(&a, 20), mercury::SimFatalError);
+    queue.deschedule(&a);
+}
+
+TEST(EventQueue, SetCurTickCannotSkipEvents)
+{
+    mercury::ScopedLogCapture capture;
+    EventQueue queue;
+    EventFunctionWrapper a([] {}, "a");
+    queue.schedule(&a, 100);
+
+    queue.setCurTick(80);
+    EXPECT_EQ(queue.curTick(), 80u);
+    EXPECT_THROW(queue.setCurTick(120), mercury::SimFatalError);
+    queue.deschedule(&a);
+}
+
+TEST(EventQueue, DeterministicInterleaving)
+{
+    // Two identically-seeded runs must produce identical service order.
+    auto run_once = [] {
+        EventQueue queue;
+        std::vector<int> order;
+        std::vector<EventFunctionWrapper> events;
+        events.reserve(32);
+        for (int i = 0; i < 32; ++i) {
+            events.emplace_back([&order, i] { order.push_back(i); },
+                                "evt");
+        }
+        for (int i = 0; i < 32; ++i)
+            queue.schedule(&events[i], (i * 37) % 11);
+        queue.run();
+        return order;
+    };
+
+    EXPECT_EQ(run_once(), run_once());
+}
+
+} // anonymous namespace

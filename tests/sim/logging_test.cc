@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Unit tests for logging / error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+namespace
+{
+
+TEST(Logging, FatalThrowsUnderCapture)
+{
+    mercury::ScopedLogCapture capture;
+    EXPECT_THROW(mercury_fatal("bad config value ", 42),
+                 mercury::SimFatalError);
+}
+
+TEST(Logging, PanicThrowsUnderCapture)
+{
+    mercury::ScopedLogCapture capture;
+    EXPECT_THROW(mercury_panic("impossible state"),
+                 mercury::SimFatalError);
+}
+
+TEST(Logging, FatalMessageCarriesConcatenatedArgs)
+{
+    mercury::ScopedLogCapture capture;
+    try {
+        mercury_fatal("value=", 7, " name=", "stack");
+        FAIL() << "fatal did not throw";
+    } catch (const mercury::SimFatalError &err) {
+        EXPECT_STREQ(err.what(), "value=7 name=stack");
+    }
+}
+
+TEST(Logging, AssertPassesOnTrueCondition)
+{
+    mercury::ScopedLogCapture capture;
+    EXPECT_NO_THROW(mercury_assert(1 + 1 == 2, "math works"));
+}
+
+TEST(Logging, AssertThrowsOnFalseCondition)
+{
+    mercury::ScopedLogCapture capture;
+    EXPECT_THROW(mercury_assert(false, "must not hold"),
+                 mercury::SimFatalError);
+}
+
+TEST(Logging, WarnAndInformAreCaptured)
+{
+    mercury::ScopedLogCapture capture;
+    mercury::warn("watch out: ", 3);
+    mercury::inform("status ok");
+    ASSERT_EQ(capture.messages().size(), 2u);
+    EXPECT_EQ(capture.messages()[0], "watch out: 3");
+    EXPECT_EQ(capture.messages()[1], "status ok");
+}
+
+} // anonymous namespace

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace
+{
+
+using namespace mercury::stats;
+
+TEST(ScalarStat, AccumulatesAndResets)
+{
+    StatGroup group("g");
+    Scalar s(&group, "requests", "number of requests");
+
+    ++s;
+    s += 4.0;
+    EXPECT_DOUBLE_EQ(s.value(), 5.0);
+    s -= 2.0;
+    EXPECT_DOUBLE_EQ(s.value(), 3.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(ScalarStat, AssignmentSetsGaugeValue)
+{
+    StatGroup group("g");
+    Scalar s(&group, "gauge", "a gauge");
+    s = 123.5;
+    EXPECT_DOUBLE_EQ(s.value(), 123.5);
+}
+
+TEST(AverageStat, MeanOfSamples)
+{
+    StatGroup group("g");
+    Average a(&group, "latency", "latency");
+    a.sample(10.0);
+    a.sample(20.0);
+    a.sample(30.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.sum(), 60.0);
+}
+
+TEST(AverageStat, EmptyMeanIsZero)
+{
+    StatGroup group("g");
+    Average a(&group, "latency", "latency");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(HistogramStat, CountsAndMoments)
+{
+    StatGroup group("g");
+    Histogram h(&group, "h", "histogram");
+    for (int i = 1; i <= 100; ++i)
+        h.sample(static_cast<double>(i));
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+    EXPECT_DOUBLE_EQ(h.minValue(), 1.0);
+    EXPECT_DOUBLE_EQ(h.maxValue(), 100.0);
+}
+
+TEST(HistogramStat, PercentileRoughlyCorrect)
+{
+    StatGroup group("g");
+    Histogram h(&group, "h", "histogram");
+    for (int i = 1; i <= 1000; ++i)
+        h.sample(static_cast<double>(i));
+    // Log2 buckets are coarse; allow one bucket of slack.
+    EXPECT_NEAR(h.percentile(0.5), 500.0, 260.0);
+    EXPECT_GE(h.percentile(0.99), h.percentile(0.5));
+    EXPECT_LE(h.percentile(1.0), 1000.0);
+}
+
+TEST(HistogramStat, LinearScalePercentileIsTight)
+{
+    StatGroup group("g");
+    Histogram h(&group, "h", "histogram", Histogram::Scale::Linear,
+                1000, 0.0, 1000.0);
+    for (int i = 1; i <= 1000; ++i)
+        h.sample(static_cast<double>(i));
+    EXPECT_NEAR(h.percentile(0.5), 500.0, 2.0);
+    EXPECT_NEAR(h.percentile(0.95), 950.0, 2.0);
+}
+
+TEST(HistogramStat, FractionBelowThreshold)
+{
+    StatGroup group("g");
+    Histogram h(&group, "h", "histogram", Histogram::Scale::Linear,
+                100, 0.0, 100.0);
+    for (int i = 0; i < 100; ++i)
+        h.sample(static_cast<double>(i) + 0.5);
+    EXPECT_NEAR(h.fractionBelow(50.0), 0.5, 0.02);
+    EXPECT_NEAR(h.fractionBelow(100.0), 1.0, 0.001);
+    EXPECT_DOUBLE_EQ(h.fractionBelow(0.0), 0.0);
+}
+
+TEST(HistogramStat, WeightedSamples)
+{
+    StatGroup group("g");
+    Histogram h(&group, "h", "histogram");
+    h.sample(4.0, 10);
+    EXPECT_EQ(h.count(), 10u);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(HistogramStat, ResetClearsEverything)
+{
+    StatGroup group("g");
+    Histogram h(&group, "h", "histogram");
+    h.sample(5.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(StatGroup, FormatIncludesHierarchy)
+{
+    StatGroup root("server");
+    StatGroup child("core0", &root);
+    Scalar s(&child, "instructions", "instructions executed");
+    s += 42;
+
+    std::ostringstream os;
+    root.format(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("server.core0.instructions"), std::string::npos);
+    EXPECT_NE(text.find("42"), std::string::npos);
+    EXPECT_NE(text.find("instructions executed"), std::string::npos);
+}
+
+TEST(StatGroup, ResetStatsRecurses)
+{
+    StatGroup root("root");
+    StatGroup child("child", &root);
+    Scalar a(&root, "a", "a");
+    Scalar b(&child, "b", "b");
+    a += 1;
+    b += 2;
+    root.resetStats();
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    EXPECT_DOUBLE_EQ(b.value(), 0.0);
+}
+
+} // anonymous namespace

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for trace record/replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "workload/trace.hh"
+
+namespace
+{
+
+using namespace mercury;
+using namespace mercury::workload;
+
+WorkloadGenerator
+makeGen(std::uint64_t seed = 42)
+{
+    WorkloadParams p;
+    p.numKeys = 200;
+    p.valueSize = ValueSizeDist::etc();
+    p.getFraction = 0.8;
+    p.seed = seed;
+    return WorkloadGenerator(p);
+}
+
+TEST(RequestTrace, CaptureRecordsExactly)
+{
+    WorkloadGenerator a = makeGen(), b = makeGen();
+    const RequestTrace trace = RequestTrace::capture(a, 500);
+    ASSERT_EQ(trace.size(), 500u);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const Request expected = b.next();
+        EXPECT_EQ(trace[i].op, expected.op);
+        EXPECT_EQ(trace[i].keyId, expected.keyId);
+        EXPECT_EQ(trace[i].valueBytes, expected.valueBytes);
+    }
+}
+
+TEST(RequestTrace, SaveLoadRoundTrips)
+{
+    WorkloadGenerator gen = makeGen();
+    const RequestTrace original = RequestTrace::capture(gen, 300);
+
+    std::stringstream stream;
+    original.save(stream);
+    const RequestTrace loaded = RequestTrace::load(stream);
+
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        EXPECT_EQ(loaded[i].op, original[i].op);
+        EXPECT_EQ(loaded[i].keyId, original[i].keyId);
+        EXPECT_EQ(loaded[i].valueBytes, original[i].valueBytes);
+    }
+}
+
+TEST(RequestTrace, LoadRejectsGarbage)
+{
+    ScopedLogCapture capture;
+    std::stringstream bad("hello world 3\nG 1 2\n");
+    EXPECT_THROW(RequestTrace::load(bad), SimFatalError);
+
+    std::stringstream truncated("mercury-trace v1 5\nG 1 2\n");
+    EXPECT_THROW(RequestTrace::load(truncated), SimFatalError);
+
+    std::stringstream badop("mercury-trace v1 1\nX 1 2\n");
+    EXPECT_THROW(RequestTrace::load(badop), SimFatalError);
+}
+
+TEST(RequestTrace, SummaryCountsOpsAndKeys)
+{
+    RequestTrace trace;
+    trace.append({Request::Op::Get, 1, 64});
+    trace.append({Request::Op::Get, 2, 128});
+    trace.append({Request::Op::Set, 1, 256});
+    const auto summary = trace.summarize();
+    EXPECT_EQ(summary.requests, 3u);
+    EXPECT_EQ(summary.gets, 2u);
+    EXPECT_EQ(summary.sets, 1u);
+    EXPECT_EQ(summary.distinctKeys, 2u);
+    EXPECT_EQ(summary.totalValueBytes, 448u);
+    EXPECT_EQ(summary.maxValueBytes, 256u);
+}
+
+TEST(TraceReplayer, ReplaysInOrderThenExhausts)
+{
+    RequestTrace trace;
+    for (std::uint64_t i = 0; i < 5; ++i)
+        trace.append({Request::Op::Get, i, 64});
+
+    TraceReplayer replayer(trace);
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        ASSERT_TRUE(replayer.hasNext());
+        EXPECT_EQ(replayer.next().keyId, i);
+    }
+    EXPECT_FALSE(replayer.hasNext());
+}
+
+TEST(TraceReplayer, LoopWrapsAround)
+{
+    RequestTrace trace;
+    trace.append({Request::Op::Get, 7, 64});
+    trace.append({Request::Op::Set, 8, 64});
+
+    TraceReplayer replayer(trace, true);
+    for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(replayer.hasNext());
+        EXPECT_EQ(replayer.next().keyId,
+                  static_cast<std::uint64_t>(i % 2 == 0 ? 7 : 8));
+    }
+}
+
+TEST(TraceReplayer, ResetRestarts)
+{
+    RequestTrace trace;
+    trace.append({Request::Op::Get, 1, 64});
+    TraceReplayer replayer(trace);
+    replayer.next();
+    EXPECT_FALSE(replayer.hasNext());
+    replayer.reset();
+    EXPECT_TRUE(replayer.hasNext());
+}
+
+TEST(TraceReplayer, ExhaustedNextPanics)
+{
+    ScopedLogCapture capture;
+    RequestTrace trace;
+    trace.append({Request::Op::Get, 1, 64});
+    TraceReplayer replayer(trace);
+    replayer.next();
+    EXPECT_THROW(replayer.next(), SimFatalError);
+}
+
+} // anonymous namespace
