@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_flash_gc"
+  "../bench/ablation_flash_gc.pdb"
+  "CMakeFiles/ablation_flash_gc.dir/ablation_flash_gc.cc.o"
+  "CMakeFiles/ablation_flash_gc.dir/ablation_flash_gc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flash_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

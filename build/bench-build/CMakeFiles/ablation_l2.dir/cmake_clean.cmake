@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_l2"
+  "../bench/ablation_l2.pdb"
+  "CMakeFiles/ablation_l2.dir/ablation_l2.cc.o"
+  "CMakeFiles/ablation_l2.dir/ablation_l2.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

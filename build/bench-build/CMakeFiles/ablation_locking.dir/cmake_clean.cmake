@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_locking"
+  "../bench/ablation_locking.pdb"
+  "CMakeFiles/ablation_locking.dir/ablation_locking.cc.o"
+  "CMakeFiles/ablation_locking.dir/ablation_locking.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_page_policy"
+  "../bench/ablation_page_policy.pdb"
+  "CMakeFiles/ablation_page_policy.dir/ablation_page_policy.cc.o"
+  "CMakeFiles/ablation_page_policy.dir/ablation_page_policy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_page_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_udp.cc" "bench-build/CMakeFiles/ablation_udp.dir/ablation_udp.cc.o" "gcc" "bench-build/CMakeFiles/ablation_udp.dir/ablation_udp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/mercury_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/mercury_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/mercury_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mercury_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mercury_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mercury_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mercury_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_udp"
+  "../bench/ablation_udp.pdb"
+  "CMakeFiles/ablation_udp.dir/ablation_udp.cc.o"
+  "CMakeFiles/ablation_udp.dir/ablation_udp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_udp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

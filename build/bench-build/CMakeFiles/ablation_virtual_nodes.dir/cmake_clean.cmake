@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_virtual_nodes"
+  "../bench/ablation_virtual_nodes.pdb"
+  "CMakeFiles/ablation_virtual_nodes.dir/ablation_virtual_nodes.cc.o"
+  "CMakeFiles/ablation_virtual_nodes.dir/ablation_virtual_nodes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_virtual_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cluster_tail"
+  "../bench/cluster_tail.pdb"
+  "CMakeFiles/cluster_tail.dir/cluster_tail.cc.o"
+  "CMakeFiles/cluster_tail.dir/cluster_tail.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

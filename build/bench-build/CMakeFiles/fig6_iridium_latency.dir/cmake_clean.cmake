@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_iridium_latency"
+  "../bench/fig6_iridium_latency.pdb"
+  "CMakeFiles/fig6_iridium_latency.dir/fig6_iridium_latency.cc.o"
+  "CMakeFiles/fig6_iridium_latency.dir/fig6_iridium_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_iridium_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

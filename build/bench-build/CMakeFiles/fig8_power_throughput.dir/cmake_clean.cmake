@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_power_throughput"
+  "../bench/fig8_power_throughput.pdb"
+  "CMakeFiles/fig8_power_throughput.dir/fig8_power_throughput.cc.o"
+  "CMakeFiles/fig8_power_throughput.dir/fig8_power_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_power_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

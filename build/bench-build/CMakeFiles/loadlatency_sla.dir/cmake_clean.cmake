@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/loadlatency_sla"
+  "../bench/loadlatency_sla.pdb"
+  "CMakeFiles/loadlatency_sla.dir/loadlatency_sla.cc.o"
+  "CMakeFiles/loadlatency_sla.dir/loadlatency_sla.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loadlatency_sla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

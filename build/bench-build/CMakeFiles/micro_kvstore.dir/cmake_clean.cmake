@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_kvstore"
+  "../bench/micro_kvstore.pdb"
+  "CMakeFiles/micro_kvstore.dir/micro_kvstore.cc.o"
+  "CMakeFiles/micro_kvstore.dir/micro_kvstore.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_components.cc" "bench-build/CMakeFiles/table1_components.dir/table1_components.cc.o" "gcc" "bench-build/CMakeFiles/table1_components.dir/table1_components.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/physical/CMakeFiles/mercury_physical.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/mercury_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mercury_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mercury_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

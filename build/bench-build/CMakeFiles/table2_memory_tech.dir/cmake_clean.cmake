@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_memory_tech"
+  "../bench/table2_memory_tech.pdb"
+  "CMakeFiles/table2_memory_tech.dir/table2_memory_tech.cc.o"
+  "CMakeFiles/table2_memory_tech.dir/table2_memory_tech.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_memory_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_max_configs"
+  "../bench/table3_max_configs.pdb"
+  "CMakeFiles/table3_max_configs.dir/table3_max_configs.cc.o"
+  "CMakeFiles/table3_max_configs.dir/table3_max_configs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_max_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/thermal_check"
+  "../bench/thermal_check.pdb"
+  "CMakeFiles/thermal_check.dir/thermal_check.cc.o"
+  "CMakeFiles/thermal_check.dir/thermal_check.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/validate_linear_scaling"
+  "../bench/validate_linear_scaling.pdb"
+  "CMakeFiles/validate_linear_scaling.dir/validate_linear_scaling.cc.o"
+  "CMakeFiles/validate_linear_scaling.dir/validate_linear_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_linear_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

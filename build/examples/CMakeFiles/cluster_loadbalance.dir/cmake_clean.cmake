@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_loadbalance.dir/cluster_loadbalance.cpp.o"
+  "CMakeFiles/cluster_loadbalance.dir/cluster_loadbalance.cpp.o.d"
+  "cluster_loadbalance"
+  "cluster_loadbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_loadbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_sla_explorer.dir/latency_sla_explorer.cpp.o"
+  "CMakeFiles/latency_sla_explorer.dir/latency_sla_explorer.cpp.o.d"
+  "latency_sla_explorer"
+  "latency_sla_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_sla_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photo_cache.dir/photo_cache.cpp.o"
+  "CMakeFiles/photo_cache.dir/photo_cache.cpp.o.d"
+  "photo_cache"
+  "photo_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photo_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

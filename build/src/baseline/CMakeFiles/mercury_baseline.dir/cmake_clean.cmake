@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_baseline.dir/baseline.cc.o"
+  "CMakeFiles/mercury_baseline.dir/baseline.cc.o.d"
+  "libmercury_baseline.a"
+  "libmercury_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

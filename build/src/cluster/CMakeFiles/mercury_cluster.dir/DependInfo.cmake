@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster_sim.cc" "src/cluster/CMakeFiles/mercury_cluster.dir/cluster_sim.cc.o" "gcc" "src/cluster/CMakeFiles/mercury_cluster.dir/cluster_sim.cc.o.d"
+  "/root/repo/src/cluster/distributed_cache.cc" "src/cluster/CMakeFiles/mercury_cluster.dir/distributed_cache.cc.o" "gcc" "src/cluster/CMakeFiles/mercury_cluster.dir/distributed_cache.cc.o.d"
+  "/root/repo/src/cluster/ring.cc" "src/cluster/CMakeFiles/mercury_cluster.dir/ring.cc.o" "gcc" "src/cluster/CMakeFiles/mercury_cluster.dir/ring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kvstore/CMakeFiles/mercury_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/mercury_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mercury_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mercury_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/mercury_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mercury_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mercury_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_cluster.dir/cluster_sim.cc.o"
+  "CMakeFiles/mercury_cluster.dir/cluster_sim.cc.o.d"
+  "CMakeFiles/mercury_cluster.dir/distributed_cache.cc.o"
+  "CMakeFiles/mercury_cluster.dir/distributed_cache.cc.o.d"
+  "CMakeFiles/mercury_cluster.dir/ring.cc.o"
+  "CMakeFiles/mercury_cluster.dir/ring.cc.o.d"
+  "libmercury_cluster.a"
+  "libmercury_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

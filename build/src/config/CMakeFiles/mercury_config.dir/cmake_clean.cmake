@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_config.dir/explorer.cc.o"
+  "CMakeFiles/mercury_config.dir/explorer.cc.o.d"
+  "CMakeFiles/mercury_config.dir/perf_oracle.cc.o"
+  "CMakeFiles/mercury_config.dir/perf_oracle.cc.o.d"
+  "libmercury_config.a"
+  "libmercury_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

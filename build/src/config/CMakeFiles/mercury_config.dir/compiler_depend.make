@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mercury_config.
+# This may be replaced when dependencies are built.

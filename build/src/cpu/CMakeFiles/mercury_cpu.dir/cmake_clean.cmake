@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_cpu.dir/core.cc.o"
+  "CMakeFiles/mercury_cpu.dir/core.cc.o.d"
+  "libmercury_cpu.a"
+  "libmercury_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

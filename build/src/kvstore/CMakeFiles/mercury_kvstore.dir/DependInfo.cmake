@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvstore/binary_protocol.cc" "src/kvstore/CMakeFiles/mercury_kvstore.dir/binary_protocol.cc.o" "gcc" "src/kvstore/CMakeFiles/mercury_kvstore.dir/binary_protocol.cc.o.d"
+  "/root/repo/src/kvstore/eviction.cc" "src/kvstore/CMakeFiles/mercury_kvstore.dir/eviction.cc.o" "gcc" "src/kvstore/CMakeFiles/mercury_kvstore.dir/eviction.cc.o.d"
+  "/root/repo/src/kvstore/hash.cc" "src/kvstore/CMakeFiles/mercury_kvstore.dir/hash.cc.o" "gcc" "src/kvstore/CMakeFiles/mercury_kvstore.dir/hash.cc.o.d"
+  "/root/repo/src/kvstore/hash_table.cc" "src/kvstore/CMakeFiles/mercury_kvstore.dir/hash_table.cc.o" "gcc" "src/kvstore/CMakeFiles/mercury_kvstore.dir/hash_table.cc.o.d"
+  "/root/repo/src/kvstore/protocol.cc" "src/kvstore/CMakeFiles/mercury_kvstore.dir/protocol.cc.o" "gcc" "src/kvstore/CMakeFiles/mercury_kvstore.dir/protocol.cc.o.d"
+  "/root/repo/src/kvstore/slab.cc" "src/kvstore/CMakeFiles/mercury_kvstore.dir/slab.cc.o" "gcc" "src/kvstore/CMakeFiles/mercury_kvstore.dir/slab.cc.o.d"
+  "/root/repo/src/kvstore/store.cc" "src/kvstore/CMakeFiles/mercury_kvstore.dir/store.cc.o" "gcc" "src/kvstore/CMakeFiles/mercury_kvstore.dir/store.cc.o.d"
+  "/root/repo/src/kvstore/udp_frame.cc" "src/kvstore/CMakeFiles/mercury_kvstore.dir/udp_frame.cc.o" "gcc" "src/kvstore/CMakeFiles/mercury_kvstore.dir/udp_frame.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mercury_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_kvstore.dir/binary_protocol.cc.o"
+  "CMakeFiles/mercury_kvstore.dir/binary_protocol.cc.o.d"
+  "CMakeFiles/mercury_kvstore.dir/eviction.cc.o"
+  "CMakeFiles/mercury_kvstore.dir/eviction.cc.o.d"
+  "CMakeFiles/mercury_kvstore.dir/hash.cc.o"
+  "CMakeFiles/mercury_kvstore.dir/hash.cc.o.d"
+  "CMakeFiles/mercury_kvstore.dir/hash_table.cc.o"
+  "CMakeFiles/mercury_kvstore.dir/hash_table.cc.o.d"
+  "CMakeFiles/mercury_kvstore.dir/protocol.cc.o"
+  "CMakeFiles/mercury_kvstore.dir/protocol.cc.o.d"
+  "CMakeFiles/mercury_kvstore.dir/slab.cc.o"
+  "CMakeFiles/mercury_kvstore.dir/slab.cc.o.d"
+  "CMakeFiles/mercury_kvstore.dir/store.cc.o"
+  "CMakeFiles/mercury_kvstore.dir/store.cc.o.d"
+  "CMakeFiles/mercury_kvstore.dir/udp_frame.cc.o"
+  "CMakeFiles/mercury_kvstore.dir/udp_frame.cc.o.d"
+  "libmercury_kvstore.a"
+  "libmercury_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/mercury_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/mercury_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/mem/CMakeFiles/mercury_mem.dir/dram.cc.o" "gcc" "src/mem/CMakeFiles/mercury_mem.dir/dram.cc.o.d"
+  "/root/repo/src/mem/flash.cc" "src/mem/CMakeFiles/mercury_mem.dir/flash.cc.o" "gcc" "src/mem/CMakeFiles/mercury_mem.dir/flash.cc.o.d"
+  "/root/repo/src/mem/region_router.cc" "src/mem/CMakeFiles/mercury_mem.dir/region_router.cc.o" "gcc" "src/mem/CMakeFiles/mercury_mem.dir/region_router.cc.o.d"
+  "/root/repo/src/mem/simple_mem.cc" "src/mem/CMakeFiles/mercury_mem.dir/simple_mem.cc.o" "gcc" "src/mem/CMakeFiles/mercury_mem.dir/simple_mem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mercury_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_mem.dir/cache.cc.o"
+  "CMakeFiles/mercury_mem.dir/cache.cc.o.d"
+  "CMakeFiles/mercury_mem.dir/dram.cc.o"
+  "CMakeFiles/mercury_mem.dir/dram.cc.o.d"
+  "CMakeFiles/mercury_mem.dir/flash.cc.o"
+  "CMakeFiles/mercury_mem.dir/flash.cc.o.d"
+  "CMakeFiles/mercury_mem.dir/region_router.cc.o"
+  "CMakeFiles/mercury_mem.dir/region_router.cc.o.d"
+  "CMakeFiles/mercury_mem.dir/simple_mem.cc.o"
+  "CMakeFiles/mercury_mem.dir/simple_mem.cc.o.d"
+  "libmercury_mem.a"
+  "libmercury_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

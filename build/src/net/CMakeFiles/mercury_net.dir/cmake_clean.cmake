@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_net.dir/network.cc.o"
+  "CMakeFiles/mercury_net.dir/network.cc.o.d"
+  "libmercury_net.a"
+  "libmercury_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

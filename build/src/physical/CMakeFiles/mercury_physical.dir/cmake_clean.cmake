@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_physical.dir/chassis.cc.o"
+  "CMakeFiles/mercury_physical.dir/chassis.cc.o.d"
+  "CMakeFiles/mercury_physical.dir/components.cc.o"
+  "CMakeFiles/mercury_physical.dir/components.cc.o.d"
+  "CMakeFiles/mercury_physical.dir/thermal.cc.o"
+  "CMakeFiles/mercury_physical.dir/thermal.cc.o.d"
+  "libmercury_physical.a"
+  "libmercury_physical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_physical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/address_map.cc" "src/server/CMakeFiles/mercury_server.dir/address_map.cc.o" "gcc" "src/server/CMakeFiles/mercury_server.dir/address_map.cc.o.d"
+  "/root/repo/src/server/load_sim.cc" "src/server/CMakeFiles/mercury_server.dir/load_sim.cc.o" "gcc" "src/server/CMakeFiles/mercury_server.dir/load_sim.cc.o.d"
+  "/root/repo/src/server/server_model.cc" "src/server/CMakeFiles/mercury_server.dir/server_model.cc.o" "gcc" "src/server/CMakeFiles/mercury_server.dir/server_model.cc.o.d"
+  "/root/repo/src/server/stack_sim.cc" "src/server/CMakeFiles/mercury_server.dir/stack_sim.cc.o" "gcc" "src/server/CMakeFiles/mercury_server.dir/stack_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/mercury_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/mercury_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mercury_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mercury_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mercury_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mercury_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_server.dir/address_map.cc.o"
+  "CMakeFiles/mercury_server.dir/address_map.cc.o.d"
+  "CMakeFiles/mercury_server.dir/load_sim.cc.o"
+  "CMakeFiles/mercury_server.dir/load_sim.cc.o.d"
+  "CMakeFiles/mercury_server.dir/server_model.cc.o"
+  "CMakeFiles/mercury_server.dir/server_model.cc.o.d"
+  "CMakeFiles/mercury_server.dir/stack_sim.cc.o"
+  "CMakeFiles/mercury_server.dir/stack_sim.cc.o.d"
+  "libmercury_server.a"
+  "libmercury_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

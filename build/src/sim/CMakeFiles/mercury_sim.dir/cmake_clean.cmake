@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_sim.dir/event_queue.cc.o"
+  "CMakeFiles/mercury_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/mercury_sim.dir/logging.cc.o"
+  "CMakeFiles/mercury_sim.dir/logging.cc.o.d"
+  "CMakeFiles/mercury_sim.dir/random.cc.o"
+  "CMakeFiles/mercury_sim.dir/random.cc.o.d"
+  "CMakeFiles/mercury_sim.dir/stats.cc.o"
+  "CMakeFiles/mercury_sim.dir/stats.cc.o.d"
+  "libmercury_sim.a"
+  "libmercury_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

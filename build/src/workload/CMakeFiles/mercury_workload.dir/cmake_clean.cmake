@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_workload.dir/trace.cc.o"
+  "CMakeFiles/mercury_workload.dir/trace.cc.o.d"
+  "CMakeFiles/mercury_workload.dir/workload.cc.o"
+  "CMakeFiles/mercury_workload.dir/workload.cc.o.d"
+  "libmercury_workload.a"
+  "libmercury_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kvstore/binary_protocol_test.cc" "tests/CMakeFiles/test_kvstore.dir/kvstore/binary_protocol_test.cc.o" "gcc" "tests/CMakeFiles/test_kvstore.dir/kvstore/binary_protocol_test.cc.o.d"
+  "/root/repo/tests/kvstore/eviction_test.cc" "tests/CMakeFiles/test_kvstore.dir/kvstore/eviction_test.cc.o" "gcc" "tests/CMakeFiles/test_kvstore.dir/kvstore/eviction_test.cc.o.d"
+  "/root/repo/tests/kvstore/hash_table_test.cc" "tests/CMakeFiles/test_kvstore.dir/kvstore/hash_table_test.cc.o" "gcc" "tests/CMakeFiles/test_kvstore.dir/kvstore/hash_table_test.cc.o.d"
+  "/root/repo/tests/kvstore/protocol_test.cc" "tests/CMakeFiles/test_kvstore.dir/kvstore/protocol_test.cc.o" "gcc" "tests/CMakeFiles/test_kvstore.dir/kvstore/protocol_test.cc.o.d"
+  "/root/repo/tests/kvstore/slab_test.cc" "tests/CMakeFiles/test_kvstore.dir/kvstore/slab_test.cc.o" "gcc" "tests/CMakeFiles/test_kvstore.dir/kvstore/slab_test.cc.o.d"
+  "/root/repo/tests/kvstore/store_test.cc" "tests/CMakeFiles/test_kvstore.dir/kvstore/store_test.cc.o" "gcc" "tests/CMakeFiles/test_kvstore.dir/kvstore/store_test.cc.o.d"
+  "/root/repo/tests/kvstore/udp_frame_test.cc" "tests/CMakeFiles/test_kvstore.dir/kvstore/udp_frame_test.cc.o" "gcc" "tests/CMakeFiles/test_kvstore.dir/kvstore/udp_frame_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kvstore/CMakeFiles/mercury_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mercury_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

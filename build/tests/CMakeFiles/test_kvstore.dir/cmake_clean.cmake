@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kvstore.dir/kvstore/binary_protocol_test.cc.o"
+  "CMakeFiles/test_kvstore.dir/kvstore/binary_protocol_test.cc.o.d"
+  "CMakeFiles/test_kvstore.dir/kvstore/eviction_test.cc.o"
+  "CMakeFiles/test_kvstore.dir/kvstore/eviction_test.cc.o.d"
+  "CMakeFiles/test_kvstore.dir/kvstore/hash_table_test.cc.o"
+  "CMakeFiles/test_kvstore.dir/kvstore/hash_table_test.cc.o.d"
+  "CMakeFiles/test_kvstore.dir/kvstore/protocol_test.cc.o"
+  "CMakeFiles/test_kvstore.dir/kvstore/protocol_test.cc.o.d"
+  "CMakeFiles/test_kvstore.dir/kvstore/slab_test.cc.o"
+  "CMakeFiles/test_kvstore.dir/kvstore/slab_test.cc.o.d"
+  "CMakeFiles/test_kvstore.dir/kvstore/store_test.cc.o"
+  "CMakeFiles/test_kvstore.dir/kvstore/store_test.cc.o.d"
+  "CMakeFiles/test_kvstore.dir/kvstore/udp_frame_test.cc.o"
+  "CMakeFiles/test_kvstore.dir/kvstore/udp_frame_test.cc.o.d"
+  "test_kvstore"
+  "test_kvstore.pdb"
+  "test_kvstore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

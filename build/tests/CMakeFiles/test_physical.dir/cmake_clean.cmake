@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_physical.dir/physical/chassis_test.cc.o"
+  "CMakeFiles/test_physical.dir/physical/chassis_test.cc.o.d"
+  "CMakeFiles/test_physical.dir/physical/thermal_test.cc.o"
+  "CMakeFiles/test_physical.dir/physical/thermal_test.cc.o.d"
+  "test_physical"
+  "test_physical.pdb"
+  "test_physical[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_physical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_server.dir/server/load_sim_test.cc.o"
+  "CMakeFiles/test_server.dir/server/load_sim_test.cc.o.d"
+  "CMakeFiles/test_server.dir/server/server_model_test.cc.o"
+  "CMakeFiles/test_server.dir/server/server_model_test.cc.o.d"
+  "CMakeFiles/test_server.dir/server/stack_sim_test.cc.o"
+  "CMakeFiles/test_server.dir/server/stack_sim_test.cc.o.d"
+  "test_server"
+  "test_server.pdb"
+  "test_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
