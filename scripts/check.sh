@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Correctness gate for the Mercury simulator.
+#
+# Runs, in order:
+#   1. the asan-ubsan preset: configure, build (-Werror), full ctest
+#      under AddressSanitizer + UBSan with expensive invariant checks
+#      (MERCURY_EXTRA_CHECKS) compiled in;
+#   2. clang-tidy over src/ (skipped with a warning when clang-tidy is
+#      not installed -- the CI image may not ship it);
+#   3. the project-specific lint rules in tools/lint/mercury_lint.py.
+#
+# Fails on the first stage that reports a problem. Usage:
+#   scripts/check.sh [--skip-build]
+
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+skip_build=0
+for arg in "$@"; do
+    case "$arg" in
+      --skip-build) skip_build=1 ;;
+      *) echo "usage: scripts/check.sh [--skip-build]" >&2; exit 2 ;;
+    esac
+done
+
+failures=0
+
+note() { printf '\n== %s ==\n' "$*"; }
+
+if [ "$skip_build" -eq 0 ]; then
+    note "asan-ubsan build + tests"
+    if ! cmake --preset asan-ubsan; then
+        echo "check.sh: asan-ubsan configure failed" >&2
+        exit 1
+    fi
+    if ! cmake --build --preset asan-ubsan -j "$(nproc)"; then
+        echo "check.sh: asan-ubsan build failed (warnings are errors)" >&2
+        exit 1
+    fi
+    if ! ctest --preset asan-ubsan; then
+        echo "check.sh: tests failed under asan-ubsan" >&2
+        exit 1
+    fi
+else
+    note "asan-ubsan build + tests (skipped)"
+fi
+
+note "clang-tidy"
+if command -v run-clang-tidy >/dev/null 2>&1; then
+    # The asan-ubsan preset exports compile_commands.json.
+    if ! run-clang-tidy -quiet -p build/asan-ubsan \
+            "$(pwd)/src/.*" > /tmp/mercury-clang-tidy.log 2>&1; then
+        echo "check.sh: clang-tidy reported findings:" >&2
+        grep -E "(warning|error):" /tmp/mercury-clang-tidy.log >&2 || \
+            tail -50 /tmp/mercury-clang-tidy.log >&2
+        failures=$((failures + 1))
+    else
+        echo "clang-tidy: clean"
+    fi
+elif command -v clang-tidy >/dev/null 2>&1; then
+    tidy_rc=0
+    while IFS= read -r src; do
+        clang-tidy -p build/asan-ubsan --quiet "$src" || tidy_rc=1
+    done < <(find src -name '*.cc')
+    if [ "$tidy_rc" -ne 0 ]; then
+        echo "check.sh: clang-tidy reported findings" >&2
+        failures=$((failures + 1))
+    else
+        echo "clang-tidy: clean"
+    fi
+else
+    echo "clang-tidy not installed; skipping (config is .clang-tidy)"
+fi
+
+note "mercury lint"
+if ! python3 tools/lint/mercury_lint.py src; then
+    failures=$((failures + 1))
+fi
+
+if [ "$failures" -ne 0 ]; then
+    echo
+    echo "check.sh: FAILED ($failures stage(s) reported findings)" >&2
+    exit 1
+fi
+echo
+echo "check.sh: all stages clean"

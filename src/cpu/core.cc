@@ -103,6 +103,10 @@ CoreModel::computeTicksFor(std::uint64_t instructions) const
 {
     const double cycles =
         static_cast<double>(instructions) / params_.issueIpc;
+    // Cycles-to-ticks at core frequency; keep the exact expression
+    // (and its rounding) that the calibration constants were fit
+    // against.
+    // lint: allow(tick-cast)
     return static_cast<Tick>(cycles * static_cast<double>(tickNs) /
                              params_.freqGHz);
 }

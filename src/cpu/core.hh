@@ -61,6 +61,10 @@ struct CoreParams
     Tick
     cyclePeriod() const
     {
+        // Frequency-to-period needs a direct division; routing it
+        // through secondsToTicks would change the rounding and shift
+        // every calibrated timing result.
+        // lint: allow(tick-cast)
         return static_cast<Tick>(static_cast<double>(tickNs) / freqGHz);
     }
 };

@@ -1,6 +1,6 @@
 #include "kvstore/eviction.hh"
 
-#include "sim/logging.hh"
+#include "sim/contract.hh"
 
 namespace mercury::kvstore
 {
@@ -8,6 +8,9 @@ namespace mercury::kvstore
 void
 ItemList::pushFront(Item *item)
 {
+    MERCURY_EXPECTS(item != nullptr, "pushFront of null item");
+    MERCURY_EXPECTS(!item->lruPrev && !item->lruNext && item != head_,
+                    "pushFront of an item already linked in a list");
     item->lruPrev = nullptr;
     item->lruNext = head_;
     if (head_)
@@ -16,11 +19,16 @@ ItemList::pushFront(Item *item)
     if (!tail_)
         tail_ = item;
     ++size_;
+    MERCURY_ASSERT_SLOW(checkWellFormed(),
+                        "LRU list malformed after pushFront");
 }
 
 void
 ItemList::pushBack(Item *item)
 {
+    MERCURY_EXPECTS(item != nullptr, "pushBack of null item");
+    MERCURY_EXPECTS(!item->lruPrev && !item->lruNext && item != tail_,
+                    "pushBack of an item already linked in a list");
     item->lruNext = nullptr;
     item->lruPrev = tail_;
     if (tail_)
@@ -29,11 +37,21 @@ ItemList::pushBack(Item *item)
     if (!head_)
         head_ = item;
     ++size_;
+    MERCURY_ASSERT_SLOW(checkWellFormed(),
+                        "LRU list malformed after pushBack");
 }
 
 void
 ItemList::unlink(Item *item)
 {
+    MERCURY_EXPECTS(item != nullptr, "unlink of null item");
+    MERCURY_EXPECTS(size_ > 0, "unlink from empty list");
+    MERCURY_EXPECTS(item->lruPrev != nullptr || item == head_,
+                    "unlink of an item that is not in this list");
+    MERCURY_EXPECTS(item->lruNext != nullptr || item == tail_,
+                    "unlink of an item that is not in this list");
+    MERCURY_ASSERT_SLOW(contains(item),
+                        "unlink of an item from a different list");
     if (item->lruPrev)
         item->lruPrev->lruNext = item->lruNext;
     else
@@ -44,8 +62,42 @@ ItemList::unlink(Item *item)
         tail_ = item->lruPrev;
     item->lruPrev = nullptr;
     item->lruNext = nullptr;
-    mercury_assert(size_ > 0, "unlink from empty list");
     --size_;
+    MERCURY_ASSERT_SLOW(checkWellFormed(),
+                        "LRU list malformed after unlink");
+}
+
+bool
+ItemList::contains(const Item *item) const
+{
+    std::size_t walked = 0;
+    for (const Item *it = head_; it; it = it->lruNext) {
+        if (it == item)
+            return true;
+        if (++walked > size_)
+            return false;
+    }
+    return false;
+}
+
+bool
+ItemList::checkWellFormed() const
+{
+    if (head_ == nullptr || tail_ == nullptr)
+        return head_ == nullptr && tail_ == nullptr && size_ == 0;
+    if (head_->lruPrev != nullptr || tail_->lruNext != nullptr)
+        return false;
+
+    std::size_t walked = 0;
+    const Item *prev = nullptr;
+    for (const Item *it = head_; it; it = it->lruNext) {
+        if (it->lruPrev != prev)
+            return false;
+        if (++walked > size_)
+            return false;
+        prev = it;
+    }
+    return prev == tail_ && walked == size_;
 }
 
 void
@@ -70,7 +122,7 @@ void
 StrictLru::onRemove(Item *item)
 {
     list_.unlink(item);
-    mercury_assert(tracked_ > 0, "remove from empty policy");
+    MERCURY_ASSERT(tracked_ > 0, "remove from empty policy");
     --tracked_;
 }
 
@@ -104,7 +156,7 @@ void
 BagLru::onRemove(Item *item)
 {
     bags_[item->bagIndex].unlink(item);
-    mercury_assert(tracked_ > 0, "remove from empty policy");
+    MERCURY_ASSERT(tracked_ > 0, "remove from empty policy");
     --tracked_;
 }
 
@@ -168,7 +220,7 @@ BagLru::victim(std::uint32_t now)
 std::size_t
 BagLru::bagSize(unsigned bag) const
 {
-    mercury_assert(bag < numBags, "bag index out of range");
+    MERCURY_EXPECTS(bag < numBags, "bag index out of range: ", bag);
     return bags_[bag].size();
 }
 
@@ -196,9 +248,9 @@ referenced(const Item *item)
 SegmentedLru::SegmentedLru(double hot_fraction, double warm_fraction)
     : hotFraction_(hot_fraction), warmFraction_(warm_fraction)
 {
-    mercury_assert(hot_fraction > 0.0 && warm_fraction > 0.0 &&
-                   hot_fraction + warm_fraction < 1.0,
-                   "segment fractions must leave room for COLD");
+    MERCURY_EXPECTS(hot_fraction > 0.0 && warm_fraction > 0.0 &&
+                    hot_fraction + warm_fraction < 1.0,
+                    "segment fractions must leave room for COLD");
 }
 
 void
@@ -242,7 +294,7 @@ SegmentedLru::onRemove(Item *item)
 {
     segments_[segmentOf(item)].unlink(item);
     item->bagIndex = 0;
-    mercury_assert(tracked_ > 0, "remove from empty policy");
+    MERCURY_ASSERT(tracked_ > 0, "remove from empty policy");
     --tracked_;
 }
 
@@ -305,7 +357,7 @@ SegmentedLru::victim(std::uint32_t)
 std::size_t
 SegmentedLru::segmentSize(unsigned segment) const
 {
-    mercury_assert(segment < 3, "segment index out of range");
+    MERCURY_EXPECTS(segment < 3, "segment index out of range: ", segment);
     return segments_[segment].size();
 }
 

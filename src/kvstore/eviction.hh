@@ -38,6 +38,16 @@ class ItemList
     std::size_t size() const { return size_; }
     bool empty() const { return size_ == 0; }
 
+    /** True if @p item is reachable from head_ (O(n); slow checks). */
+    bool contains(const Item *item) const;
+
+    /**
+     * Full well-formedness audit: forward walk matches size(),
+     * prev/next pointers mirror each other, and the ends are
+     * terminated. O(n); meant for tests and MERCURY_ASSERT_SLOW.
+     */
+    bool checkWellFormed() const;
+
   private:
     Item *head_ = nullptr;
     Item *tail_ = nullptr;

@@ -1,15 +1,15 @@
 #include "kvstore/hash_table.hh"
 
 #include "kvstore/hash.hh"
-#include "sim/logging.hh"
+#include "sim/contract.hh"
 
 namespace mercury::kvstore
 {
 
 HashTable::HashTable(unsigned initial_power)
 {
-    mercury_assert(initial_power >= 1 && initial_power <= 30,
-                   "hash power out of range");
+    MERCURY_EXPECTS(initial_power >= 1 && initial_power <= 30,
+                    "hash power out of range: ", initial_power);
     primary_.assign(std::size_t(1) << initial_power, nullptr);
 }
 
@@ -32,6 +32,9 @@ HashTable::find(std::string_view key, std::uint64_t hash)
     result.bucketAddr = bucket;
     for (Item *it = *bucket; it; it = it->hNext) {
         ++result.chainLength;
+        MERCURY_ASSERT(result.chainLength <= size_,
+                       "bucket chain longer than the table "
+                       "(corrupt chain or cycle)");
         if (it->key() == key) {
             result.item = it;
             return result;
@@ -43,7 +46,11 @@ HashTable::find(std::string_view key, std::uint64_t hash)
 void
 HashTable::insert(Item *item, std::uint64_t hash)
 {
-    mercury_assert(item != nullptr, "insert of null item");
+    MERCURY_EXPECTS(item != nullptr, "insert of null item");
+    MERCURY_EXPECTS(item->hNext == nullptr,
+                    "insert of item already linked in a chain");
+    MERCURY_ASSERT_SLOW(find(item->key(), hash).item == nullptr,
+                        "duplicate insert of key '", item->key(), "'");
     Item **bucket = bucketFor(hash);
     item->hNext = *bucket;
     *bucket = item;
@@ -62,6 +69,9 @@ HashTable::remove(std::string_view key, std::uint64_t hash)
             Item *removed = *link;
             *link = removed->hNext;
             removed->hNext = nullptr;
+            MERCURY_ASSERT(size_ > 0,
+                           "remove from a table that thinks it is "
+                           "empty");
             --size_;
             if (expanding_)
                 migrateStep();
@@ -83,6 +93,8 @@ HashTable::maybeExpand()
     primary_.assign(old_.size() * 2, nullptr);
     expanding_ = true;
     migrateBucket_ = 0;
+    MERCURY_ENSURES(primary_.size() == old_.size() * 2,
+                    "expansion must exactly double the table");
 }
 
 void
@@ -91,6 +103,8 @@ HashTable::migrateStep(unsigned buckets)
     if (!expanding_)
         return;
 
+    MERCURY_ASSERT(migrateBucket_ <= old_.size(),
+                   "migration cursor past the old table");
     for (unsigned step = 0;
          step < buckets && migrateBucket_ < old_.size(); ++step) {
         Item *it = old_[migrateBucket_];
@@ -111,7 +125,51 @@ HashTable::migrateStep(unsigned buckets)
         old_.shrink_to_fit();
         expanding_ = false;
         migrateBucket_ = 0;
+        MERCURY_ASSERT_SLOW(checkIntegrity(),
+                            "hash table corrupt after finishing "
+                            "incremental migration");
     }
+}
+
+bool
+HashTable::checkIntegrity() const
+{
+    if (expanding_) {
+        if (old_.empty() || primary_.size() != old_.size() * 2)
+            return false;
+        if (migrateBucket_ > old_.size())
+            return false;
+    } else {
+        if (!old_.empty() || migrateBucket_ != 0)
+            return false;
+    }
+
+    // Count linked items, bounding each chain walk so a cycle cannot
+    // hang the audit.
+    std::size_t linked = 0;
+    auto walk = [this, &linked](const std::vector<Item *> &table) {
+        for (const auto &head : table) {
+            std::size_t chain = 0;
+            for (Item *it = head; it; it = it->hNext) {
+                if (++chain > size_ + 1)
+                    return false;
+                ++linked;
+            }
+        }
+        return true;
+    };
+    if (!walk(primary_) || !walk(old_))
+        return false;
+    return linked == size_;
+}
+
+void
+HashTable::validate() const
+{
+    MERCURY_ASSERT(checkIntegrity(),
+                   "hash table structural audit failed: size=", size_,
+                   " buckets=", primary_.size(),
+                   " expanding=", expanding_);
 }
 
 } // namespace mercury::kvstore

@@ -74,6 +74,17 @@ class HashTable
     /** Begin doubling if the load factor warrants it. */
     void maybeExpand();
 
+    /**
+     * Full structural audit: bucket chains are cycle-free, linked
+     * item count matches size(), and the expansion bookkeeping is
+     * coherent. O(items); meant for tests and MERCURY_ASSERT_SLOW.
+     */
+    bool checkIntegrity() const;
+
+    /** MERCURY_ASSERT wrapper around checkIntegrity(), so callers
+     * (tests, housekeeping) get the formatted contract diagnostic. */
+    void validate() const;
+
     /** Visit every item (slow; used by flush and tests). */
     template <typename Fn>
     void

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "sim/logging.hh"
+#include "sim/contract.hh"
 
 namespace mercury::kvstore
 {
@@ -10,12 +10,12 @@ namespace mercury::kvstore
 SlabAllocator::SlabAllocator(const SlabParams &params)
     : params_(params)
 {
-    mercury_assert(params_.pageSize >= params_.minChunk,
-                   "slab page must fit at least one chunk");
-    mercury_assert(params_.growthFactor > 1.0,
-                   "slab growth factor must exceed 1");
-    mercury_assert(params_.memLimit >= params_.pageSize,
-                   "memory limit below one slab page");
+    MERCURY_EXPECTS(params_.pageSize >= params_.minChunk,
+                    "slab page must fit at least one chunk");
+    MERCURY_EXPECTS(params_.growthFactor > 1.0,
+                    "slab growth factor must exceed 1");
+    MERCURY_EXPECTS(params_.memLimit >= params_.pageSize,
+                    "memory limit below one slab page");
 
     // Build the geometric class table, ending with one whole page.
     double size = params_.minChunk;
@@ -46,14 +46,14 @@ SlabAllocator::classFor(std::size_t bytes) const
         [](const SlabClass &cls, std::size_t want) {
             return cls.chunkSize < want;
         });
-    mercury_assert(it != classes_.end(), "class table must cover page");
+    MERCURY_ASSERT(it != classes_.end(), "class table must cover page");
     return static_cast<int>(it - classes_.begin());
 }
 
 std::uint32_t
 SlabAllocator::chunkSize(unsigned cls) const
 {
-    mercury_assert(cls < classes_.size(), "bad slab class ", cls);
+    MERCURY_EXPECTS(cls < classes_.size(), "bad slab class ", cls);
     return classes_[cls].chunkSize;
 }
 
@@ -67,6 +67,7 @@ SlabAllocator::growClass(unsigned cls)
     char *base = page.get();
     const auto page_index = static_cast<std::uint32_t>(pages_.size());
     pages_.push_back(std::move(page));
+    pageClass_.push_back(cls);
 
     auto pos = std::lower_bound(
         pageBases_.begin(), pageBases_.end(), base,
@@ -84,13 +85,17 @@ SlabAllocator::growClass(unsigned cls)
     slab_class.totalChunks += chunks;
     ++slab_class.pages;
     allocatedBytes_ += params_.pageSize;
+    MERCURY_ENSURES(allocatedBytes_ <= params_.memLimit,
+                    "slab pages exceed the memory budget");
+    MERCURY_ASSERT_SLOW(checkConsistency(),
+                        "slab tables inconsistent after page grow");
     return true;
 }
 
 void *
 SlabAllocator::allocate(unsigned cls)
 {
-    mercury_assert(cls < classes_.size(), "bad slab class ", cls);
+    MERCURY_EXPECTS(cls < classes_.size(), "bad slab class ", cls);
     SlabClass &slab_class = classes_[cls];
     if (slab_class.freeChunks.empty() && !growClass(cls))
         return nullptr;
@@ -98,17 +103,43 @@ SlabAllocator::allocate(unsigned cls)
     void *chunk = slab_class.freeChunks.back();
     slab_class.freeChunks.pop_back();
     usedBytes_ += slab_class.chunkSize;
+    MERCURY_ENSURES(usedBytes_ <= allocatedBytes_,
+                    "more chunk bytes in use than pages assigned");
+    MERCURY_ENSURES(chunkClassMatches(cls, chunk),
+                    "allocator handed out a chunk from the wrong class");
     return chunk;
+}
+
+bool
+SlabAllocator::chunkClassMatches(unsigned cls, const void *chunk) const
+{
+    const std::int64_t page = pageIndexOf(chunk);
+    if (page < 0)
+        return false;
+    if (pageClass_[static_cast<std::size_t>(page)] != cls)
+        return false;
+    // A chunk pointer must sit on a chunk boundary of its class.
+    return pageOffsetOf(chunk) % classes_[cls].chunkSize == 0;
 }
 
 void
 SlabAllocator::free(unsigned cls, void *chunk)
 {
-    mercury_assert(cls < classes_.size(), "bad slab class ", cls);
-    mercury_assert(chunk != nullptr, "free of null chunk");
+    MERCURY_EXPECTS(cls < classes_.size(), "bad slab class ", cls);
+    MERCURY_EXPECTS(chunk != nullptr, "free of null chunk");
+    MERCURY_EXPECTS(chunkClassMatches(cls, chunk),
+                    "free of chunk that was not allocated from class ",
+                    cls);
     SlabClass &slab_class = classes_[cls];
+    MERCURY_EXPECTS(usedChunks(cls) > 0,
+                    "free with no chunks outstanding in class ", cls,
+                    " (double free?)");
+    MERCURY_ASSERT_SLOW(std::find(slab_class.freeChunks.begin(),
+                                  slab_class.freeChunks.end(),
+                                  chunk) == slab_class.freeChunks.end(),
+                        "double free of slab chunk in class ", cls);
     slab_class.freeChunks.push_back(chunk);
-    mercury_assert(usedBytes_ >= slab_class.chunkSize,
+    MERCURY_ASSERT(usedBytes_ >= slab_class.chunkSize,
                    "slab accounting underflow");
     usedBytes_ -= slab_class.chunkSize;
 }
@@ -116,16 +147,68 @@ SlabAllocator::free(unsigned cls, void *chunk)
 std::uint64_t
 SlabAllocator::usedChunks(unsigned cls) const
 {
-    mercury_assert(cls < classes_.size(), "bad slab class ", cls);
+    MERCURY_EXPECTS(cls < classes_.size(), "bad slab class ", cls);
     const SlabClass &slab_class = classes_[cls];
+    MERCURY_ASSERT(slab_class.freeChunks.size() <=
+                   slab_class.totalChunks,
+                   "class ", cls, " free list larger than the class");
     return slab_class.totalChunks - slab_class.freeChunks.size();
 }
 
 unsigned
 SlabAllocator::pagesOf(unsigned cls) const
 {
-    mercury_assert(cls < classes_.size(), "bad slab class ", cls);
+    MERCURY_EXPECTS(cls < classes_.size(), "bad slab class ", cls);
     return classes_[cls].pages;
+}
+
+unsigned
+SlabAllocator::classOfPage(std::uint32_t page_index) const
+{
+    MERCURY_EXPECTS(page_index < pageClass_.size(),
+                    "bad slab page index ", page_index);
+    return pageClass_[page_index];
+}
+
+bool
+SlabAllocator::checkConsistency() const
+{
+    if (pages_.size() != pageClass_.size() ||
+        pages_.size() != pageBases_.size()) {
+        return false;
+    }
+    if (allocatedBytes_ != pages_.size() * params_.pageSize)
+        return false;
+
+    std::uint64_t used_bytes = 0;
+    std::vector<unsigned> pages_per_class(classes_.size(), 0);
+    for (const std::uint32_t cls : pageClass_) {
+        if (cls >= classes_.size())
+            return false;
+        ++pages_per_class[cls];
+    }
+
+    for (std::size_t cls = 0; cls < classes_.size(); ++cls) {
+        const SlabClass &slab_class = classes_[cls];
+        if (slab_class.pages != pages_per_class[cls])
+            return false;
+        const std::uint64_t chunks_per_page =
+            params_.pageSize / slab_class.chunkSize;
+        if (slab_class.totalChunks !=
+            chunks_per_page * slab_class.pages) {
+            return false;
+        }
+        if (slab_class.freeChunks.size() > slab_class.totalChunks)
+            return false;
+        for (const void *chunk : slab_class.freeChunks) {
+            if (!chunkClassMatches(static_cast<unsigned>(cls), chunk))
+                return false;
+        }
+        used_bytes += (slab_class.totalChunks -
+                       slab_class.freeChunks.size()) *
+                      slab_class.chunkSize;
+    }
+    return used_bytes == usedBytes_;
 }
 
 std::int64_t
@@ -154,8 +237,8 @@ SlabAllocator::pageOffsetOf(const void *chunk) const
         [](const char *want, const auto &entry) {
             return want < entry.first;
         });
-    mercury_assert(it != pageBases_.begin(),
-                   "pointer not from this allocator");
+    MERCURY_EXPECTS(it != pageBases_.begin(),
+                    "pointer not from this allocator");
     --it;
     return static_cast<std::uint64_t>(p - it->first);
 }

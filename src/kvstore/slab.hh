@@ -95,6 +95,17 @@ class SlabAllocator
      * mapping; -1 if the pointer is not from this allocator. */
     std::int64_t pageIndexOf(const void *chunk) const;
 
+    /** Class a page was assigned to (pages never move classes). */
+    unsigned classOfPage(std::uint32_t page_index) const;
+
+    /**
+     * Full structural audit of the class tables and accounting:
+     * per-class chunk counts, page assignment, byte accounting, and
+     * free-list sanity. O(pages + free chunks); meant for tests and
+     * MERCURY_ASSERT_SLOW, not the hot path.
+     */
+    bool checkConsistency() const;
+
     /** Byte offset of a chunk within its page. */
     std::uint64_t pageOffsetOf(const void *chunk) const;
 
@@ -112,12 +123,18 @@ class SlabAllocator
     /** Assign a fresh page to a class; false if out of budget. */
     bool growClass(unsigned cls);
 
+    /** True if @p chunk lies on a chunk boundary of a page owned by
+     * class @p cls. */
+    bool chunkClassMatches(unsigned cls, const void *chunk) const;
+
     SlabParams params_;
     std::vector<SlabClass> classes_;
     /** Owning storage for pages, in allocation order. */
     std::vector<std::unique_ptr<char[]>> pages_;
     /** (base address, page index) sorted by base, for pageIndexOf. */
     std::vector<std::pair<const char *, std::uint32_t>> pageBases_;
+    /** Owning class of each page, indexed like pages_. */
+    std::vector<std::uint32_t> pageClass_;
 
     std::uint64_t allocatedBytes_ = 0;
     std::uint64_t usedBytes_ = 0;

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "sim/logging.hh"
+#include "sim/contract.hh"
 
 namespace mercury::mem
 {
@@ -13,11 +13,12 @@ Ftl::Ftl(std::uint64_t phys_pages, unsigned pages_per_block,
     : physPages_(phys_pages), pagesPerBlock_(pages_per_block),
       gcLowWater_(gc_low_water), wearThreshold_(wear_threshold)
 {
-    mercury_assert(pagesPerBlock_ > 0, "pagesPerBlock must be positive");
-    mercury_assert(physPages_ >= pagesPerBlock_ * (gcLowWater_ + 2),
-                   "flash channel too small for GC headroom");
-    mercury_assert(overprovision > 0.0 && overprovision < 1.0,
-                   "overprovision must be in (0,1)");
+    MERCURY_EXPECTS(pagesPerBlock_ > 0,
+                    "pagesPerBlock must be positive");
+    MERCURY_EXPECTS(physPages_ >= pagesPerBlock_ * (gcLowWater_ + 2),
+                    "flash channel too small for GC headroom");
+    MERCURY_EXPECTS(overprovision > 0.0 && overprovision < 1.0,
+                    "overprovision must be in (0,1)");
 
     numBlocks_ = physPages_ / pagesPerBlock_;
     physPages_ = numBlocks_ * pagesPerBlock_;
@@ -41,14 +42,14 @@ Ftl::Ftl(std::uint64_t phys_pages, unsigned pages_per_block,
 bool
 Ftl::isMapped(std::uint64_t lpn) const
 {
-    mercury_assert(lpn < logicalPages_, "lpn out of range: ", lpn);
+    MERCURY_EXPECTS(lpn < logicalPages_, "lpn out of range: ", lpn);
     return map_[lpn] != unmapped;
 }
 
 std::uint64_t
 Ftl::translate(std::uint64_t lpn) const
 {
-    mercury_assert(isMapped(lpn), "translate of unmapped lpn ", lpn);
+    MERCURY_EXPECTS(isMapped(lpn), "translate of unmapped lpn ", lpn);
     return static_cast<std::uint64_t>(map_[lpn]);
 }
 
@@ -74,8 +75,11 @@ Ftl::pickGcVictim() const
 void
 Ftl::eraseBlock(std::uint64_t block, FtlWriteOutcome &outcome)
 {
-    mercury_assert(validCount_[block] == 0,
-                   "erasing block with valid pages");
+    MERCURY_EXPECTS(block < numBlocks_, "erase of bad block ", block);
+    MERCURY_EXPECTS(!blockFree_[block],
+                    "erase of block already in the free pool");
+    MERCURY_EXPECTS(validCount_[block] == 0,
+                    "erasing block with valid pages");
     blockFree_[block] = true;
     freeBlocks_.push_back(block);
     ++eraseCount_[block];
@@ -96,7 +100,7 @@ Ftl::reclaimBlock(std::uint64_t block, FtlWriteOutcome &outcome)
         // Raw allocation: GC must never recurse into GC.
         if (activeBlock_ == unmapped ||
             nextPageInActive_ == pagesPerBlock_) {
-            mercury_assert(!freeBlocks_.empty(),
+            MERCURY_ASSERT(!freeBlocks_.empty(),
                            "GC exhausted free blocks (overprovision "
                            "headroom violated)");
             activeBlock_ =
@@ -109,6 +113,10 @@ Ftl::reclaimBlock(std::uint64_t block, FtlWriteOutcome &outcome)
             static_cast<std::uint64_t>(activeBlock_) * pagesPerBlock_ +
             nextPageInActive_++;
 
+        MERCURY_ASSERT(validCount_[block] > 0,
+                       "GC accounting underflow on block ", block);
+        MERCURY_ASSERT(reverse_[new_ppn] == unmapped,
+                       "GC relocation target page already mapped");
         reverse_[ppn] = unmapped;
         --validCount_[block];
         map_[static_cast<std::uint64_t>(lpn)] =
@@ -120,7 +128,14 @@ Ftl::reclaimBlock(std::uint64_t block, FtlWriteOutcome &outcome)
         ++flashWrites_;
         ++outcome.movedPages;
     }
+    MERCURY_ENSURES(validCount_[block] == 0,
+                    "GC reclaim left valid pages behind in block ",
+                    block);
     eraseBlock(block, outcome);
+    // No full checkConsistency() here: reclaim runs nested inside
+    // write(), which invalidates the overwritten page's reverse
+    // mapping before allocating, so the map/reverse audit only holds
+    // at the write()/trim() API boundary.
 }
 
 void
@@ -163,7 +178,7 @@ Ftl::maybeWearLevel(FtlWriteOutcome &outcome)
     // cold block's valid pages.
     auto it = std::find(freeBlocks_.begin(), freeBlocks_.end(),
                         static_cast<std::uint64_t>(hot));
-    mercury_assert(it != freeBlocks_.end(), "free list out of sync");
+    MERCURY_ASSERT(it != freeBlocks_.end(), "free list out of sync");
     freeBlocks_.erase(it);
     blockFree_[static_cast<std::uint64_t>(hot)] = false;
 
@@ -177,6 +192,11 @@ Ftl::maybeWearLevel(FtlWriteOutcome &outcome)
         const std::uint64_t new_ppn =
             static_cast<std::uint64_t>(hot) * pagesPerBlock_ +
             next_page++;
+        MERCURY_ASSERT(validCount_[cold_block] > 0,
+                       "wear-level accounting underflow on block ",
+                       cold_block);
+        MERCURY_ASSERT(reverse_[new_ppn] == unmapped,
+                       "wear-level target page already mapped");
         reverse_[ppn] = unmapped;
         --validCount_[cold_block];
         map_[static_cast<std::uint64_t>(lpn)] =
@@ -188,6 +208,8 @@ Ftl::maybeWearLevel(FtlWriteOutcome &outcome)
         ++outcome.movedPages;
     }
     eraseBlock(cold_block, outcome);
+    // Full audit deferred to the write()/trim() boundary; see
+    // reclaimBlock().
 }
 
 std::uint64_t
@@ -203,13 +225,19 @@ Ftl::allocPage(FtlWriteOutcome &outcome)
                 break;
             reclaimBlock(static_cast<std::uint64_t>(victim), outcome);
         }
-        mercury_assert(!freeBlocks_.empty(), "flash channel out of space");
+        MERCURY_ASSERT(!freeBlocks_.empty(),
+                       "flash channel out of space");
         activeBlock_ = static_cast<std::int64_t>(freeBlocks_.front());
         freeBlocks_.pop_front();
         blockFree_[static_cast<std::uint64_t>(activeBlock_)] = false;
         nextPageInActive_ = 0;
         maybeWearLevel(outcome);
     }
+    MERCURY_ENSURES(nextPageInActive_ < pagesPerBlock_,
+                    "active flash block write cursor out of range");
+    MERCURY_ENSURES(!blockFree_[static_cast<std::uint64_t>(
+                        activeBlock_)],
+                    "active flash block is marked free");
     return static_cast<std::uint64_t>(activeBlock_) * pagesPerBlock_ +
            nextPageInActive_++;
 }
@@ -217,11 +245,15 @@ Ftl::allocPage(FtlWriteOutcome &outcome)
 FtlWriteOutcome
 Ftl::write(std::uint64_t lpn)
 {
-    mercury_assert(lpn < logicalPages_, "write to lpn out of range");
+    MERCURY_EXPECTS(lpn < logicalPages_,
+                    "write to lpn out of range: ", lpn);
 
     FtlWriteOutcome outcome{};
     if (map_[lpn] != unmapped) {
         const auto old = static_cast<std::uint64_t>(map_[lpn]);
+        MERCURY_ASSERT(validCount_[blockOf(old)] > 0,
+                       "overwrite accounting underflow on block ",
+                       blockOf(old));
         reverse_[old] = unmapped;
         --validCount_[blockOf(old)];
     }
@@ -234,19 +266,28 @@ Ftl::write(std::uint64_t lpn)
     ++hostWrites_;
     ++flashWrites_;
     outcome.physicalPage = ppn;
+    MERCURY_ASSERT_SLOW(auditIfDue(),
+                        "FTL map/reverse/valid-count accounting "
+                        "inconsistent after write of lpn ", lpn);
     return outcome;
 }
 
 void
 Ftl::trim(std::uint64_t lpn)
 {
-    mercury_assert(lpn < logicalPages_, "trim of lpn out of range");
+    MERCURY_EXPECTS(lpn < logicalPages_,
+                    "trim of lpn out of range: ", lpn);
     if (map_[lpn] == unmapped)
         return;
     const auto ppn = static_cast<std::uint64_t>(map_[lpn]);
+    MERCURY_ASSERT(validCount_[blockOf(ppn)] > 0,
+                   "trim accounting underflow on block ", blockOf(ppn));
     reverse_[ppn] = unmapped;
     --validCount_[blockOf(ppn)];
     map_[lpn] = unmapped;
+    MERCURY_ASSERT_SLOW(auditIfDue(),
+                        "FTL accounting inconsistent after trim of "
+                        "lpn ", lpn);
 }
 
 double
@@ -264,6 +305,22 @@ Ftl::eraseSpread() const
     const auto [lo, hi] =
         std::minmax_element(eraseCount_.begin(), eraseCount_.end());
     return *hi - *lo;
+}
+
+bool
+Ftl::auditIfDue() const
+{
+    // Full audit per mutation is fine up to ~64 Ki pages; beyond
+    // that, sample every 1024 mutations so asan/debug runs on the
+    // 19.8 GB stack channels stay tractable.
+    constexpr std::uint64_t small_ftl_pages = 64 * 1024;
+    constexpr std::uint64_t sample_interval = 1024;
+    if (physPages_ > small_ftl_pages &&
+        ++mutationsSinceAudit_ < sample_interval) {
+        return true;
+    }
+    mutationsSinceAudit_ = 0;
+    return checkConsistency();
 }
 
 bool
@@ -307,7 +364,7 @@ FlashController::FlashController(const FlashParams &params,
       gcMoves_(&statGroup_, "gcMoves", "pages moved by GC/wear level"),
       erases_(&statGroup_, "erases", "block erases")
 {
-    mercury_assert(params_.numChannels > 0, "flash needs channels");
+    MERCURY_EXPECTS(params_.numChannels > 0, "flash needs channels");
     channels_.reserve(params_.numChannels);
     for (unsigned c = 0; c < params_.numChannels; ++c)
         channels_.emplace_back(params_);
@@ -371,8 +428,8 @@ Tick
 FlashController::access(AccessType type, Addr addr, unsigned size,
                         Tick now)
 {
-    mercury_assert(size > 0 && size <= params_.pageBytes,
-                   "flash access size must be within one page");
+    MERCURY_EXPECTS(size > 0 && size <= params_.pageBytes,
+                    "flash access size must be within one page");
     addr %= capacityBytes();
 
     Channel &channel = channels_[channelIndex(addr)];
@@ -452,8 +509,8 @@ FlashController::drainWrites(Tick now)
 Tick
 FlashController::drainChannel(unsigned channel_index, Tick now)
 {
-    mercury_assert(channel_index < channels_.size(),
-                   "bad flash channel index");
+    MERCURY_EXPECTS(channel_index < channels_.size(),
+                    "bad flash channel index ", channel_index);
     Channel &channel = channels_[channel_index];
     Tick t = std::max(now, channel.busyUntil);
     while (!channel.writeSlots.empty())

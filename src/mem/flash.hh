@@ -173,6 +173,15 @@ class Ftl
 
     void maybeWearLevel(FtlWriteOutcome &outcome);
 
+    /** Slow-check helper: full consistency audit on every mutation
+     * for small FTLs, sampled on big ones (the audit is O(pages), so
+     * auditing a multi-GB channel per write would swamp the debug
+     * presets). Always true when due-sampling skips the audit. */
+    bool auditIfDue() const;
+
+    /** Mutations since the last sampled audit (slow checks only). */
+    mutable std::uint64_t mutationsSinceAudit_ = 0;
+
     std::uint64_t physPages_;
     unsigned pagesPerBlock_;
     std::uint64_t numBlocks_;

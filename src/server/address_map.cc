@@ -1,6 +1,6 @@
 #include "server/address_map.hh"
 
-#include "sim/logging.hh"
+#include "sim/contract.hh"
 
 namespace mercury::server
 {
@@ -8,7 +8,55 @@ namespace mercury::server
 AddressMap::AddressMap(Addr base, std::uint64_t data_size)
     : base_(base), dataSize_(data_size)
 {
-    mercury_assert(data_size > 0, "data region must be non-empty");
+    MERCURY_EXPECTS(data_size > 0, "data region must be non-empty");
+    // The layout is a sum of region sizes from base_; make sure the
+    // 64-bit address arithmetic cannot wrap inside the slice.
+    MERCURY_ENSURES(end() > base_,
+                    "address map overflows the 64-bit address space: "
+                    "base=", base_, " dataSize=", dataSize_);
+    MERCURY_ASSERT_SLOW(checkLayout(),
+                        "address map regions overlap or leave gaps");
+}
+
+bool
+AddressMap::checkLayout() const
+{
+    // Regions must tile the slice contiguously and disjointly, in
+    // layout order, and the derived region views must agree with the
+    // raw offsets.
+    const mem::AddressRegion regions[] = {
+        codeRegion(),
+        {bufferBase(), bufferSize()},
+        {scratchBase(), scratchSize()},
+        {tableBase(), tableSize()},
+        {sockBase(), sockSize()},
+        {dataBase(), dataSize_},
+    };
+    Addr cursor = base_;
+    for (const auto &region : regions) {
+        if (region.base != cursor)
+            return false;
+        if (region.size == 0)
+            return false;
+        if (region.base + region.size < region.base)
+            return false;  // wrapped
+        cursor = region.base + region.size;
+    }
+    if (cursor != end())
+        return false;
+
+    // The composite views must stay inside the slice and mirror the
+    // primitive regions they claim to cover.
+    if (hotRegion().base != base_ ||
+        hotRegion().size != codeSize() + bufferSize() + scratchSize())
+        return false;
+    if (sramRegion().base != bufferBase() ||
+        sramRegion().size != bufferSize() + scratchSize())
+        return false;
+    if (coldRegion().base != tableBase() ||
+        coldRegion().size != tableSize() + sockSize() + dataSize_)
+        return false;
+    return slice().base == base_ && slice().size == end() - base_;
 }
 
 mem::AddressRegion
@@ -46,13 +94,15 @@ AddressMap::mapDataPointer(const kvstore::SlabAllocator &slabs,
                            const void *ptr) const
 {
     const std::int64_t page = slabs.pageIndexOf(ptr);
-    mercury_assert(page >= 0, "pointer is not a slab chunk");
+    MERCURY_EXPECTS(page >= 0, "pointer is not a slab chunk");
     const std::uint64_t offset = slabs.pageOffsetOf(ptr);
     const Addr addr = dataBase() +
                       static_cast<std::uint64_t>(page) *
                           slabs.params().pageSize +
                       offset;
-    mercury_assert(addr < end(), "slab page beyond data region");
+    MERCURY_ENSURES(addr >= dataBase() && addr < end(),
+                    "slab page maps outside the data region: addr=",
+                    addr);
     return addr;
 }
 
@@ -65,7 +115,11 @@ AddressMap::mapBucketPointer(const void *ptr) const
     // simulated line.
     const auto raw = reinterpret_cast<std::uintptr_t>(ptr);
     const std::uint64_t slot = (raw / 8) % (tableSize() / 8);
-    return tableBase() + slot * 8;
+    const Addr addr = tableBase() + slot * 8;
+    MERCURY_ENSURES(addr >= tableBase() &&
+                    addr < tableBase() + tableSize(),
+                    "bucket maps outside the table region");
+    return addr;
 }
 
 Addr

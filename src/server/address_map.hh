@@ -100,6 +100,13 @@ class AddressMap
     /** A buffer-ring address for byte offset @p off (wraps). */
     Addr bufferAddr(std::uint64_t off) const;
 
+    /**
+     * Audit that the regions tile the slice contiguously with no
+     * overlap and no wraparound. O(1); used by MERCURY_ASSERT_SLOW in
+     * the constructor and by tests.
+     */
+    bool checkLayout() const;
+
   private:
     Addr base_;
     std::uint64_t dataSize_;

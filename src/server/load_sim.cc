@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "sim/logging.hh"
+#include "sim/contract.hh"
 
 namespace mercury::server
 {
@@ -30,7 +30,13 @@ LoadSimulation::capacity()
 LoadPoint
 LoadSimulation::run(double offered_tps)
 {
-    mercury_assert(offered_tps > 0.0, "offered load must be positive");
+    MERCURY_EXPECTS(offered_tps > 0.0,
+                    "offered load must be positive");
+    // An empty measurement window would index an empty latency
+    // vector below (and divide by zero); catch it at the boundary.
+    MERCURY_EXPECTS(params_.requests > 0,
+                    "load simulation needs at least one measured "
+                    "request");
 
     workload::PoissonArrivals arrivals(offered_tps, params_.seed);
     Rng rng(params_.seed * 7 + 1);
@@ -41,7 +47,14 @@ LoadSimulation::run(double offered_tps)
     Tick arrival = node_.now();
     Tick first_measured_arrival = 0;
     for (unsigned i = 0; i < params_.warmup + params_.requests; ++i) {
+        const Tick prev_arrival = arrival;
         arrival = arrivals.next(arrival);
+        // The open-loop generator must produce a monotone arrival
+        // sequence; a regression here would make the FIFO service
+        // rule below silently serve requests out of order.
+        MERCURY_ASSERT(arrival >= prev_arrival,
+                       "arrival process moved backwards: ", arrival,
+                       " after ", prev_arrival);
         if (i == params_.warmup)
             first_measured_arrival = arrival;
 
@@ -56,6 +69,8 @@ LoadSimulation::run(double offered_tps)
         else
             node_.put(key, params_.valueBytes);
 
+        MERCURY_ASSERT(node_.now() >= arrival,
+                       "request completed before it arrived");
         if (i >= params_.warmup)
             latencies.push_back(node_.now() - arrival);
     }

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <vector>
 
-#include "sim/logging.hh"
+#include "sim/contract.hh"
 
 namespace mercury::server
 {
@@ -60,8 +60,8 @@ ServerModel::ServerModel(const ServerModelParams &params,
             dram_ = ownedDram_.get();
         }
         memory_ = dram_;
-        mercury_assert(map_.end() <= dram_->capacityBytes(),
-                       "store too large for the DRAM slice");
+        MERCURY_EXPECTS(map_.end() <= dram_->capacityBytes(),
+                        "store too large for the DRAM slice");
     } else {
         if (!flash_) {
             mem::FlashParams fp;
@@ -93,9 +93,9 @@ ServerModel::ServerModel(const ServerModelParams &params,
         router_->addRegion(map_.codeRegion(), flash_,
                            flash_offset + map_.coldRegion().size);
         memory_ = router_.get();
-        mercury_assert(flash_offset + map_.coldRegion().size +
-                       map_.codeSize() <= flash_->capacityBytes(),
-                       "store too large for the flash slice");
+        MERCURY_EXPECTS(flash_offset + map_.coldRegion().size +
+                        map_.codeSize() <= flash_->capacityBytes(),
+                        "store too large for the flash slice");
 
         // The code image and the kernel's socket-state pages are
         // resident in flash from boot: map them so later reads pay
@@ -138,7 +138,7 @@ ServerModel::ServerModel(const ServerModelParams &params,
 unsigned
 ServerModel::ourChannel() const
 {
-    mercury_assert(flash_ != nullptr, "ourChannel needs flash");
+    MERCURY_EXPECTS(flash_ != nullptr, "ourChannel needs flash");
     // All of this core's cold traffic lands in the channel holding
     // its slice base.
     return flash_->channelOf(params_.sliceBase %
@@ -216,7 +216,10 @@ ServerModel::runPhase(const cpu::OpTrace &trace)
     if (trace.empty())
         return 0;
     const cpu::RunResult result = core_->run(trace, cursor_);
+    MERCURY_ENSURES(result.end >= cursor_,
+                    "CPU phase moved the node clock backwards");
     cursor_ = result.end;
+    contract::noteTick(cursor_);
     return result.elapsed();
 }
 
@@ -581,7 +584,7 @@ ServerModel::measure(bool puts, std::uint32_t value_bytes,
     if (have < want)
         populate(want - have, value_bytes);
     const unsigned keys = populatedKeys(value_bytes);
-    mercury_assert(keys > 0, "populate stored nothing");
+    MERCURY_ASSERT(keys > 0, "populate stored nothing");
 
     // Quiesce between measurement runs: a real server gets idle
     // gaps in which dirty write-back state drains; without this,

@@ -28,6 +28,7 @@
 #include "net/network.hh"
 #include "server/address_map.hh"
 #include "server/calibration.hh"
+#include "sim/contract.hh"
 #include "sim/random.hh"
 
 namespace mercury::server
@@ -217,7 +218,10 @@ class ServerModel
     void
     advanceTo(Tick tick)
     {
-        cursor_ = std::max(cursor_, tick);
+        if (tick > cursor_) {
+            cursor_ = tick;
+            contract::noteTick(cursor_);
+        }
     }
 
     /** The backing data device (DRAM or flash), for stats. */

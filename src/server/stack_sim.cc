@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "sim/logging.hh"
+#include "sim/contract.hh"
 
 namespace mercury::server
 {
@@ -10,8 +10,8 @@ namespace mercury::server
 StackSimulation::StackSimulation(const StackSimParams &params)
     : params_(params)
 {
-    mercury_assert(params_.cores >= 1 && params_.cores <= 32,
-                   "stack supports 1..32 cores");
+    MERCURY_EXPECTS(params_.cores >= 1 && params_.cores <= 32,
+                    "stack supports 1..32 cores, got ", params_.cores);
 
     ServerModelParams node = params_.node;
 
@@ -51,8 +51,8 @@ StackSimulation::StackSimulation(const StackSimParams &params)
             flash_->capacityBytes() / flash_->numChannels();
         slice = params_.cores <= 16 ? channel : channel / 2;
     }
-    mercury_assert(slice > fixed_overhead + 8 * miB,
-                   "too many cores for the stack's capacity");
+    MERCURY_EXPECTS(slice > fixed_overhead + 8 * miB,
+                    "too many cores for the stack's capacity");
     node.storeMemLimit = std::min<std::uint64_t>(
         node.storeMemLimit, slice - fixed_overhead);
 
@@ -127,9 +127,16 @@ StackSimulation::run()
         for (auto &state : states)
             issue(state);
     }
-    for (auto &state : states)
+    // The measured span starts at the earliest core's clock: cores
+    // finish warmup at different simulated times, and measured
+    // requests on the slowest-started core begin at its own (earlier)
+    // clock, so anchoring the span to core 0 under-counted the span
+    // and inflated aggregate throughput.
+    Tick span_begin = maxTick;
+    for (auto &state : states) {
         state.measureStart = state.model->now();
-    const Tick span_begin = states.front().measureStart;
+        span_begin = std::min(span_begin, state.measureStart);
+    }
 
     // Closed loop: always advance the core that is furthest behind
     // in simulated time, so shared-device contention interleaves in
@@ -145,7 +152,13 @@ StackSimulation::run()
             if (!next || state.model->now() < next->model->now())
                 next = &state;
         }
+        // A request must never move its core's clock backwards --
+        // the timing-walk equivalent of scheduling an event in the
+        // past on a shared device.
+        const Tick before = next->model->now();
         issue(*next);
+        MERCURY_ASSERT(next->model->now() >= before,
+                       "request moved a core's clock backwards");
         ++next->done;
         ++completed;
     }
@@ -153,6 +166,8 @@ StackSimulation::run()
     Tick span_end = 0;
     for (auto &state : states)
         span_end = std::max(span_end, state.model->now());
+    MERCURY_ENSURES(span_end >= span_begin,
+                    "measured span is negative");
     const Tick span = span_end - span_begin;
 
     // Reference single-core throughput for the linear prediction.

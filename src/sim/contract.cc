@@ -1,0 +1,75 @@
+#include "sim/contract.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace mercury::contract
+{
+
+namespace
+{
+
+/** Most recent simulated time reported by a clock owner. Relaxed
+ * atomics keep noteTick() cheap and tsan-clean. */
+std::atomic<Tick> lastTick{0};
+
+/** Nesting depth of active ScopedContractThrow guards. */
+std::atomic<int> throwDepth{0};
+
+const char *
+kindName(Kind kind)
+{
+    switch (kind) {
+      case Kind::Invariant: return "invariant";
+      case Kind::Precondition: return "precondition";
+      case Kind::Postcondition: return "postcondition";
+    }
+    return "contract";
+}
+
+} // anonymous namespace
+
+void
+noteTick(Tick tick)
+{
+    lastTick.store(tick, std::memory_order_relaxed);
+}
+
+Tick
+lastNotedTick()
+{
+    return lastTick.load(std::memory_order_relaxed);
+}
+
+ScopedContractThrow::ScopedContractThrow()
+{
+    throwDepth.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedContractThrow::~ScopedContractThrow()
+{
+    throwDepth.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+fail(Kind kind, const char *cond, const char *file, int line,
+     const std::string &message)
+{
+    std::ostringstream os;
+    os << kindName(kind) << " '" << cond << "' violated at " << file
+       << ":" << line << " [curTick=" << lastNotedTick() << "]";
+    if (!message.empty())
+        os << ": " << message;
+    const std::string full = os.str();
+
+    // Route through the logger so ScopedLogCapture sees the record.
+    mercury::detail::log(LogLevel::Panic, full);
+
+    if (throwDepth.load(std::memory_order_relaxed) > 0 ||
+        mercury::detail::logThrowModeActive()) {
+        throw ContractViolation(full);
+    }
+    std::abort();
+}
+
+} // namespace mercury::contract

@@ -1,13 +1,13 @@
 #include "sim/event_queue.hh"
 
-#include "sim/logging.hh"
+#include "sim/contract.hh"
 
 namespace mercury
 {
 
 Event::~Event()
 {
-    mercury_assert(!_scheduled,
+    MERCURY_ASSERT(!_scheduled,
                    "event destroyed while scheduled: ", description());
 }
 
@@ -15,35 +15,56 @@ EventQueue::EventQueue(std::string name)
     : _name(std::move(name))
 {}
 
+bool
+EventQueue::checkInvariants() const
+{
+    // Every queued entry must be in the future (or now), flagged
+    // scheduled, and agree with the event's own bookkeeping.
+    Tick prev = _curTick;
+    for (const Entry &entry : queue_) {
+        if (entry.when < prev)
+            return false;
+        prev = entry.when;
+        if (!entry.event->_scheduled)
+            return false;
+        if (entry.event->_when != entry.when)
+            return false;
+    }
+    return true;
+}
+
 void
 EventQueue::schedule(Event *event, Tick when)
 {
-    mercury_assert(event != nullptr, "null event scheduled on ", _name);
-    mercury_assert(!event->_scheduled,
-                   "double-schedule of event: ", event->description());
-    if (when < _curTick) {
-        mercury_panic("event '", event->description(),
-                      "' scheduled in the past: when=", when,
-                      " curTick=", _curTick);
-    }
+    MERCURY_EXPECTS(event != nullptr, "null event scheduled on ", _name);
+    MERCURY_EXPECTS(!event->_scheduled,
+                    "double-schedule of event: ", event->description());
+    MERCURY_EXPECTS(when >= _curTick,
+                    "event '", event->description(),
+                    "' scheduled in the past: when=", when,
+                    " curTick=", _curTick);
 
     event->_when = when;
     event->_sequence = _nextSequence++;
     event->_scheduled = true;
     queue_.insert(Entry{when, event->priority(), event->_sequence, event});
+    MERCURY_ASSERT_SLOW(checkInvariants(),
+                        "event queue ", _name,
+                        " inconsistent after schedule");
 }
 
 void
 EventQueue::deschedule(Event *event)
 {
-    mercury_assert(event != nullptr, "null event descheduled on ", _name);
-    mercury_assert(event->_scheduled,
-                   "deschedule of unscheduled event: ",
-                   event->description());
+    MERCURY_EXPECTS(event != nullptr,
+                    "null event descheduled on ", _name);
+    MERCURY_EXPECTS(event->_scheduled,
+                    "deschedule of unscheduled event: ",
+                    event->description());
 
     Entry key{event->_when, event->priority(), event->_sequence, event};
     auto it = queue_.find(key);
-    mercury_assert(it != queue_.end(),
+    MERCURY_ASSERT(it != queue_.end(),
                    "scheduled event missing from queue: ",
                    event->description());
     queue_.erase(it);
@@ -53,6 +74,8 @@ EventQueue::deschedule(Event *event)
 void
 EventQueue::reschedule(Event *event, Tick when)
 {
+    MERCURY_EXPECTS(event != nullptr,
+                    "null event rescheduled on ", _name);
     if (event->scheduled())
         deschedule(event);
     schedule(event, when);
@@ -68,13 +91,19 @@ EventQueue::serviceOne()
     Entry entry = *it;
     queue_.erase(it);
 
-    mercury_assert(entry.when >= _curTick, "event queue time warp");
+    MERCURY_ASSERT(entry.when >= _curTick, "event queue time warp: ",
+                   "head when=", entry.when, " curTick=", _curTick);
     _curTick = entry.when;
+    contract::noteTick(_curTick);
 
     Event *event = entry.event;
     event->_scheduled = false;
     ++_numServiced;
     event->process();
+    MERCURY_ASSERT_SLOW(checkInvariants(),
+                        "event queue ", _name,
+                        " inconsistent after servicing ",
+                        event->description());
     return event;
 }
 
@@ -86,21 +115,26 @@ EventQueue::run(Tick limit)
         serviceOne();
         ++serviced;
     }
-    if (_curTick < limit && limit != maxTick)
+    if (_curTick < limit && limit != maxTick) {
         _curTick = limit;
+        contract::noteTick(_curTick);
+    }
     return serviced;
 }
 
 void
 EventQueue::setCurTick(Tick tick)
 {
-    mercury_assert(tick >= _curTick,
-                   "attempt to move simulated time backwards");
+    MERCURY_EXPECTS(tick >= _curTick,
+                    "attempt to move simulated time backwards: tick=",
+                    tick, " curTick=", _curTick);
     if (!queue_.empty()) {
-        mercury_assert(tick <= queue_.begin()->when,
-                       "setCurTick would skip scheduled events");
+        MERCURY_EXPECTS(tick <= queue_.begin()->when,
+                        "setCurTick would skip scheduled events: tick=",
+                        tick, " next event at ", queue_.begin()->when);
     }
     _curTick = tick;
+    contract::noteTick(_curTick);
 }
 
 } // namespace mercury

@@ -150,6 +150,10 @@ class EventQueue
     void setCurTick(Tick tick);
 
   private:
+    /** Full structural audit (ordering, flags, cross-links); used by
+     * MERCURY_ASSERT_SLOW in the mutating paths. */
+    bool checkInvariants() const;
+
     struct Entry
     {
         Tick when;

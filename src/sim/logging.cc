@@ -54,6 +54,14 @@ log(LogLevel level, const std::string &message)
     std::cerr << levelName(level) << ": " << message << "\n";
 }
 
+bool
+logThrowModeActive()
+{
+    LogState &s = state();
+    std::lock_guard<std::mutex> guard(s.mutex);
+    return s.throwMode;
+}
+
 void
 logAndAbort(LogLevel level, const std::string &message,
             const char *file, int line)

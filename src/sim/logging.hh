@@ -35,6 +35,9 @@ namespace detail
 
 void log(LogLevel level, const std::string &message);
 
+/** True while a ScopedLogCapture has switched fatal paths to throw. */
+bool logThrowModeActive();
+
 /** Fold any streamable arguments into a single string. */
 template <typename... Args>
 std::string

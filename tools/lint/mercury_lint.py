@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Project-specific lint rules for the Mercury simulator.
+
+Rules (suppress a finding with `// lint: allow(<rule>)` on the same
+line or the line above):
+
+  tick-api         A public header declares a time-valued parameter or
+                   return (named *when*, *tick*, *latency*, *deadline*,
+                   *now*) as raw std::uint64_t instead of Tick. Raw
+                   integers defeat the one piece of type documentation
+                   the simulator has for its time base.
+
+  tick-cast        A double-typed expression is cast straight to Tick
+                   (static_cast<Tick>(...)), bypassing secondsToTicks.
+                   Hand-rolled conversions have already caused
+                   unit-confusion bugs; route through the helpers in
+                   sim/types.hh.
+
+  event-ownership  `new <T>Event` without an ownership note. EventQueue
+                   does not own scheduled events, so every allocation
+                   must say who deletes it (a comment containing
+                   "own", "deletes", "delete", "freed", or "leak"
+                   within two lines, or a smart-pointer assignment).
+
+Usage: mercury_lint.py <dir-or-file> [...]
+Exits 1 if any unsuppressed finding is reported.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ALLOW_RE = re.compile(r"//\s*lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+TIME_NAME_RE = re.compile(
+    r"\b(?:std::)?uint64_t\s+(\w*(?:when|tick|deadline|latency)\w*|now)\b",
+    re.IGNORECASE)
+TIME_RETURN_RE = re.compile(
+    r"^\s*(?:std::)?uint64_t\s+(\w*(?:When|Tick|Deadline|Latency)\w*|now)\s*\(")
+
+TICK_CAST_RE = re.compile(r"static_cast<\s*Tick\s*>\s*\(")
+DOUBLEISH_RE = re.compile(
+    r"(\bdouble\b|\bfloat\b|\d\.\d|\bticksTo|Seconds\b|Fraction\b|"
+    r"\bratio\b|\bscale\b|\bfreq|Hz\b|\*\s*1e\d|\b\w*[Ff]actor\w*\b)")
+
+NEW_EVENT_RE = re.compile(r"\bnew\s+[\w:]*Event\b")
+OWNERSHIP_RE = re.compile(r"own|delete[sd]?|freed|leak|unique_ptr|shared_ptr",
+                          re.IGNORECASE)
+
+# Files that define the conversion helpers themselves.
+TICK_CAST_EXEMPT = {"src/sim/types.hh"}
+
+
+def allowed(lines, idx, rule):
+    """True if line idx (0-based) carries or follows an allow comment
+    for rule."""
+    for probe in (idx, idx - 1):
+        if 0 <= probe < len(lines):
+            m = ALLOW_RE.search(lines[probe])
+            if m and rule in [r.strip() for r in m.group(1).split(",")]:
+                return True
+    return False
+
+
+def lint_file(path, findings):
+    rel = path.as_posix()
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as err:
+        print(f"warning: cannot read {rel}: {err}", file=sys.stderr)
+        return
+    lines = text.splitlines()
+
+    is_header = path.suffix in (".hh", ".h")
+
+    for idx, line in enumerate(lines):
+        lineno = idx + 1
+        stripped = line.strip()
+        if stripped.startswith("//") or stripped.startswith("*"):
+            continue
+
+        # --- tick-api: raw uint64_t in time-valued public API ---
+        if is_header:
+            m = TIME_NAME_RE.search(line) or TIME_RETURN_RE.search(line)
+            if m and not allowed(lines, idx, "tick-api"):
+                findings.append(
+                    (rel, lineno, "tick-api",
+                     f"time-valued API '{m.group(1)}' uses raw "
+                     f"uint64_t; declare it as Tick"))
+
+        # --- tick-cast: double -> Tick without secondsToTicks ---
+        if rel not in TICK_CAST_EXEMPT:
+            for m in TICK_CAST_RE.finditer(line):
+                # Look at the cast operand (rest of the line plus the
+                # next one, for wrapped expressions).
+                operand = line[m.end():]
+                if idx + 1 < len(lines):
+                    operand += " " + lines[idx + 1].strip()
+                if DOUBLEISH_RE.search(operand) and \
+                        not allowed(lines, idx, "tick-cast"):
+                    findings.append(
+                        (rel, lineno, "tick-cast",
+                         "double-to-Tick cast bypasses secondsToTicks; "
+                         "use the sim/types.hh conversion helpers"))
+
+        # --- event-ownership: new ...Event without ownership note ---
+        for m in NEW_EVENT_RE.finditer(line):
+            context = " ".join(
+                lines[max(0, idx - 2):min(len(lines), idx + 2)])
+            if not OWNERSHIP_RE.search(context) and \
+                    not allowed(lines, idx, "event-ownership"):
+                findings.append(
+                    (rel, lineno, "event-ownership",
+                     "heap-allocated Event without an ownership "
+                     "comment; EventQueue does not own events"))
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+
+    paths = []
+    for arg in argv[1:]:
+        p = Path(arg)
+        if p.is_dir():
+            paths.extend(sorted(p.rglob("*.hh")))
+            paths.extend(sorted(p.rglob("*.h")))
+            paths.extend(sorted(p.rglob("*.cc")))
+            paths.extend(sorted(p.rglob("*.cpp")))
+        elif p.is_file():
+            paths.append(p)
+        else:
+            print(f"warning: no such path {arg}", file=sys.stderr)
+
+    findings = []
+    for path in paths:
+        lint_file(path, findings)
+
+    for rel, lineno, rule, msg in findings:
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+
+    if findings:
+        print(f"\nmercury_lint: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print(f"mercury_lint: clean ({len(paths)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
