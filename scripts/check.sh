@@ -42,6 +42,20 @@ if [ "$skip_build" -eq 0 ]; then
         echo "check.sh: tests failed under asan-ubsan" >&2
         exit 1
     fi
+
+    note "fault_sweep smoke (runs + is deterministic)"
+    sweep=build/asan-ubsan/bench/fault_sweep
+    if ! "$sweep" --smoke > /tmp/mercury-fault-sweep-1.txt || \
+       ! "$sweep" --smoke > /tmp/mercury-fault-sweep-2.txt; then
+        echo "check.sh: fault_sweep --smoke failed" >&2
+        exit 1
+    fi
+    if ! diff /tmp/mercury-fault-sweep-1.txt \
+              /tmp/mercury-fault-sweep-2.txt; then
+        echo "check.sh: fault_sweep output not reproducible" >&2
+        exit 1
+    fi
+    echo "fault_sweep: two runs byte-identical"
 else
     note "asan-ubsan build + tests (skipped)"
 fi

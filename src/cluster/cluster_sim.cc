@@ -8,7 +8,8 @@ namespace mercury::cluster
 {
 
 ClusterSim::ClusterSim(const ClusterSimParams &params)
-    : params_(params), ring_(params.virtualNodes)
+    : params_(params), ring_(params.virtualNodes),
+      injector_(params.faults.seed)
 {
     mercury_assert(params_.nodes >= 1, "cluster needs nodes");
     nodes_.reserve(params_.nodes);
@@ -20,8 +21,14 @@ ClusterSim::ClusterSim(const ClusterSimParams &params)
         server::ServerModelParams node_params = params_.node;
         node_params.name = name;
         node_params.seed = params_.seed + i + 1;
+        if (params_.faults.enabled) {
+            node_params.net.lossProbability =
+                params_.faults.packetLossProbability;
+        }
         nodes_.push_back(
             std::make_unique<server::ServerModel>(node_params));
+        if (params_.faults.enabled)
+            nodes_.back()->setFaultInjector(&injector_);
     }
 }
 
@@ -32,14 +39,19 @@ ClusterSim::keyFor(std::uint64_t key_id) const
 }
 
 std::size_t
-ClusterSim::nodeIndexFor(std::string_view key) const
+ClusterSim::indexOfName(const std::string &name) const
 {
-    const std::string &owner = ring_.nodeFor(key);
     for (std::size_t i = 0; i < nodeNames_.size(); ++i) {
-        if (nodeNames_[i] == owner)
+        if (nodeNames_[i] == name)
             return i;
     }
-    mercury_panic("ring returned unknown node ", owner);
+    mercury_panic("ring returned unknown node ", name);
+}
+
+std::size_t
+ClusterSim::nodeIndexFor(std::string_view key) const
+{
+    return indexOfName(ring_.nodeFor(key));
 }
 
 void
@@ -98,46 +110,199 @@ ClusterSim::run(double offered_tps)
     std::vector<std::vector<Tick>> per_node(nodes_.size());
     std::vector<std::size_t> counts(nodes_.size(), 0);
 
+    ClusterSimResult result;
+    result.offeredTps = offered_tps;
+
+    // Fault-mode state. Nothing here is touched (and the injector
+    // never draws) when faults are disabled, keeping such runs
+    // bit-identical to a pre-fault build.
+    const ClusterFaultParams &fp = params_.faults;
+    std::vector<bool> up(nodes_.size(), true);
+    std::vector<Tick> restart_at(nodes_.size(), 0);
+    /** GETs left in each node's post-restart recovery window. */
+    std::vector<unsigned> recovering(nodes_.size(), 0);
+    constexpr unsigned recovery_window = 200;
+    const Tick crash_mean =
+        fp.nodeCrashesPerSecond > 0.0
+            ? secondsToTicks(1.0 / fp.nodeCrashesPerSecond)
+            : 0;
+    Tick next_crash = maxTick;
+    if (fp.enabled && crash_mean > 0)
+        next_crash = origin + injector_.nextInterval(crash_mean);
+
+    std::uint64_t gets = 0, hits = 0;
+    std::uint64_t recovery_gets = 0, recovery_hits = 0;
+
+    auto crash = [&](std::size_t victim, Tick at) {
+        up[victim] = false;
+        restart_at[victim] = at + fp.nodeDowntime;
+        injector_.record(at, fault::FaultKind::NodeCrash,
+                         nodeNames_[victim]);
+        ++result.crashes;
+    };
+    auto restart = [&](std::size_t index, Tick at) {
+        up[index] = true;
+        // The process lost its in-memory store: it comes back cold
+        // and clients re-fill it on misses.
+        nodes_[index]->store().flushAll();
+        recovering[index] = recovery_window;
+        injector_.record(at, fault::FaultKind::NodeRestart,
+                         nodeNames_[index]);
+        ++result.restarts;
+    };
+
     Tick arrival = origin;
     for (unsigned i = 0; i < params_.warmup + params_.requests;
          ++i) {
         arrival = arrivals.next(arrival);
         const workload::Request request = gen.next();
         const std::string key = keyFor(request.keyId);
-        const std::size_t index = nodeIndexFor(key);
-        server::ServerModel &node = *nodes_[index];
+        const bool measured = i >= params_.warmup;
 
-        node.advanceTo(arrival);
-        if (request.op == workload::Request::Op::Get)
-            node.get(key);
-        else
-            node.put(key, params_.valueBytes);
+        if (!fp.enabled) {
+            const std::size_t index = nodeIndexFor(key);
+            server::ServerModel &node = *nodes_[index];
 
-        if (i < params_.warmup)
+            node.advanceTo(arrival);
+            if (request.op == workload::Request::Op::Get) {
+                const server::RequestTiming timing = node.get(key);
+                if (measured) {
+                    ++gets;
+                    hits += timing.hit ? 1 : 0;
+                }
+            } else {
+                node.put(key, params_.valueBytes);
+            }
+
+            if (!measured)
+                continue;
+            const Tick latency = node.now() - arrival;
+            latencies.push_back(latency);
+            per_node[index].push_back(latency);
+            ++counts[index];
             continue;
-        const Tick latency = node.now() - arrival;
-        latencies.push_back(latency);
-        per_node[index].push_back(latency);
-        ++counts[index];
+        }
+
+        // --- Fault mode -----------------------------------------
+
+        // Nodes whose downtime elapsed come back (cold) first.
+        for (std::size_t n = 0; n < nodes_.size(); ++n) {
+            if (!up[n] && restart_at[n] <= arrival)
+                restart(n, restart_at[n]);
+        }
+        // Explicitly scheduled crash/restart plans. A plan due
+        // before the run's time origin fires at the first arrival
+        // (plans are expressed in simulated time, which populate()
+        // has already advanced).
+        while (auto due = injector_.popDue(arrival)) {
+            const std::size_t target = indexOfName(due->target);
+            const Tick at = std::max(due->at, arrival);
+            if (due->kind == fault::FaultKind::NodeCrash &&
+                up[target]) {
+                crash(target, at);
+            } else if (due->kind == fault::FaultKind::NodeRestart &&
+                       !up[target]) {
+                restart(target, at);
+            }
+        }
+        // Poisson crashes; the last live node is never taken down.
+        while (next_crash <= arrival) {
+            std::vector<std::size_t> alive;
+            for (std::size_t n = 0; n < nodes_.size(); ++n) {
+                if (up[n])
+                    alive.push_back(n);
+            }
+            if (alive.size() > 1)
+                crash(alive[injector_.pick(alive.size())],
+                      next_crash);
+            next_crash += injector_.nextInterval(crash_mean);
+        }
+
+        // Client request path: walk the ring successors, paying a
+        // timeout for each dead server and a jittered exponential
+        // backoff before the next attempt, as real memcached
+        // clients do.
+        const std::vector<std::string> order =
+            ring_.nodesFor(key, fp.maxRetries + 1);
+        Tick penalty = 0;
+        bool served = false;
+        for (unsigned attempt = 0; attempt <= fp.maxRetries;
+             ++attempt) {
+            const std::size_t index =
+                indexOfName(order[attempt % order.size()]);
+            if (!up[index]) {
+                penalty += fp.requestTimeout;
+                if (measured)
+                    ++result.timeouts;
+                if (attempt < fp.maxRetries) {
+                    const Tick backoff = fp.backoffBase << attempt;
+                    // Scaling a Tick by a unitless jitter factor,
+                    // not converting seconds.
+                    // lint: allow(tick-cast)
+                    penalty += static_cast<Tick>(
+                        static_cast<double>(backoff) *
+                        injector_.jitter(fp.backoffJitter));
+                    if (measured)
+                        ++result.retries;
+                }
+                continue;
+            }
+
+            server::ServerModel &node = *nodes_[index];
+            node.advanceTo(arrival + penalty);
+            bool refill = false;
+            if (request.op == workload::Request::Op::Get) {
+                const server::RequestTiming timing = node.get(key);
+                if (measured) {
+                    ++gets;
+                    hits += timing.hit ? 1 : 0;
+                }
+                if (recovering[index] > 0) {
+                    --recovering[index];
+                    ++recovery_gets;
+                    recovery_hits += timing.hit ? 1 : 0;
+                }
+                refill = !timing.hit;
+            } else {
+                node.put(key, params_.valueBytes);
+            }
+
+            if (measured) {
+                const Tick latency = node.now() - arrival;
+                latencies.push_back(latency);
+                per_node[index].push_back(latency);
+                ++counts[index];
+            }
+            // Read-through: a missed key is re-filled from the
+            // backing store after the client got its answer, so
+            // the refill is off the request's critical path.
+            if (refill)
+                node.put(key, params_.valueBytes);
+            served = true;
+            break;
+        }
+        if (!served && measured)
+            ++result.failedRequests;
     }
 
-    ClusterSimResult result;
-    result.offeredTps = offered_tps;
-
-    std::sort(latencies.begin(), latencies.end());
-    double sum = 0.0;
-    std::size_t sub_ms = 0;
-    for (const Tick latency : latencies) {
-        sum += ticksToUs(latency);
-        if (latency < tickMs)
-            ++sub_ms;
+    if (!latencies.empty()) {
+        std::sort(latencies.begin(), latencies.end());
+        double sum = 0.0;
+        std::size_t sub_ms = 0;
+        for (const Tick latency : latencies) {
+            sum += ticksToUs(latency);
+            if (latency < tickMs)
+                ++sub_ms;
+        }
+        result.avgLatencyUs =
+            sum / static_cast<double>(latencies.size());
+        result.p99LatencyUs = ticksToUs(latencies[static_cast<
+            std::size_t>(0.99 * (latencies.size() - 1))]);
+        result.p999LatencyUs = ticksToUs(latencies[static_cast<
+            std::size_t>(0.999 * (latencies.size() - 1))]);
+        result.subMsFraction = static_cast<double>(sub_ms) /
+                               static_cast<double>(latencies.size());
     }
-    result.avgLatencyUs =
-        sum / static_cast<double>(latencies.size());
-    result.p99LatencyUs = ticksToUs(latencies[static_cast<
-        std::size_t>(0.99 * (latencies.size() - 1))]);
-    result.subMsFraction = static_cast<double>(sub_ms) /
-                           static_cast<double>(latencies.size());
 
     // Hot-node statistics.
     std::size_t hottest = 0;
@@ -162,10 +327,28 @@ ClusterSim::run(double offered_tps)
         if (!v.empty())
             node_p99s.push_back(p99_of(v));
     }
-    std::sort(node_p99s.begin(), node_p99s.end());
-    const double median_p99 = node_p99s[node_p99s.size() / 2];
-    result.hotNodeTailAmplification =
-        median_p99 > 0.0 ? hot_p99 / median_p99 : 0.0;
+    if (!node_p99s.empty()) {
+        std::sort(node_p99s.begin(), node_p99s.end());
+        const double median_p99 = node_p99s[node_p99s.size() / 2];
+        result.hotNodeTailAmplification =
+            median_p99 > 0.0 ? hot_p99 / median_p99 : 0.0;
+    }
+
+    result.availability =
+        1.0 - static_cast<double>(result.failedRequests) /
+                  static_cast<double>(params_.requests);
+    if (gets > 0)
+        result.hitRate = static_cast<double>(hits) /
+                         static_cast<double>(gets);
+    if (recovery_gets > 0)
+        result.postRestartHitRate =
+            static_cast<double>(recovery_hits) /
+            static_cast<double>(recovery_gets);
+    for (const auto &node : nodes_) {
+        result.netDrops += node->netDrops();
+        result.netRetransmits += node->netRetransmits();
+    }
+    result.faultTimelineDigest = injector_.timelineDigest();
     return result;
 }
 

@@ -18,10 +18,49 @@
 
 #include "cluster/ring.hh"
 #include "server/server_model.hh"
+#include "sim/fault.hh"
 #include "workload/workload.hh"
 
 namespace mercury::cluster
 {
+
+/**
+ * Fault-mode configuration. Disabled by default; a disabled run
+ * never touches the injector and is bit-identical to a pre-fault
+ * build.
+ */
+struct ClusterFaultParams
+{
+    bool enabled = false;
+
+    /** Per-segment wire loss probability on every node's paths. */
+    double packetLossProbability = 0.0;
+
+    /** Poisson rate of whole-node crashes, cluster-wide. */
+    double nodeCrashesPerSecond = 0.0;
+
+    /** Downtime before a crashed node restarts (cold cache). */
+    Tick nodeDowntime = 20 * tickMs;
+
+    /** Client-side wait before declaring an attempt dead. Real
+     * memcached clients default to 1-3 s; latency-sensitive
+     * deployments tune this to a few ms. */
+    Tick requestTimeout = 2 * tickMs;
+
+    /** Retries after the first attempt, each against the next node
+     * in ring order (client failover). */
+    unsigned maxRetries = 3;
+
+    /** First retry backoff; doubles per attempt. */
+    Tick backoffBase = 200 * tickUs;
+
+    /** Backoff jitter: each wait is scaled by a uniform factor in
+     * [1-j, 1+j] to decorrelate client retry storms. */
+    double backoffJitter = 0.2;
+
+    /** Seed of the fault RNG stream (independent of the workload). */
+    std::uint64_t seed = 0xfa17;
+};
 
 /** Static configuration of a cluster experiment. */
 struct ClusterSimParams
@@ -42,6 +81,8 @@ struct ClusterSimParams
     unsigned requests = 3000;
     unsigned warmup = 300;
     std::uint64_t seed = 17;
+
+    ClusterFaultParams faults{};
 };
 
 /** Outcome of one cluster run. */
@@ -55,6 +96,27 @@ struct ClusterSimResult
     double hottestNodeShare = 0.0;
     /** p99 of the busiest node vs the cluster median node. */
     double hotNodeTailAmplification = 0.0;
+
+    // --- Fault-mode outcomes (defaults describe a clean run) --------
+
+    double p999LatencyUs = 0.0;
+    /** Requests answered within the retry budget. */
+    double availability = 1.0;
+    /** GET hit rate over the measured window. */
+    double hitRate = 1.0;
+    /** GET hit rate over the recovery window following each cold
+     * restart; climbs back toward hitRate as clients re-fill. */
+    double postRestartHitRate = 1.0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t retries = 0;
+    /** Requests that exhausted every retry. */
+    std::uint64_t failedRequests = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t netDrops = 0;
+    std::uint64_t netRetransmits = 0;
+    /** FaultInjector::timelineDigest() after the run. */
+    std::uint64_t faultTimelineDigest = 0;
 };
 
 class ClusterSim
@@ -73,14 +135,21 @@ class ClusterSim
 
     std::size_t nodes() const { return nodes_.size(); }
 
+    /** The fault injector driving this sim (inspect the timeline,
+     * or schedule explicit crash plans before run()). */
+    fault::FaultInjector &injector() { return injector_; }
+    const fault::FaultInjector &injector() const { return injector_; }
+
   private:
     std::string keyFor(std::uint64_t key_id) const;
     std::size_t nodeIndexFor(std::string_view key) const;
+    std::size_t indexOfName(const std::string &name) const;
 
     ClusterSimParams params_;
     ConsistentHashRing ring_;
     std::vector<std::unique_ptr<server::ServerModel>> nodes_;
     std::vector<std::string> nodeNames_;
+    fault::FaultInjector injector_;
     bool populated_ = false;
     double capacity_ = 0.0;
 };

@@ -23,8 +23,8 @@ DistributedCache::addNode()
     const std::string name = "node" + std::to_string(nextNodeId_++);
     kvstore::StoreParams params = storeParams_;
     params.name = name;
-    nodes_.emplace_back(name,
-                        std::make_unique<kvstore::Store>(params));
+    nodes_.push_back(
+        Node{name, std::make_unique<kvstore::Store>(params), true});
     ring_.addNode(name);
     return name;
 }
@@ -33,54 +33,122 @@ bool
 DistributedCache::removeNode(const std::string &name)
 {
     auto it = std::find_if(nodes_.begin(), nodes_.end(),
-                           [&](const auto &entry) {
-                               return entry.first == name;
+                           [&](const Node &node) {
+                               return node.name == name;
                            });
     if (it == nodes_.end())
         return false;
+
+    // Sample the remap fraction while the node is still on the ring;
+    // its items are lost outright (nothing re-replicates them).
+    if (ring_.numNodes() > 1) {
+        topology_.lastRemapFraction =
+            ring_.remapFractionOnRemoval(name, 2000);
+    } else {
+        topology_.lastRemapFraction = 1.0;
+    }
+    topology_.lostItems += it->store->itemCount();
+    ++topology_.removedNodes;
+
     ring_.removeNode(name);
     nodes_.erase(it);
     return true;
 }
 
-kvstore::Store &
-DistributedCache::storeFor(std::string_view key)
+bool
+DistributedCache::crashNode(const std::string &name)
+{
+    Node *node = find(name);
+    if (!node || !node->up)
+        return false;
+    node->up = false;
+    return true;
+}
+
+bool
+DistributedCache::restartNode(const std::string &name)
+{
+    Node *node = find(name);
+    if (!node || node->up)
+        return false;
+    // The process restarts with an empty in-memory store: rebuild it
+    // so counters and slabs are cold too.
+    kvstore::StoreParams params = storeParams_;
+    params.name = name;
+    node->store = std::make_unique<kvstore::Store>(params);
+    node->up = true;
+    return true;
+}
+
+bool
+DistributedCache::isUp(const std::string &name) const
+{
+    for (const Node &node : nodes_) {
+        if (node.name == name)
+            return node.up;
+    }
+    return false;
+}
+
+DistributedCache::Node *
+DistributedCache::find(const std::string &name)
+{
+    for (Node &node : nodes_) {
+        if (node.name == name)
+            return &node;
+    }
+    return nullptr;
+}
+
+DistributedCache::Node *
+DistributedCache::nodeFor(std::string_view key)
 {
     const std::string &owner = ring_.nodeFor(key);
-    for (auto &[name, store] : nodes_) {
-        if (name == owner)
-            return *store;
+    Node *node = find(owner);
+    if (!node)
+        mercury_panic("ring returned unknown node ", owner);
+    if (!node->up) {
+        ++topology_.downOps;
+        return nullptr;
     }
-    mercury_panic("ring returned unknown node ", owner);
+    return node;
 }
 
 kvstore::Store &
 DistributedCache::storeOf(const std::string &name)
 {
-    for (auto &[node, store] : nodes_) {
-        if (node == name)
-            return *store;
-    }
-    mercury_panic("unknown node ", name);
+    Node *node = find(name);
+    if (!node)
+        mercury_panic("unknown node ", name);
+    return *node->store;
 }
 
 kvstore::GetResult
 DistributedCache::get(std::string_view key)
 {
-    return storeFor(key).get(key);
+    Node *node = nodeFor(key);
+    if (!node)
+        return kvstore::GetResult{};  // owner down: a miss
+    return node->store->get(key);
 }
 
 kvstore::StoreStatus
 DistributedCache::set(std::string_view key, std::string_view value,
                       std::uint32_t flags, std::uint32_t ttl)
 {
-    return storeFor(key).set(key, value, flags, ttl);
+    Node *node = nodeFor(key);
+    if (!node)
+        return kvstore::StoreStatus::NotStored;
+    return node->store->set(key, value, flags, ttl);
 }
 
 kvstore::StoreStatus
 DistributedCache::remove(std::string_view key)
 {
-    return storeFor(key).remove(key);
+    Node *node = nodeFor(key);
+    if (!node)
+        return kvstore::StoreStatus::NotFound;
+    return node->store->remove(key);
 }
 
 std::vector<std::pair<std::string, std::size_t>>
@@ -88,8 +156,8 @@ DistributedCache::itemCounts() const
 {
     std::vector<std::pair<std::string, std::size_t>> counts;
     counts.reserve(nodes_.size());
-    for (const auto &[name, store] : nodes_)
-        counts.emplace_back(name, store->itemCount());
+    for (const Node &node : nodes_)
+        counts.emplace_back(node.name, node.store->itemCount());
     return counts;
 }
 
@@ -97,8 +165,8 @@ std::uint64_t
 DistributedCache::usedBytes() const
 {
     std::uint64_t total = 0;
-    for (const auto &[name, store] : nodes_)
-        total += store->usedBytes();
+    for (const Node &node : nodes_)
+        total += node.store->usedBytes();
     return total;
 }
 

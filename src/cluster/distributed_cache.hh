@@ -20,6 +20,21 @@
 namespace mercury::cluster
 {
 
+/** Bookkeeping of topology changes (removals and crashes). */
+struct TopologyStats
+{
+    /** Nodes removed from the ring so far. */
+    std::size_t removedNodes = 0;
+    /** Items dropped with their node; memcached loses them until
+     * clients re-fill. */
+    std::size_t lostItems = 0;
+    /** Sampled fraction of keys remapped by the last removal --
+     * consistent hashing promises ~1/numNodes. */
+    double lastRemapFraction = 0.0;
+    /** Operations that found the key's owner crashed. */
+    std::size_t downOps = 0;
+};
+
 class DistributedCache
 {
   public:
@@ -44,8 +59,33 @@ class DistributedCache
     /** Grow the cluster by one node. @return its name. */
     std::string addNode();
 
-    /** Shrink the cluster; the node's data is dropped. */
+    /** Shrink the cluster; the node's data is dropped. Updates
+     * topologyStats() with the item loss and the sampled remap
+     * fraction measured before the ring shrank. */
     bool removeNode(const std::string &name);
+
+    /**
+     * Mark a node down (process crash). Its arcs stay on the ring --
+     * clients time out against it -- and its data is unreachable.
+     * @return false if unknown or already down.
+     */
+    bool crashNode(const std::string &name);
+
+    /** Bring a crashed node back with a cold cache, as a real
+     * memcached restart does. @return false if unknown or up. */
+    bool restartNode(const std::string &name);
+
+    /** @return false for crashed nodes and unknown names. */
+    bool isUp(const std::string &name) const;
+
+    /** Failover order for a key (ring successors). */
+    std::vector<std::string>
+    nodesFor(std::string_view key, std::size_t count) const
+    {
+        return ring_.nodesFor(key, count);
+    }
+
+    const TopologyStats &topologyStats() const { return topology_; }
 
     std::size_t numNodes() const { return ring_.numNodes(); }
 
@@ -62,13 +102,23 @@ class DistributedCache
     kvstore::Store &storeOf(const std::string &name);
 
   private:
-    kvstore::Store &storeFor(std::string_view key);
+    struct Node
+    {
+        std::string name;
+        std::unique_ptr<kvstore::Store> store;
+        bool up = true;
+    };
+
+    /** Owner of a key, or nullptr when the owner is down (the
+     * caller's operation fails, counted in topologyStats). */
+    Node *nodeFor(std::string_view key);
+    Node *find(const std::string &name);
 
     kvstore::StoreParams storeParams_;
     ConsistentHashRing ring_;
-    std::vector<std::pair<std::string,
-                          std::unique_ptr<kvstore::Store>>> nodes_;
+    std::vector<Node> nodes_;
     unsigned nextNodeId_ = 0;
+    TopologyStats topology_;
 };
 
 } // namespace mercury::cluster

@@ -69,6 +69,32 @@ ConsistentHashRing::nodeFor(std::string_view key) const
     return nodes_[it->second];
 }
 
+std::vector<std::string>
+ConsistentHashRing::nodesFor(std::string_view key,
+                             std::size_t count) const
+{
+    mercury_assert(!ring_.empty(), "ring has no nodes");
+    std::vector<std::string> order;
+    order.reserve(std::min(count, nodes_.size()));
+
+    const std::uint64_t point = kvstore::hashKey(key);
+    auto it = ring_.lower_bound(point);
+    // Walk the circle once, collecting each distinct owner in the
+    // order its next virtual point appears.
+    for (std::size_t steps = 0;
+         steps < ring_.size() && order.size() < count; ++steps) {
+        if (it == ring_.end())
+            it = ring_.begin();
+        const std::string &owner = nodes_[it->second];
+        if (std::find(order.begin(), order.end(), owner) ==
+            order.end()) {
+            order.push_back(owner);
+        }
+        ++it;
+    }
+    return order;
+}
+
 std::map<std::string, double>
 ConsistentHashRing::arcShare() const
 {

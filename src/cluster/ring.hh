@@ -49,6 +49,15 @@ class ConsistentHashRing
      * @pre at least one node present. */
     const std::string &nodeFor(std::string_view key) const;
 
+    /**
+     * Up to @p count distinct nodes in ring order starting at the
+     * key's owner -- the failover order a memcached client walks
+     * when the primary does not answer.
+     * @pre at least one node present.
+     */
+    std::vector<std::string> nodesFor(std::string_view key,
+                                      std::size_t count) const;
+
     std::size_t numNodes() const { return nodes_.size(); }
 
     unsigned virtualNodes() const { return virtualNodes_; }

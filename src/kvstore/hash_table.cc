@@ -14,21 +14,24 @@ HashTable::HashTable(unsigned initial_power)
 }
 
 Item **
-HashTable::bucketFor(std::uint64_t hash)
+HashTable::bucketFor(std::uint64_t hash, std::uint64_t &index)
 {
     if (expanding_) {
         const std::size_t old_idx = hash & (old_.size() - 1);
-        if (old_idx >= migrateBucket_)
+        if (old_idx >= migrateBucket_) {
+            index = old_idx;
             return &old_[old_idx];
+        }
     }
-    return &primary_[hash & (primary_.size() - 1)];
+    index = hash & (primary_.size() - 1);
+    return &primary_[index];
 }
 
 ProbeResult
 HashTable::find(std::string_view key, std::uint64_t hash)
 {
     ProbeResult result;
-    Item **bucket = bucketFor(hash);
+    Item **bucket = bucketFor(hash, result.bucketIndex);
     result.bucketAddr = bucket;
     for (Item *it = *bucket; it; it = it->hNext) {
         ++result.chainLength;
@@ -51,7 +54,8 @@ HashTable::insert(Item *item, std::uint64_t hash)
                     "insert of item already linked in a chain");
     MERCURY_ASSERT_SLOW(find(item->key(), hash).item == nullptr,
                         "duplicate insert of key '", item->key(), "'");
-    Item **bucket = bucketFor(hash);
+    std::uint64_t index = 0;
+    Item **bucket = bucketFor(hash, index);
     item->hNext = *bucket;
     *bucket = item;
     ++size_;
@@ -63,7 +67,8 @@ HashTable::insert(Item *item, std::uint64_t hash)
 Item *
 HashTable::remove(std::string_view key, std::uint64_t hash)
 {
-    Item **bucket = bucketFor(hash);
+    std::uint64_t index = 0;
+    Item **bucket = bucketFor(hash, index);
     for (Item **link = bucket; *link; link = &(*link)->hNext) {
         if ((*link)->key() == key) {
             Item *removed = *link;

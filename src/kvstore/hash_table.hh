@@ -29,6 +29,10 @@ struct ProbeResult
     unsigned chainLength = 0;
     /** Address of the bucket head slot that was read. */
     const void *bucketAddr = nullptr;
+    /** Index of that slot within its table. Unlike bucketAddr this
+     * is independent of the host heap layout, so the timing layer
+     * maps it (not the pointer) into the simulated address space. */
+    std::uint64_t bucketIndex = 0;
 };
 
 class HashTable
@@ -101,8 +105,9 @@ class HashTable
     }
 
   private:
-    /** Bucket slot (in whichever table currently owns the hash). */
-    Item **bucketFor(std::uint64_t hash);
+    /** Bucket slot (in whichever table currently owns the hash);
+     * also yields the slot's index within that table. */
+    Item **bucketFor(std::uint64_t hash, std::uint64_t &index);
 
     static constexpr double expandLoadFactor = 1.5;
 

@@ -175,6 +175,7 @@ Store::getTraced(std::string_view key, ProbeTrace &trace)
 
     ProbeResult probe = table_.find(key, hash);
     trace.bucketAddr = probe.bucketAddr;
+    trace.bucketIndex = probe.bucketIndex;
     trace.chainItems.clear();
     {
         // Reconstruct the walk for the timing layer.
@@ -222,6 +223,7 @@ Store::storeInternal(std::string_view key, std::string_view value,
     ProbeResult probe = table_.find(key, hash);
     if (trace) {
         trace->bucketAddr = probe.bucketAddr;
+        trace->bucketIndex = probe.bucketIndex;
         Item *walk = *static_cast<Item *const *>(probe.bucketAddr);
         for (unsigned i = 0; i < probe.chainLength && walk;
              ++i, walk = walk->hNext) {

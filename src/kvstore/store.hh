@@ -77,6 +77,9 @@ struct ProbeTrace
 {
     /** Bucket head slot that was read. */
     const void *bucketAddr = nullptr;
+    /** Host-layout-independent index of that slot (timing layers
+     * must map this, not the pointer, to stay deterministic). */
+    std::uint64_t bucketIndex = 0;
     /** Headers of chain items inspected, in walk order. */
     std::vector<const void *> chainItems;
     /** The item finally operated on (hit item / new item). */

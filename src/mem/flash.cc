@@ -35,8 +35,46 @@ Ftl::Ftl(std::uint64_t phys_pages, unsigned pages_per_block,
     validCount_.assign(numBlocks_, 0);
     eraseCount_.assign(numBlocks_, 0);
     blockFree_.assign(numBlocks_, true);
+    blockRetired_.assign(numBlocks_, false);
+    pendingRetire_.assign(numBlocks_, false);
     for (std::uint64_t b = 0; b < numBlocks_; ++b)
         freeBlocks_.push_back(b);
+
+    const std::uint64_t logical_blocks =
+        (logicalPages_ + pagesPerBlock_ - 1) / pagesPerBlock_;
+    minLiveBlocks_ = logical_blocks + gcLowWater_ + 2;
+}
+
+void
+Ftl::setFaultInjection(fault::FaultInjector *injector,
+                       double program_fail_probability,
+                       double erase_fail_probability,
+                       std::string target)
+{
+    faults_ = injector;
+    programFailP_ = program_fail_probability;
+    eraseFailP_ = erase_fail_probability;
+    faultTarget_ = std::move(target);
+}
+
+bool
+Ftl::canRetire() const
+{
+    return numBlocks_ - retiredBlocks_ > minLiveBlocks_;
+}
+
+double
+Ftl::capacityLossFraction() const
+{
+    return static_cast<double>(retiredBlocks_) /
+           static_cast<double>(numBlocks_);
+}
+
+std::uint64_t
+Ftl::spareBlocksRemaining() const
+{
+    const std::uint64_t live = numBlocks_ - retiredBlocks_;
+    return live > minLiveBlocks_ ? live - minLiveBlocks_ : 0;
 }
 
 bool
@@ -59,7 +97,8 @@ Ftl::pickGcVictim() const
     std::int64_t best = unmapped;
     std::uint16_t best_valid = pagesPerBlock_;
     for (std::uint64_t b = 0; b < numBlocks_; ++b) {
-        if (blockFree_[b] || static_cast<std::int64_t>(b) == activeBlock_)
+        if (blockFree_[b] || blockRetired_[b] ||
+            static_cast<std::int64_t>(b) == activeBlock_)
             continue;
         if (validCount_[b] < best_valid) {
             best_valid = validCount_[b];
@@ -73,13 +112,32 @@ Ftl::pickGcVictim() const
 }
 
 void
-Ftl::eraseBlock(std::uint64_t block, FtlWriteOutcome &outcome)
+Ftl::eraseBlock(std::uint64_t block, FtlWriteOutcome &outcome,
+                Tick now)
 {
     MERCURY_EXPECTS(block < numBlocks_, "erase of bad block ", block);
     MERCURY_EXPECTS(!blockFree_[block],
                     "erase of block already in the free pool");
+    MERCURY_EXPECTS(!blockRetired_[block],
+                    "erase of retired block ", block);
     MERCURY_EXPECTS(validCount_[block] == 0,
                     "erasing block with valid pages");
+
+    // Grown-bad-block path: a block that failed a program earlier, or
+    // fails this erase, is retired instead of reused -- unless the
+    // spare headroom is gone, in which case the FTL (like an SSD near
+    // end of life) keeps limping on the block rather than dying.
+    if (faults_ != nullptr && canRetire() &&
+        (pendingRetire_[block] || faults_->roll(eraseFailP_))) {
+        pendingRetire_[block] = false;
+        blockRetired_[block] = true;
+        ++retiredBlocks_;
+        ++outcome.retiredBlocks;
+        faults_->record(now, fault::FaultKind::FlashBadBlock,
+                        faultTarget_, block);
+        return;
+    }
+    pendingRetire_[block] = false;
     blockFree_[block] = true;
     freeBlocks_.push_back(block);
     ++eraseCount_[block];
@@ -88,7 +146,8 @@ Ftl::eraseBlock(std::uint64_t block, FtlWriteOutcome &outcome)
 }
 
 void
-Ftl::reclaimBlock(std::uint64_t block, FtlWriteOutcome &outcome)
+Ftl::reclaimBlock(std::uint64_t block, FtlWriteOutcome &outcome,
+                  Tick now)
 {
     // Relocate every valid page into the active write stream.
     for (unsigned i = 0; i < pagesPerBlock_; ++i) {
@@ -131,7 +190,7 @@ Ftl::reclaimBlock(std::uint64_t block, FtlWriteOutcome &outcome)
     MERCURY_ENSURES(validCount_[block] == 0,
                     "GC reclaim left valid pages behind in block ",
                     block);
-    eraseBlock(block, outcome);
+    eraseBlock(block, outcome, now);
     // No full checkConsistency() here: reclaim runs nested inside
     // write(), which invalidates the overwritten page's reverse
     // mapping before allocating, so the map/reverse audit only holds
@@ -139,7 +198,7 @@ Ftl::reclaimBlock(std::uint64_t block, FtlWriteOutcome &outcome)
 }
 
 void
-Ftl::maybeWearLevel(FtlWriteOutcome &outcome)
+Ftl::maybeWearLevel(FtlWriteOutcome &outcome, Tick now)
 {
     // Static wear leveling: when the erase-count spread grows too
     // large, park the coldest data in the most-worn free block. The
@@ -207,31 +266,56 @@ Ftl::maybeWearLevel(FtlWriteOutcome &outcome)
         ++flashWrites_;
         ++outcome.movedPages;
     }
-    eraseBlock(cold_block, outcome);
+    eraseBlock(cold_block, outcome, now);
     // Full audit deferred to the write()/trim() boundary; see
     // reclaimBlock().
 }
 
 std::uint64_t
-Ftl::allocPage(FtlWriteOutcome &outcome)
+Ftl::allocPage(FtlWriteOutcome &outcome, Tick now)
 {
     // Wear leveling can consume the freshly opened block, so loop
-    // until the active block really has a free page.
-    while (activeBlock_ == unmapped ||
-           nextPageInActive_ == pagesPerBlock_) {
-        while (freeBlocks_.size() <= gcLowWater_) {
-            const std::int64_t victim = pickGcVictim();
-            if (victim == unmapped)
-                break;
-            reclaimBlock(static_cast<std::uint64_t>(victim), outcome);
+    // until the active block really has a free page. A program
+    // failure burns the candidate page (it stays unused forever),
+    // marks the block for retirement at its next erase, and retries
+    // on the next page; the per-call failure budget keeps even a
+    // pathological probability from looping without progress.
+    while (true) {
+        while (activeBlock_ == unmapped ||
+               nextPageInActive_ == pagesPerBlock_) {
+            while (freeBlocks_.size() <= gcLowWater_) {
+                const std::int64_t victim = pickGcVictim();
+                if (victim == unmapped)
+                    break;
+                reclaimBlock(static_cast<std::uint64_t>(victim),
+                             outcome, now);
+            }
+            MERCURY_ASSERT(!freeBlocks_.empty(),
+                           "flash channel out of space");
+            activeBlock_ =
+                static_cast<std::int64_t>(freeBlocks_.front());
+            freeBlocks_.pop_front();
+            blockFree_[static_cast<std::uint64_t>(activeBlock_)] =
+                false;
+            nextPageInActive_ = 0;
+            maybeWearLevel(outcome, now);
         }
-        MERCURY_ASSERT(!freeBlocks_.empty(),
-                       "flash channel out of space");
-        activeBlock_ = static_cast<std::int64_t>(freeBlocks_.front());
-        freeBlocks_.pop_front();
-        blockFree_[static_cast<std::uint64_t>(activeBlock_)] = false;
-        nextPageInActive_ = 0;
-        maybeWearLevel(outcome);
+        if (faults_ != nullptr &&
+            outcome.programFailures < pagesPerBlock_ &&
+            faults_->roll(programFailP_)) {
+            const auto block =
+                static_cast<std::uint64_t>(activeBlock_);
+            pendingRetire_[block] = true;
+            ++programFailures_;
+            ++outcome.programFailures;
+            faults_->record(now, fault::FaultKind::FlashProgramFail,
+                            faultTarget_,
+                            block * pagesPerBlock_ +
+                                nextPageInActive_);
+            ++nextPageInActive_;  // burn the page, try the next
+            continue;
+        }
+        break;
     }
     MERCURY_ENSURES(nextPageInActive_ < pagesPerBlock_,
                     "active flash block write cursor out of range");
@@ -243,7 +327,7 @@ Ftl::allocPage(FtlWriteOutcome &outcome)
 }
 
 FtlWriteOutcome
-Ftl::write(std::uint64_t lpn)
+Ftl::write(std::uint64_t lpn, Tick now)
 {
     MERCURY_EXPECTS(lpn < logicalPages_,
                     "write to lpn out of range: ", lpn);
@@ -258,7 +342,7 @@ Ftl::write(std::uint64_t lpn)
         --validCount_[blockOf(old)];
     }
 
-    const std::uint64_t ppn = allocPage(outcome);
+    const std::uint64_t ppn = allocPage(outcome, now);
     map_[lpn] = static_cast<std::int64_t>(ppn);
     reverse_[ppn] = static_cast<std::int64_t>(lpn);
     ++validCount_[blockOf(ppn)];
@@ -342,6 +426,19 @@ Ftl::checkConsistency() const
             return false;
         if (blockFree_[b] && validCount_[b] != 0)
             return false;
+        // Retired blocks hold no data and never rejoin the pool.
+        if (blockRetired_[b] &&
+            (blockFree_[b] || validCount_[b] != 0))
+            return false;
+    }
+    std::uint64_t retired = 0;
+    for (std::uint64_t b = 0; b < numBlocks_; ++b)
+        retired += blockRetired_[b] ? 1 : 0;
+    if (retired != retiredBlocks_)
+        return false;
+    for (const std::uint64_t b : freeBlocks_) {
+        if (blockRetired_[b])
+            return false;
     }
     return true;
 }
@@ -362,7 +459,11 @@ FlashController::FlashController(const FlashParams &params,
       pagePrograms_(&statGroup_, "pagePrograms", "page programs"),
       registerHits_(&statGroup_, "registerHits", "page-register hits"),
       gcMoves_(&statGroup_, "gcMoves", "pages moved by GC/wear level"),
-      erases_(&statGroup_, "erases", "block erases")
+      erases_(&statGroup_, "erases", "block erases"),
+      programFailures_(&statGroup_, "programFailures",
+                       "page programs that failed"),
+      badBlocks_(&statGroup_, "badBlocks",
+                 "blocks retired as grown-bad")
 {
     MERCURY_EXPECTS(params_.numChannels > 0, "flash needs channels");
     channels_.reserve(params_.numChannels);
@@ -405,19 +506,26 @@ FlashController::findWriteSlot(const Channel &channel,
 }
 
 Tick
-FlashController::flushSlot(Channel &channel, std::size_t slot)
+FlashController::flushSlot(Channel &channel, std::size_t slot,
+                           Tick now)
 {
     const std::uint64_t lpn = channel.writeSlots[slot].lpn;
-    const FtlWriteOutcome outcome = channel.ftl.write(lpn);
+    const FtlWriteOutcome outcome = channel.ftl.write(lpn, now);
 
     Tick cost = params_.programLatency;
     cost += outcome.movedPages *
             (params_.readLatency + params_.programLatency);
     cost += outcome.erases * params_.eraseLatency;
+    // Failed programs and failed (retiring) erases still occupy the
+    // die for the attempt before the controller moves on.
+    cost += outcome.programFailures * params_.programLatency;
+    cost += outcome.retiredBlocks * params_.eraseLatency;
 
     ++pagePrograms_;
     gcMoves_ += outcome.movedPages;
     erases_ += outcome.erases;
+    programFailures_ += outcome.programFailures;
+    badBlocks_ += outcome.retiredBlocks;
 
     channel.writeSlots.erase(channel.writeSlots.begin() +
                              static_cast<std::ptrdiff_t>(slot));
@@ -457,7 +565,7 @@ FlashController::access(AccessType type, Addr addr, unsigned size,
                         victim = i;
                     }
                 }
-                t += flushSlot(channel, victim);
+                t += flushSlot(channel, victim, t);
             }
             channel.writeSlots.push_back(
                 WriteSlot{lpn, ++channel.useCounter});
@@ -514,7 +622,7 @@ FlashController::drainChannel(unsigned channel_index, Tick now)
     Channel &channel = channels_[channel_index];
     Tick t = std::max(now, channel.busyUntil);
     while (!channel.writeSlots.empty())
-        t += flushSlot(channel, channel.writeSlots.size() - 1);
+        t += flushSlot(channel, channel.writeSlots.size() - 1, t);
     channel.busyUntil = t;
     return t;
 }
@@ -547,6 +655,44 @@ FlashController::totalGcMoves() const
     for (const auto &channel : channels_)
         total += channel.ftl.totalMoves();
     return total;
+}
+
+void
+FlashController::setFaultInjector(fault::FaultInjector *injector)
+{
+    for (unsigned c = 0; c < channels_.size(); ++c) {
+        channels_[c].ftl.setFaultInjection(
+            injector, params_.programFailProbability,
+            params_.eraseFailProbability,
+            params_.name + ".ch" + std::to_string(c));
+    }
+}
+
+std::uint64_t
+FlashController::totalRetiredBlocks() const
+{
+    std::uint64_t total = 0;
+    for (const auto &channel : channels_)
+        total += channel.ftl.retiredBlocks();
+    return total;
+}
+
+std::uint64_t
+FlashController::totalProgramFailures() const
+{
+    std::uint64_t total = 0;
+    for (const auto &channel : channels_)
+        total += channel.ftl.programFailures();
+    return total;
+}
+
+double
+FlashController::capacityDegradation() const
+{
+    double total = 0.0;
+    for (const auto &channel : channels_)
+        total += channel.ftl.capacityLossFraction();
+    return total / static_cast<double>(channels_.size());
 }
 
 unsigned

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "mem/mem_device.hh"
+#include "sim/fault.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -75,6 +76,16 @@ struct FlashParams
 
     /** Wear-leveling kicks in when erase-count spread exceeds this. */
     unsigned wearLevelThreshold = 64;
+
+    // --- Fault model (only consulted with a FaultInjector) ----------
+
+    /** Per-page probability a program fails: the page is burned and
+     * its block marked for retirement at its next erase. */
+    double programFailProbability = 0.0;
+
+    /** Per-erase probability the block grows bad and is retired into
+     * the (implicit) spare pool instead of being reused. */
+    double eraseFailProbability = 0.0;
 };
 
 /** Cost summary of one FTL host-write (for the timing layer). */
@@ -85,6 +96,10 @@ struct FtlWriteOutcome
     unsigned movedPages = 0;
     /** Blocks erased (GC + wear leveling). */
     unsigned erases = 0;
+    /** Program attempts that failed (each cost a program latency). */
+    unsigned programFailures = 0;
+    /** Blocks retired as grown-bad (each cost an erase attempt). */
+    unsigned retiredBlocks = 0;
 };
 
 /**
@@ -122,8 +137,9 @@ class Ftl
      * @pre isMapped(lpn) */
     std::uint64_t translate(std::uint64_t lpn) const;
 
-    /** Write (or overwrite) a logical page. */
-    FtlWriteOutcome write(std::uint64_t lpn);
+    /** Write (or overwrite) a logical page. @p now stamps any
+     * injected fault records with the simulated time. */
+    FtlWriteOutcome write(std::uint64_t lpn, Tick now = 0);
 
     /** Discard a logical page's mapping (TRIM). */
     void trim(std::uint64_t lpn);
@@ -148,8 +164,32 @@ class Ftl
 
     std::uint64_t freeBlocks() const { return freeBlocks_.size(); }
 
+    /**
+     * Attach a fault injector (nullptr detaches) with the failure
+     * probabilities to apply and a target label for the recorded
+     * timeline. Failures only fire while an injector is attached.
+     */
+    void setFaultInjection(fault::FaultInjector *injector,
+                           double program_fail_probability,
+                           double erase_fail_probability,
+                           std::string target);
+
+    /** Blocks permanently retired as grown-bad. */
+    std::uint64_t retiredBlocks() const { return retiredBlocks_; }
+
+    /** Page programs that failed (and were retried elsewhere). */
+    std::uint64_t programFailures() const { return programFailures_; }
+
+    /** Fraction of physical capacity lost to retired blocks. */
+    double capacityLossFraction() const;
+
+    /** Blocks that may still be retired before the guard refuses
+     * further retirement to protect GC headroom. */
+    std::uint64_t spareBlocksRemaining() const;
+
     /** Invariant checker used by tests: every mapped lpn's ppn must
-     * reverse-map back to it, and valid counts must be consistent. */
+     * reverse-map back to it, valid counts must be consistent, and
+     * retired blocks must be empty and out of the free pool. */
     bool checkConsistency() const;
 
   private:
@@ -161,17 +201,23 @@ class Ftl
     }
 
     /** Grab the next free physical page, running GC if required. */
-    std::uint64_t allocPage(FtlWriteOutcome &outcome);
+    std::uint64_t allocPage(FtlWriteOutcome &outcome, Tick now);
 
     /** Relocate all valid pages out of a block, then erase it. */
-    void reclaimBlock(std::uint64_t block, FtlWriteOutcome &outcome);
+    void reclaimBlock(std::uint64_t block, FtlWriteOutcome &outcome,
+                      Tick now);
 
-    void eraseBlock(std::uint64_t block, FtlWriteOutcome &outcome);
+    void eraseBlock(std::uint64_t block, FtlWriteOutcome &outcome,
+                    Tick now);
 
     /** Pick the fullest-invalid candidate block for GC. */
     std::int64_t pickGcVictim() const;
 
-    void maybeWearLevel(FtlWriteOutcome &outcome);
+    void maybeWearLevel(FtlWriteOutcome &outcome, Tick now);
+
+    /** True while retiring one more block keeps enough live blocks
+     * for the logical space plus GC headroom. */
+    bool canRetire() const;
 
     /** Slow-check helper: full consistency audit on every mutation
      * for small FTLs, sampled on big ones (the audit is O(pages), so
@@ -194,6 +240,12 @@ class Ftl
     std::vector<std::uint16_t> validCount_;
     std::vector<std::uint32_t> eraseCount_;
     std::vector<bool> blockFree_;
+    /** Permanently retired (grown-bad) blocks: never free, never
+     * allocated, always empty. */
+    std::vector<bool> blockRetired_;
+    /** Blocks that suffered a program failure; retired at their next
+     * erase (grown-bad detection as real FTLs do it). */
+    std::vector<bool> pendingRetire_;
     std::deque<std::uint64_t> freeBlocks_;
 
     std::int64_t activeBlock_ = unmapped;
@@ -203,6 +255,15 @@ class Ftl
     std::uint64_t totalMoves_ = 0;
     std::uint64_t hostWrites_ = 0;
     std::uint64_t flashWrites_ = 0;
+
+    fault::FaultInjector *faults_ = nullptr;
+    double programFailP_ = 0.0;
+    double eraseFailP_ = 0.0;
+    std::string faultTarget_;
+    std::uint64_t retiredBlocks_ = 0;
+    std::uint64_t programFailures_ = 0;
+    /** Live blocks needed for the logical space + GC headroom. */
+    std::uint64_t minLiveBlocks_ = 0;
 };
 
 /**
@@ -241,6 +302,19 @@ class FlashController : public MemDevice
     std::uint64_t totalGcMoves() const;
     unsigned maxEraseSpread() const;
 
+    /** Attach a fault injector to every channel's FTL (nullptr
+     * detaches); the params' failure probabilities apply. */
+    void setFaultInjector(fault::FaultInjector *injector);
+
+    /** Blocks retired as grown-bad across all channels. */
+    std::uint64_t totalRetiredBlocks() const;
+
+    /** Failed page programs across all channels. */
+    std::uint64_t totalProgramFailures() const;
+
+    /** Fraction of raw capacity lost to retired blocks. */
+    double capacityDegradation() const;
+
     const stats::StatGroup &statGroup() const { return statGroup_; }
 
     void reset() override;
@@ -274,7 +348,7 @@ class FlashController : public MemDevice
                       std::uint64_t lpn) const;
 
     /** Program one write slot through the FTL; returns cost. */
-    Tick flushSlot(Channel &channel, std::size_t slot);
+    Tick flushSlot(Channel &channel, std::size_t slot, Tick now);
 
     FlashParams params_;
     std::uint64_t channelBytes_;
@@ -288,6 +362,8 @@ class FlashController : public MemDevice
     stats::Scalar registerHits_;
     stats::Scalar gcMoves_;
     stats::Scalar erases_;
+    stats::Scalar programFailures_;
+    stats::Scalar badBlocks_;
 };
 
 } // namespace mercury::mem

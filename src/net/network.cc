@@ -50,7 +50,15 @@ NetworkPath::NetworkPath(const NetParams &params,
       queueTicks_(&statGroup_, "queueTicks",
                   "ticks messages waited for the link"),
       peakBuffer_(&statGroup_, "peakBufferBytes",
-                  "peak MAC buffer occupancy")
+                  "peak MAC buffer occupancy"),
+      bufferDrops_(&statGroup_, "bufferDrops",
+                   "packets overflowing the MAC buffer"),
+      drops_(&statGroup_, "packetDrops",
+             "packets dropped (loss + buffer overflow)"),
+      retransmits_(&statGroup_, "retransmits",
+                   "TCP segments retransmitted"),
+      rtoTicks_(&statGroup_, "rtoTicks",
+                "ticks spent waiting out retransmission timeouts")
 {
     mercury_assert(params_.linkBandwidth > 0.0,
                    "link bandwidth must be positive");
@@ -65,44 +73,114 @@ NetworkPath::serializationTime(std::uint64_t bytes) const
     return std::max<Tick>(1, secondsToTicks(seconds));
 }
 
+std::uint64_t
+NetworkPath::backlogBytes(Tick now) const
+{
+    if (linkBusyUntil_ <= now)
+        return 0;
+    return static_cast<std::uint64_t>(
+        params_.linkBandwidth *
+        ticksToSeconds(linkBusyUntil_ - now));
+}
+
 DeliveryResult
 NetworkPath::deliver(std::uint64_t payload_bytes, Tick now)
 {
     const unsigned n = segmenter_.numSegments(payload_bytes);
     const std::uint64_t wire = segmenter_.wireBytes(payload_bytes);
 
+    // Store-and-forward buffering: everything queued behind the link
+    // plus this message sits in the MAC buffer until serialized out.
+    // Occupancy clamps at capacity; the excess is packets the buffer
+    // cannot hold, accounted even in fault-free runs.
+    const std::uint64_t occupancy = backlogBytes(now) + wire;
+    const std::uint64_t clamped =
+        std::min(occupancy, params_.macBufferBytes);
+    if (clamped > peakBuffer_.value())
+        peakBuffer_ = static_cast<double>(clamped);
+
+    unsigned overflow_packets = 0;
+    if (occupancy > params_.macBufferBytes) {
+        const std::uint64_t overflow =
+            occupancy - params_.macBufferBytes;
+        const std::uint64_t per_packet =
+            params_.mss + params_.perPacketOverhead;
+        overflow_packets = static_cast<unsigned>(
+            std::min<std::uint64_t>(
+                n, (overflow + per_packet - 1) / per_packet));
+        bufferDrops_ += static_cast<double>(overflow_packets);
+    }
+
     const Tick start = std::max(now, linkBusyUntil_);
     queueTicks_ += static_cast<double>(start - now);
 
+    DeliveryResult result;
+    result.packets = n;
+
+    // Fault path: lost segments are resent after an RTO that doubles
+    // per consecutive loss, so every drop surfaces as latency. Both
+    // legs are skipped entirely (no RNG, no arithmetic) when no
+    // injector is attached, keeping fault-free runs bit-identical.
+    Tick penalty = 0;
+    std::uint64_t retrans_wire = 0;
+    if (faults_ != nullptr) {
+        if (params_.lossProbability > 0.0) {
+            const std::vector<unsigned> sizes =
+                segmenter_.segmentSizes(payload_bytes);
+            for (unsigned i = 0; i < n; ++i) {
+                Tick rto = params_.rtoMin;
+                unsigned attempt = 0;
+                while (attempt < params_.maxRetransmits &&
+                       faults_->roll(params_.lossProbability)) {
+                    ++result.drops;
+                    ++result.retransmits;
+                    faults_->record(now, fault::FaultKind::PacketLoss,
+                                    name(), i);
+                    penalty += rto;
+                    rto *= 2;
+                    retrans_wire += sizes[i] +
+                                    params_.perPacketOverhead;
+                    ++attempt;
+                }
+            }
+        }
+        if (params_.dropOnOverflow && overflow_packets > 0) {
+            // Overflowed packets are dropped and resent after one
+            // RTO; by then the buffer has drained, so one
+            // retransmission suffices.
+            result.bufferDrops = overflow_packets;
+            result.drops += overflow_packets;
+            result.retransmits += overflow_packets;
+            faults_->record(now, fault::FaultKind::MacBufferDrop,
+                            name(), overflow_packets);
+            penalty += params_.rtoMin;
+            retrans_wire +=
+                static_cast<std::uint64_t>(overflow_packets) *
+                (params_.mss + params_.perPacketOverhead);
+        }
+    }
+
     // Packets serialize back to back; the receiver sees the last one
-    // after the full wire time, plus the fixed per-hop latencies for
+    // after the full wire time (original + retransmitted bytes), any
+    // retransmission timeouts, plus the fixed per-hop latencies for
     // the final (store-and-forward) packet.
-    const Tick serialization = serializationTime(wire);
+    const Tick serialization = serializationTime(wire + retrans_wire);
     linkBusyUntil_ = start + serialization;
 
-    const Tick completion = start + serialization + params_.phyLatency +
-                            params_.macLatency + params_.propagation;
-
-    // Store-and-forward buffering: while the core has not drained the
-    // message, up to the whole message can sit in MAC buffers. Track
-    // occupancy against the configured capacity.
-    const std::uint64_t occupancy =
-        std::min<std::uint64_t>(wire, params_.macBufferBytes);
-    if (occupancy > peakBuffer_.value())
-        peakBuffer_ = static_cast<double>(occupancy);
-    if (wire > params_.macBufferBytes && n > 1) {
-        // Larger messages stream through the buffer packet by packet;
-        // this is fine for timing (TCP windows throttle the sender)
-        // but worth surfacing for capacity planning.
-        peakBuffer_ = static_cast<double>(params_.macBufferBytes);
-    }
+    result.wireBytes = wire + retrans_wire;
+    result.completion = start + serialization + penalty +
+                        params_.phyLatency + params_.macLatency +
+                        params_.propagation;
 
     ++messages_;
     packets_ += static_cast<double>(n);
     payloadBytes_ += static_cast<double>(payload_bytes);
-    wireBytes_ += static_cast<double>(wire);
+    wireBytes_ += static_cast<double>(result.wireBytes);
+    drops_ += static_cast<double>(result.drops);
+    retransmits_ += static_cast<double>(result.retransmits);
+    rtoTicks_ += static_cast<double>(penalty);
 
-    return {completion, n, wire};
+    return result;
 }
 
 double

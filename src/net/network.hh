@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/fault.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -52,6 +53,28 @@ struct NetParams
 
     /** NIC MAC packet buffer capacity. */
     std::uint64_t macBufferBytes = 128 * kiB;
+
+    // --- Fault model (all zero-cost when left at defaults) ----------
+
+    /** Per-segment probability the wire/NIC drops the packet. Only
+     * consulted when a FaultInjector is attached. */
+    double lossProbability = 0.0;
+
+    /** Minimum TCP retransmission timeout. Real kernels default to
+     * 200 ms; datacenter deployments tune RTOmin to ~1-10 ms to
+     * survive incast (Vasudevan et al., SIGCOMM'09), and our RTTs
+     * are 10-1000 us, so 1 ms is the faithful in-rack choice. */
+    Tick rtoMin = 1 * tickMs;
+
+    /** Retransmission attempts per segment before giving up; each
+     * consecutive loss doubles the RTO (exponential backoff). */
+    unsigned maxRetransmits = 6;
+
+    /** Enforce macBufferBytes by dropping overflowing packets (they
+     * then pay the retransmission path). Off by default: fault-free
+     * runs only *account* occupancy and overflow, preserving
+     * bit-identical timing with pre-fault builds. */
+    bool dropOnOverflow = false;
 };
 
 /**
@@ -81,9 +104,15 @@ class TcpSegmenter
 struct DeliveryResult
 {
     /** Tick the last byte is available at the receiver. */
-    Tick completion;
-    unsigned packets;
-    std::uint64_t wireBytes;
+    Tick completion = 0;
+    unsigned packets = 0;
+    std::uint64_t wireBytes = 0;
+    /** Segments lost on the wire or to MAC buffer overflow. */
+    unsigned drops = 0;
+    /** Segments sent again (every drop that was retried). */
+    unsigned retransmits = 0;
+    /** Of the drops, those caused by MAC buffer overflow. */
+    unsigned bufferDrops = 0;
 };
 
 /**
@@ -114,10 +143,38 @@ class NetworkPath : public SimObject
     /** Offered-load utilization of the link since the last reset. */
     double utilization(Tick elapsed) const;
 
-    /** Peak MAC buffer occupancy observed (bytes). */
+    /** Peak MAC buffer occupancy observed (bytes), clamped to the
+     * configured capacity. */
     std::uint64_t peakBufferBytes() const
     {
         return static_cast<std::uint64_t>(peakBuffer_.value());
+    }
+
+    /** Packets the MAC buffer could not hold (counted in fault-free
+     * runs too; only *dropped* with dropOnOverflow). */
+    std::uint64_t bufferDropPackets() const
+    {
+        return static_cast<std::uint64_t>(bufferDrops_.value());
+    }
+
+    std::uint64_t droppedPackets() const
+    {
+        return static_cast<std::uint64_t>(drops_.value());
+    }
+
+    std::uint64_t retransmittedPackets() const
+    {
+        return static_cast<std::uint64_t>(retransmits_.value());
+    }
+
+    /**
+     * Attach a fault injector; nullptr detaches. Packet-loss rolls
+     * and overflow drops only happen while one is attached, so paths
+     * without an injector stay bit-identical to pre-fault builds.
+     */
+    void setFaultInjector(fault::FaultInjector *injector)
+    {
+        faults_ = injector;
     }
 
     void reset() override;
@@ -125,9 +182,14 @@ class NetworkPath : public SimObject
   private:
     Tick serializationTime(std::uint64_t bytes) const;
 
+    /** Bytes still queued in the MAC buffer at @p now (the link has
+     * not yet serialized them out). */
+    std::uint64_t backlogBytes(Tick now) const;
+
     NetParams params_;
     TcpSegmenter segmenter_;
     Tick linkBusyUntil_ = 0;
+    fault::FaultInjector *faults_ = nullptr;
 
     stats::StatGroup statGroup_;
     stats::Scalar messages_;
@@ -136,6 +198,10 @@ class NetworkPath : public SimObject
     stats::Scalar wireBytes_;
     stats::Scalar queueTicks_;
     stats::Scalar peakBuffer_;
+    stats::Scalar bufferDrops_;
+    stats::Scalar drops_;
+    stats::Scalar retransmits_;
+    stats::Scalar rtoTicks_;
 };
 
 /** 10GbE defaults used by every stack (Sec. 4.1.4). */

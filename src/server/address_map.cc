@@ -107,14 +107,14 @@ AddressMap::mapDataPointer(const kvstore::SlabAllocator &slabs,
 }
 
 Addr
-AddressMap::mapBucketPointer(const void *ptr) const
+AddressMap::mapBucketIndex(std::uint64_t index) const
 {
-    // Bucket slots are 8-byte entries in a host vector; fold the
-    // pointer into the table region deterministically, keeping
-    // 8-byte alignment so a given bucket always lands on the same
-    // simulated line.
-    const auto raw = reinterpret_cast<std::uintptr_t>(ptr);
-    const std::uint64_t slot = (raw / 8) % (tableSize() / 8);
+    // Bucket slots are 8-byte entries; fold the slot's index into
+    // the table region so a given bucket always lands on the same
+    // simulated line. The index (unlike the host pointer of the
+    // slot, which moves with the heap layout) makes the mapping
+    // reproducible across runs and builds.
+    const std::uint64_t slot = index % (tableSize() / 8);
     const Addr addr = tableBase() + slot * 8;
     MERCURY_ENSURES(addr >= tableBase() &&
                     addr < tableBase() + tableSize(),

@@ -94,8 +94,8 @@ class AddressMap
     Addr mapDataPointer(const kvstore::SlabAllocator &slabs,
                         const void *ptr) const;
 
-    /** Map a hash-bucket slot pointer into the table region. */
-    Addr mapBucketPointer(const void *ptr) const;
+    /** Map a hash-bucket slot index into the table region. */
+    Addr mapBucketIndex(std::uint64_t index) const;
 
     /** A buffer-ring address for byte offset @p off (wraps). */
     Addr bufferAddr(std::uint64_t off) const;

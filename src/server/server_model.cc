@@ -145,6 +145,28 @@ ServerModel::ourChannel() const
                              flash_->capacityBytes());
 }
 
+void
+ServerModel::setFaultInjector(fault::FaultInjector *injector)
+{
+    c2s_->setFaultInjector(injector);
+    s2c_->setFaultInjector(injector);
+    if (flash_)
+        flash_->setFaultInjector(injector);
+}
+
+std::uint64_t
+ServerModel::netDrops() const
+{
+    return c2s_->droppedPackets() + s2c_->droppedPackets();
+}
+
+std::uint64_t
+ServerModel::netRetransmits() const
+{
+    return c2s_->retransmittedPackets() +
+           s2c_->retransmittedPackets();
+}
+
 mem::MemDevice &
 ServerModel::dataDevice()
 {
@@ -197,7 +219,7 @@ ServerModel::populate(unsigned num_keys, std::uint32_t value_bytes)
             }
             t = memory_->access(
                 mem::AccessType::Write,
-                map_.mapBucketPointer(probe.bucketAddr), 64, t);
+                map_.mapBucketIndex(probe.bucketIndex), 64, t);
             cursor_ = std::max(cursor_, t);
         }
     }
@@ -341,7 +363,7 @@ ServerModel::buildLookupPhase(cpu::OpTrace &trace,
                    cal.memcachedInstrPerChainNode * chain);
 
     // Bucket head, then the dependent chain walk.
-    b.chaseLoad(map_.mapBucketPointer(probe.bucketAddr));
+    b.chaseLoad(map_.mapBucketIndex(probe.bucketIndex));
     for (const void *ptr : probe.chainItems)
         b.chaseLoad(map_.mapDataPointer(store_->slabs(), ptr));
 
@@ -370,7 +392,7 @@ ServerModel::buildLookupPhase(cpu::OpTrace &trace,
     if (is_put) {
         // Slab free-list and bucket-link updates.
         b.randomStore(map_.scratchBase() + 4096);
-        b.randomStore(map_.mapBucketPointer(probe.bucketAddr));
+        b.randomStore(map_.mapBucketIndex(probe.bucketIndex));
     }
 }
 
@@ -528,7 +550,7 @@ ServerModel::put(const std::string &key, std::uint32_t value_bytes)
                                 item + line * 64, 64, t);
         }
         t = memory_->access(mem::AccessType::Write,
-                            map_.mapBucketPointer(probe.bucketAddr),
+                            map_.mapBucketIndex(probe.bucketIndex),
                             64, t);
         // Unlink of the replaced/evicted items must also persist.
         for (const void *ptr : probe.evictedItems) {

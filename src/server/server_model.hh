@@ -29,6 +29,7 @@
 #include "server/address_map.hh"
 #include "server/calibration.hh"
 #include "sim/contract.hh"
+#include "sim/fault.hh"
 #include "sim/random.hh"
 
 namespace mercury::server
@@ -228,6 +229,20 @@ class ServerModel
     mem::MemDevice &dataDevice();
 
     mem::CacheHierarchy &caches() { return *caches_; }
+
+    /**
+     * Attach @p injector to this node's fault-capable devices: both
+     * network directions and, when present, the flash controller.
+     * nullptr detaches. Fault probabilities come from the device
+     * params; with none set, attaching changes nothing.
+     */
+    void setFaultInjector(fault::FaultInjector *injector);
+
+    /** Packets dropped across both network directions. */
+    std::uint64_t netDrops() const;
+
+    /** Segments retransmitted across both network directions. */
+    std::uint64_t netRetransmits() const;
 
   private:
     struct PhaseTimes

@@ -368,4 +368,139 @@ TEST(FlashController, RejectsOversizedAccess)
                  SimFatalError);
 }
 
+// --- Fault injection ------------------------------------------------
+
+TEST(FtlFaults, AttachedInjectorWithZeroProbsChangesNothing)
+{
+    Ftl clean = smallFtl();
+    Ftl armed = smallFtl();
+    fault::FaultInjector injector(4);
+    armed.setFaultInjection(&injector, 0.0, 0.0, "ftl");
+
+    Rng rng(21);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t lpn = rng.nextInt(clean.logicalPages());
+        clean.write(lpn);
+        armed.write(lpn);
+    }
+    EXPECT_EQ(clean.totalErases(), armed.totalErases());
+    EXPECT_EQ(clean.flashWrites(), armed.flashWrites());
+    EXPECT_EQ(armed.retiredBlocks(), 0u);
+    EXPECT_EQ(injector.faultCount(), 0u);
+    for (std::uint64_t lpn = 0; lpn < clean.logicalPages(); ++lpn) {
+        if (clean.isMapped(lpn)) {
+            ASSERT_EQ(clean.translate(lpn), armed.translate(lpn));
+        }
+    }
+}
+
+TEST(FtlFaults, EraseFailuresGrowBadBlocksConsistently)
+{
+    Ftl ftl = smallFtl();
+    fault::FaultInjector injector(5);
+    ftl.setFaultInjection(&injector, 0.0, 0.2, "ftl");
+
+    Rng rng(22);
+    for (int i = 0; i < 30000; ++i)
+        ftl.write(rng.nextInt(ftl.logicalPages()), i * tickUs);
+
+    EXPECT_GT(ftl.retiredBlocks(), 0u);
+    EXPECT_GT(ftl.capacityLossFraction(), 0.0);
+    EXPECT_TRUE(ftl.checkConsistency());
+    // Every logical page is still reachable despite the shrinkage.
+    for (std::uint64_t lpn = 0; lpn < ftl.logicalPages(); ++lpn) {
+        if (ftl.isMapped(lpn)) {
+            EXPECT_LT(ftl.translate(lpn), ftl.physicalPages());
+        }
+    }
+    // Each retirement is on the recorded timeline.
+    std::uint64_t bad_blocks = 0;
+    for (const auto &record : injector.timeline()) {
+        if (record.kind == fault::FaultKind::FlashBadBlock)
+            ++bad_blocks;
+    }
+    EXPECT_EQ(bad_blocks, ftl.retiredBlocks());
+}
+
+TEST(FtlFaults, RetirementStopsAtTheHeadroomGuard)
+{
+    // Certain erase failure: blocks retire until the guard refuses
+    // to dip below the GC headroom; the device limps on instead of
+    // death-spiralling.
+    Ftl ftl = smallFtl();
+    fault::FaultInjector injector(6);
+    ftl.setFaultInjection(&injector, 0.0, 1.0, "ftl");
+
+    Rng rng(23);
+    for (int i = 0; i < 60000; ++i)
+        ftl.write(rng.nextInt(ftl.logicalPages()), i * tickUs);
+
+    EXPECT_EQ(ftl.spareBlocksRemaining(), 0u);
+    EXPECT_GT(ftl.freeBlocks(), 0u);
+    EXPECT_TRUE(ftl.checkConsistency());
+    // Still writable at full logical capacity.
+    const auto outcome = ftl.write(0);
+    EXPECT_LT(outcome.physicalPage, ftl.physicalPages());
+}
+
+TEST(FtlFaults, ProgramFailuresBurnPagesAndRetireBlocks)
+{
+    Ftl ftl = smallFtl();
+    fault::FaultInjector injector(7);
+    ftl.setFaultInjection(&injector, 0.05, 0.0, "ftl");
+
+    Rng rng(24);
+    for (int i = 0; i < 30000; ++i)
+        ftl.write(rng.nextInt(ftl.logicalPages()), i * tickUs);
+
+    EXPECT_GT(ftl.programFailures(), 0u);
+    // Blocks marked by failed programs are retired at erase time.
+    EXPECT_GT(ftl.retiredBlocks(), 0u);
+    EXPECT_TRUE(ftl.checkConsistency());
+}
+
+TEST(FtlFaults, SameSeedSameWearOutHistory)
+{
+    Ftl a = smallFtl(), b = smallFtl();
+    fault::FaultInjector ia(8), ib(8);
+    a.setFaultInjection(&ia, 0.02, 0.1, "ftl");
+    b.setFaultInjection(&ib, 0.02, 0.1, "ftl");
+
+    Rng ra(25), rb(25);
+    for (int i = 0; i < 20000; ++i) {
+        a.write(ra.nextInt(a.logicalPages()), i * tickUs);
+        b.write(rb.nextInt(b.logicalPages()), i * tickUs);
+    }
+    EXPECT_EQ(a.retiredBlocks(), b.retiredBlocks());
+    EXPECT_EQ(a.programFailures(), b.programFailures());
+    EXPECT_EQ(a.totalErases(), b.totalErases());
+    EXPECT_EQ(ia.timelineDigest(), ib.timelineDigest());
+}
+
+TEST(FlashControllerFaults, RetirementSurfacesInAggregateStats)
+{
+    FlashParams p = smallFlash();
+    p.numChannels = 1;
+    p.capacity = 8 * miB;
+    p.pagesPerBlock = 16;
+    p.writeBufferPages = 2;
+    p.eraseFailProbability = 0.3;
+    FlashController flash(p);
+    fault::FaultInjector injector(9);
+    flash.setFaultInjector(&injector);
+
+    Rng rng(26);
+    Tick now = 0;
+    const std::uint64_t span = flash.capacityBytes() / 2;
+    for (int i = 0; i < 40000; ++i) {
+        const Addr addr = (rng.nextInt(span / 4096)) * 4096;
+        now = flash.access(AccessType::Write, addr, 64, now);
+    }
+    flash.drainWrites(now);
+
+    EXPECT_GT(flash.totalRetiredBlocks(), 0u);
+    EXPECT_GT(flash.capacityDegradation(), 0.0);
+    EXPECT_GT(injector.faultCount(), 0u);
+}
+
 } // anonymous namespace

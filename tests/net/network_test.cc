@@ -117,6 +117,109 @@ TEST(NetworkPath, ResetClearsLinkState)
     EXPECT_LT(r.completion, 10 * tickUs);
 }
 
+TEST(NetworkPath, AttachedInjectorWithZeroLossIsBitIdentical)
+{
+    // The zero-cost-off contract: an attached injector with zero
+    // probabilities must not perturb timing or counters.
+    NetworkPath clean(tenGbEParams());
+    NetworkPath armed(tenGbEParams());
+    mercury::fault::FaultInjector injector(1);
+    armed.setFaultInjector(&injector);
+
+    Tick now = 0;
+    for (int i = 0; i < 50; ++i) {
+        const auto a = clean.deliver(8000 + i * 517, now);
+        const auto b = armed.deliver(8000 + i * 517, now);
+        ASSERT_EQ(a.completion, b.completion);
+        ASSERT_EQ(a.wireBytes, b.wireBytes);
+        now = a.completion + 5 * tickUs;
+    }
+    EXPECT_EQ(armed.droppedPackets(), 0u);
+    EXPECT_EQ(armed.retransmittedPackets(), 0u);
+    EXPECT_EQ(injector.faultCount(), 0u);
+}
+
+TEST(NetworkPath, PacketLossPaysRetransmissionTimeouts)
+{
+    NetParams params = tenGbEParams();
+    params.lossProbability = 1.0;
+    params.maxRetransmits = 3;
+    NetworkPath path(params);
+    mercury::fault::FaultInjector injector(2);
+    path.setFaultInjector(&injector);
+
+    // One segment, certain loss: it is lost maxRetransmits times and
+    // waits out rtoMin * (1 + 2 + 4) of exponential backoff.
+    const auto r = path.deliver(100, 0);
+    EXPECT_EQ(r.drops, 3u);
+    EXPECT_EQ(r.retransmits, 3u);
+    EXPECT_GE(r.completion, 7 * params.rtoMin);
+    // Retransmitted bytes ride the wire again.
+    EXPECT_GT(r.wireBytes,
+              path.segmenter().wireBytes(100));
+    EXPECT_EQ(injector.faultCount(), 3u);
+}
+
+TEST(NetworkPath, LossTimelineIsDeterministicPerSeed)
+{
+    NetParams params = tenGbEParams();
+    params.lossProbability = 0.3;
+    NetworkPath a(params), b(params);
+    mercury::fault::FaultInjector ia(77), ib(77);
+    a.setFaultInjector(&ia);
+    b.setFaultInjector(&ib);
+
+    Tick now = 0;
+    for (int i = 0; i < 200; ++i) {
+        const auto ra = a.deliver(4000, now);
+        const auto rb = b.deliver(4000, now);
+        ASSERT_EQ(ra.completion, rb.completion);
+        ASSERT_EQ(ra.drops, rb.drops);
+        now += 50 * tickUs;
+    }
+    EXPECT_EQ(ia.timelineDigest(), ib.timelineDigest());
+    EXPECT_GT(a.droppedPackets(), 0u);
+}
+
+TEST(NetworkPath, BufferOverflowIsCountedEvenFaultFree)
+{
+    // A burst far beyond the 128 KiB MAC buffer: the overflow is
+    // accounted (satellite: surface the stat) but nothing is dropped
+    // or slowed without the fault mode.
+    NetworkPath path(tenGbEParams());
+    path.deliver(1 * miB, 0);
+    const auto r = path.deliver(1 * miB, 0);
+    EXPECT_GT(path.bufferDropPackets(), 0u);
+    EXPECT_EQ(path.peakBufferBytes(),
+              path.params().macBufferBytes);
+    EXPECT_EQ(r.drops, 0u);
+    EXPECT_EQ(r.bufferDrops, 0u);
+    EXPECT_EQ(path.droppedPackets(), 0u);
+}
+
+TEST(NetworkPath, DropOnOverflowEnforcesTheBuffer)
+{
+    NetParams params = tenGbEParams();
+    params.dropOnOverflow = true;
+    NetworkPath enforced(params);
+    NetworkPath counted(tenGbEParams());
+    mercury::fault::FaultInjector injector(3);
+    enforced.setFaultInjector(&injector);
+
+    enforced.deliver(1 * miB, 0);
+    counted.deliver(1 * miB, 0);
+    const auto dropped = enforced.deliver(1 * miB, 0);
+    const auto free_run = counted.deliver(1 * miB, 0);
+
+    EXPECT_GT(dropped.bufferDrops, 0u);
+    EXPECT_EQ(dropped.drops, dropped.bufferDrops);
+    EXPECT_EQ(dropped.retransmits, dropped.bufferDrops);
+    // The resent packets pay an RTO and extra wire time.
+    EXPECT_GT(dropped.completion, free_run.completion);
+    EXPECT_GT(dropped.wireBytes, free_run.wireBytes);
+    EXPECT_GT(injector.faultCount(), 0u);
+}
+
 TEST(NetworkPath, TenGigLineRateForBigTransfers)
 {
     // Property: sustained throughput approaches but never exceeds
