@@ -53,8 +53,9 @@ churn(double overprovision, double zipf_like_hot_fraction,
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    mercury::bench::Session session(argc, argv, "ablation_flash_gc");
     bench::banner("Ablation: FTL write amplification vs "
                   "overprovisioning and skew");
 

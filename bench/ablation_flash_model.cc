@@ -44,8 +44,9 @@ iridium(bool flat)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    mercury::bench::Session session(argc, argv, "ablation_flash_model");
     bench::banner("Ablation: page-structured NAND vs the paper's "
                   "flat per-access flash model (Iridium-1, A7+L2)");
 

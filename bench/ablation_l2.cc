@@ -35,8 +35,9 @@ tpsFor(MemoryKind memory, std::uint64_t l2_bytes, Tick dram_latency)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    mercury::bench::Session session(argc, argv, "ablation_l2");
     using mercury::bench::rule;
 
     mercury::bench::banner(

@@ -44,8 +44,9 @@ reordersPerMillionGets(EvictionPolicyKind eviction)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    mercury::bench::Session session(argc, argv, "ablation_locking");
     bench::banner("Ablation: LRU design vs shared-state mutations "
                   "on the GET path (functional store)");
 

@@ -34,8 +34,9 @@ tpsFor(unsigned mlp, Tick dram_latency, std::uint32_t size)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    mercury::bench::Session session(argc, argv, "ablation_mlp");
     bench::banner("Ablation: A15 miss-overlap width (no L2)");
 
     std::printf("%-6s %16s %16s %16s\n", "MLP", "64B @10ns",

@@ -32,8 +32,9 @@ make(mem::PagePolicy policy, Tick latency)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    mercury::bench::Session session(argc, argv, "ablation_page_policy");
     bench::banner("Ablation: DRAM closed-page (paper worst case) vs "
                   "open-page (A7, no L2)");
 

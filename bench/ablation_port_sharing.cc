@@ -48,8 +48,9 @@ streamBandwidth(unsigned streams, bool share_one_port)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    mercury::bench::Session session(argc, argv, "ablation_port_sharing");
     bench::banner("Ablation: cores sharing one DRAM port vs "
                   "spreading across ports");
 

@@ -32,8 +32,9 @@ tpsFor(const cpu::CoreParams &core, bool udp, std::uint32_t size)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    mercury::bench::Session session(argc, argv, "ablation_udp");
     bench::banner("Ablation: TCP vs UDP GET path (Mercury)");
 
     std::printf("%-12s %-8s %12s %12s %10s\n", "Core", "Size",

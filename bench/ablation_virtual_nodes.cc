@@ -29,8 +29,9 @@ statsFor(unsigned nodes, unsigned vnodes)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    mercury::bench::Session session(argc, argv, "ablation_virtual_nodes");
     bench::banner("Ablation: consistent-hash load imbalance "
                   "(max/mean over 200k keys)");
 

@@ -1,6 +1,18 @@
 /**
  * @file
  * Shared helpers for the table/figure regeneration harnesses.
+ *
+ * Every bench owns a Session, which gives the whole suite a uniform
+ * observability interface:
+ *
+ *   bench --stats-json=FILE   dump the stats registry as flat JSON
+ *   bench --trace-out=FILE    dump request-lifecycle spans as JSONL
+ *   bench --smoke             tiny CI-sized configuration
+ *
+ * "-" as FILE writes to stdout. The flags are consumed (removed from
+ * argv) so benches built on other frameworks (google-benchmark) can
+ * forward the rest. Without flags a Session changes nothing: stdout
+ * stays byte-identical to a bench that never had one.
  */
 
 #ifndef MERCURY_BENCH_BENCH_UTIL_HH
@@ -8,8 +20,15 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace mercury::bench
 {
@@ -22,6 +41,13 @@ requestSizeSweep()
     for (std::uint32_t size = 64; size <= 1048576; size *= 2)
         sizes.push_back(size);
     return sizes;
+}
+
+/** Three sizes spanning the sweep, for --smoke runs. */
+inline std::vector<std::uint32_t>
+smokeSizeSweep()
+{
+    return {64, 4096, 65536};
 }
 
 /** "64", "1K", "256K", "1M" labels as the paper's axes use. */
@@ -48,6 +74,239 @@ rule(int width = 100)
         std::putchar('-');
     std::putchar('\n');
 }
+
+/**
+ * Per-bench observability session: owns the stats registry and the
+ * (optional) tracer, parses the shared command-line flags, and writes
+ * the requested outputs when finished.
+ *
+ * The constructor consumes --stats-json[=PATH], --trace-out[=PATH]
+ * and --smoke from argc/argv; everything else is left in place.
+ */
+class Session
+{
+  public:
+    Session(int &argc, char **argv, std::string name)
+        : registry_(std::move(name))
+    {
+        int out = 1;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            std::string value;
+            if (match(arg, "--stats-json", i, argc, argv, value)) {
+                statsPath_ = value;
+            } else if (match(arg, "--trace-out", i, argc, argv,
+                             value)) {
+                tracePath_ = value;
+            } else if (arg == "--smoke") {
+                smoke_ = true;
+            } else {
+                argv[out++] = argv[i];
+            }
+        }
+        argc = out;
+        argv[argc] = nullptr;
+
+        if (!tracePath_.empty()) {
+            if (MERCURY_TRACING) {
+                tracer_ = std::make_unique<trace::Tracer>();
+            } else {
+                std::fprintf(stderr,
+                             "%s: built with MERCURY_TRACING=OFF; "
+                             "--trace-out ignored\n",
+                             registry_.name().c_str());
+            }
+        }
+    }
+
+    ~Session() { finish(); }
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    stats::Registry &registry() { return registry_; }
+
+    /** Pass as ServerModelParams::statsParent (et al.). */
+    stats::StatGroup *statsParent() { return &registry_; }
+
+    /** Pass as ServerModelParams::tracer; null unless --trace-out. */
+    trace::Tracer *tracer() { return tracer_.get(); }
+
+    bool smoke() const { return smoke_; }
+
+    /** Size sweep honouring --smoke. */
+    std::vector<std::uint32_t>
+    sizes() const
+    {
+        return smoke_ ? smokeSizeSweep() : requestSizeSweep();
+    }
+
+    /**
+     * Fold the registry's *current* contents into the eventual
+     * --stats-json dump. Benches whose models are transient call
+     * this while they are still alive (their stat groups unregister
+     * on destruction); once any capture happened, the final dump is
+     * exactly the concatenated captures. Without captures the dump
+     * is whatever is still registered when finish() runs. No-op
+     * unless --stats-json was requested.
+     */
+    void
+    capture()
+    {
+        if (statsPath_.empty())
+            return;
+        std::ostringstream os;
+        registry_.formatJson(os, "", capturedFirst_);
+        captured_ += os.str();
+        haveCapture_ = true;
+    }
+
+    /**
+     * Write the requested outputs. Called automatically from the
+     * destructor; calling earlier pins the capture point. Idempotent.
+     */
+    void
+    finish()
+    {
+        if (finished_)
+            return;
+        finished_ = true;
+        if (!statsPath_.empty())
+            writeTo(statsPath_, [this](std::ostream &os) {
+                if (haveCapture_)
+                    os << "{" << captured_ << "}\n";
+                else
+                    registry_.writeJson(os);
+            });
+        if (tracer_ && !tracePath_.empty())
+            writeTo(tracePath_, [this](std::ostream &os) {
+                tracer_->writeJsonl(os);
+            });
+    }
+
+  private:
+    /** Accepts --flag=VALUE and --flag VALUE; advances @p i for the
+     * two-token form. */
+    static bool
+    match(const std::string &arg, const char *flag, int &i, int argc,
+          char **argv, std::string &value)
+    {
+        const std::string prefix = std::string(flag) + "=";
+        if (arg.rfind(prefix, 0) == 0) {
+            value = arg.substr(prefix.size());
+            return true;
+        }
+        if (arg == flag && i + 1 < argc) {
+            value = argv[++i];
+            return true;
+        }
+        return false;
+    }
+
+    template <typename Fn>
+    void
+    writeTo(const std::string &path, Fn &&fn)
+    {
+        if (path == "-") {
+            fn(std::cout);
+            std::cout.flush();
+        } else {
+            std::ofstream os(path);
+            if (!os) {
+                std::fprintf(stderr, "cannot open %s for writing\n",
+                             path.c_str());
+                return;
+            }
+            fn(os);
+        }
+    }
+
+    stats::Registry registry_;
+    std::unique_ptr<trace::Tracer> tracer_;
+    std::string statsPath_;
+    std::string tracePath_;
+    std::string captured_;
+    bool capturedFirst_ = true;
+    bool haveCapture_ = false;
+    bool smoke_ = false;
+    bool finished_ = false;
+};
+
+/**
+ * One printf-style JSON object per line, preserving exact numeric
+ * formats (a digest consumer diffs these bytes, so "%.4f" must stay
+ * "%.4f"). Usage:
+ *
+ *   JsonLine line;
+ *   line.number("loss", "%.4f", loss).uint("retries", r)
+ *       .hex("digest", d).print();
+ */
+class JsonLine
+{
+  public:
+    /** Fixed-format floating-point field, e.g. fmt = "%.4f". */
+    JsonLine &
+    number(const char *key, const char *fmt, double value)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), fmt, value);
+        return raw(key, buf);
+    }
+
+    JsonLine &
+    uint(const char *key, std::uint64_t value)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(value));
+        return raw(key, buf);
+    }
+
+    /** Quoted 0x%016llx string, the digest convention. */
+    JsonLine &
+    hex(const char *key, std::uint64_t value)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "\"0x%016llx\"",
+                      static_cast<unsigned long long>(value));
+        return raw(key, buf);
+    }
+
+    JsonLine &
+    boolean(const char *key, bool value)
+    {
+        return raw(key, value ? "true" : "false");
+    }
+
+    /** Quoted string; caller guarantees no characters needing
+     * escapes (keys and enum-ish values in practice). */
+    JsonLine &
+    str(const char *key, const std::string &value)
+    {
+        return raw(key, "\"" + value + "\"");
+    }
+
+    void
+    print(std::FILE *out = stdout)
+    {
+        std::fputs((body_ + "}\n").c_str(), out);
+    }
+
+  private:
+    JsonLine &
+    raw(const char *key, const std::string &text)
+    {
+        body_ += first_ ? "\"" : ",\"";
+        first_ = false;
+        body_ += key;
+        body_ += "\":";
+        body_ += text;
+        return *this;
+    }
+
+    std::string body_ = "{";
+    bool first_ = true;
+};
 
 } // namespace mercury::bench
 

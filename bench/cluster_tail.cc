@@ -52,8 +52,9 @@ row(unsigned nodes, double theta, double utilization)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    mercury::bench::Session session(argc, argv, "cluster_tail");
     bench::banner("Cluster tail latency: node granularity x "
                   "workload skew (open-loop Zipf GETs)");
 

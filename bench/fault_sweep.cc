@@ -19,7 +19,6 @@
  */
 
 #include <cstdio>
-#include <cstring>
 #include <vector>
 
 #include "bench_util.hh"
@@ -32,6 +31,32 @@ namespace
 
 using namespace mercury;
 using namespace mercury::cluster;
+
+/** Sweep-wide aggregates, visible through --stats-json. The per-node
+ * simulators are transient (one cluster per sweep point), so the
+ * registry carries the sweep totals rather than per-node trees. */
+struct SweepStats
+{
+    stats::StatGroup cluster;
+    stats::Counter points, timeouts, retries, failed, crashes;
+    stats::StatGroup flash;
+    stats::Counter flashPoints, retired, programFailures;
+
+    explicit SweepStats(stats::StatGroup *parent)
+        : cluster("cluster", parent),
+          points(&cluster, "points", "sweep points simulated"),
+          timeouts(&cluster, "timeouts", "requests that timed out"),
+          retries(&cluster, "retries", "request retries issued"),
+          failed(&cluster, "failed", "requests failed permanently"),
+          crashes(&cluster, "crashes", "node crashes injected"),
+          flash("flash", parent),
+          flashPoints(&flash, "points", "FTL sweep points"),
+          retired(&flash, "retired", "blocks retired across points"),
+          programFailures(&flash, "programFailures",
+                          "program failures across points")
+    {
+    }
+};
 
 ClusterSimParams
 baseParams(bool smoke)
@@ -57,34 +82,42 @@ baseParams(bool smoke)
 }
 
 void
-clusterPoint(const ClusterSimParams &params, double offered_tps)
+clusterPoint(const ClusterSimParams &params, double offered_tps,
+             SweepStats &stats)
 {
     ClusterSim sim(params);
     const ClusterSimResult r = sim.run(offered_tps);
-    std::printf(
-        "{\"section\":\"cluster\",\"loss\":%.4f,"
-        "\"crashPerSec\":%.0f,\"availability\":%.6f,"
-        "\"avgUs\":%.1f,\"p99Us\":%.1f,\"p999Us\":%.1f,"
-        "\"hitRate\":%.4f,\"postRestartHitRate\":%.4f,"
-        "\"timeouts\":%llu,\"retries\":%llu,\"failed\":%llu,"
-        "\"crashes\":%llu,\"restarts\":%llu,\"netDrops\":%llu,"
-        "\"netRetransmits\":%llu,\"digest\":\"0x%016llx\"}\n",
-        params.faults.packetLossProbability,
-        params.faults.nodeCrashesPerSecond, r.availability,
-        r.avgLatencyUs, r.p99LatencyUs, r.p999LatencyUs, r.hitRate,
-        r.postRestartHitRate,
-        static_cast<unsigned long long>(r.timeouts),
-        static_cast<unsigned long long>(r.retries),
-        static_cast<unsigned long long>(r.failedRequests),
-        static_cast<unsigned long long>(r.crashes),
-        static_cast<unsigned long long>(r.restarts),
-        static_cast<unsigned long long>(r.netDrops),
-        static_cast<unsigned long long>(r.netRetransmits),
-        static_cast<unsigned long long>(r.faultTimelineDigest));
+    bench::JsonLine line;
+    line.str("section", "cluster")
+        .number("loss", "%.4f", params.faults.packetLossProbability)
+        .number("crashPerSec", "%.0f",
+                params.faults.nodeCrashesPerSecond)
+        .number("availability", "%.6f", r.availability)
+        .number("avgUs", "%.1f", r.avgLatencyUs)
+        .number("p99Us", "%.1f", r.p99LatencyUs)
+        .number("p999Us", "%.1f", r.p999LatencyUs)
+        .number("hitRate", "%.4f", r.hitRate)
+        .number("postRestartHitRate", "%.4f", r.postRestartHitRate)
+        .uint("timeouts", r.timeouts)
+        .uint("retries", r.retries)
+        .uint("failed", r.failedRequests)
+        .uint("crashes", r.crashes)
+        .uint("restarts", r.restarts)
+        .uint("netDrops", r.netDrops)
+        .uint("netRetransmits", r.netRetransmits)
+        .hex("digest", r.faultTimelineDigest);
+    line.print();
+
+    ++stats.points;
+    stats.timeouts += r.timeouts;
+    stats.retries += r.retries;
+    stats.failed += r.failedRequests;
+    stats.crashes += r.crashes;
 }
 
 void
-flashPoint(double erase_fail, double program_fail, unsigned writes)
+flashPoint(double erase_fail, double program_fail, unsigned writes,
+           SweepStats &stats)
 {
     // One small channel: 128 blocks of 32 pages, 10% spare.
     mem::Ftl ftl(4096, 32, 0.10, 4, 64);
@@ -99,19 +132,22 @@ flashPoint(double erase_fail, double program_fail, unsigned writes)
         now += 200 * tickUs;
     }
 
-    std::printf(
-        "{\"section\":\"flash\",\"eraseFail\":%.4f,"
-        "\"programFail\":%.4f,\"retired\":%llu,"
-        "\"spareRemaining\":%llu,\"capacityLoss\":%.4f,"
-        "\"writeAmp\":%.3f,\"programFailures\":%llu,"
-        "\"consistent\":%s,\"digest\":\"0x%016llx\"}\n",
-        erase_fail, program_fail,
-        static_cast<unsigned long long>(ftl.retiredBlocks()),
-        static_cast<unsigned long long>(ftl.spareBlocksRemaining()),
-        ftl.capacityLossFraction(), ftl.writeAmplification(),
-        static_cast<unsigned long long>(ftl.programFailures()),
-        ftl.checkConsistency() ? "true" : "false",
-        static_cast<unsigned long long>(injector.timelineDigest()));
+    bench::JsonLine line;
+    line.str("section", "flash")
+        .number("eraseFail", "%.4f", erase_fail)
+        .number("programFail", "%.4f", program_fail)
+        .uint("retired", ftl.retiredBlocks())
+        .uint("spareRemaining", ftl.spareBlocksRemaining())
+        .number("capacityLoss", "%.4f", ftl.capacityLossFraction())
+        .number("writeAmp", "%.3f", ftl.writeAmplification())
+        .uint("programFailures", ftl.programFailures())
+        .boolean("consistent", ftl.checkConsistency())
+        .hex("digest", injector.timelineDigest());
+    line.print();
+
+    ++stats.flashPoints;
+    stats.retired += ftl.retiredBlocks();
+    stats.programFailures += ftl.programFailures();
 }
 
 } // anonymous namespace
@@ -119,8 +155,9 @@ flashPoint(double erase_fail, double program_fail, unsigned writes)
 int
 main(int argc, char **argv)
 {
-    const bool smoke =
-        argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    bench::Session session(argc, argv, "fault_sweep");
+    const bool smoke = session.smoke();
+    SweepStats stats(session.statsParent());
 
     bench::banner("Fault sweep: packet loss x node crashes "
                   "(cluster) and grown bad blocks (FTL)");
@@ -146,7 +183,7 @@ main(int argc, char **argv)
             ClusterSimParams params = base;
             params.faults.packetLossProbability = loss;
             params.faults.nodeCrashesPerSecond = crashes;
-            clusterPoint(params, offered);
+            clusterPoint(params, offered, stats);
         }
     }
 
@@ -156,7 +193,7 @@ main(int argc, char **argv)
               : std::vector<double>{0.0, 0.002, 0.01, 0.05};
     const unsigned writes = smoke ? 20000 : 100000;
     for (const double erase_fail : erase_fails)
-        flashPoint(erase_fail, erase_fail / 5.0, writes);
+        flashPoint(erase_fail, erase_fail / 5.0, writes, stats);
 
     std::printf(
         "\nReading the curves: availability and hit rate fall and "

@@ -4,12 +4,19 @@
  * time (hash computation / memcached metadata / network stack &
  * data transfer) across request sizes 64 B - 1 MB, on an A15 @1 GHz
  * with a 2 MB L2 and 10 ns DRAM.
+ *
+ * The breakdown is a query over the node's stats registry: measure*()
+ * resets the per-stage "window" histograms at the warmup boundary, so
+ * afterwards each histogram holds exactly the sampled requests and
+ * its mean is the figure's per-stage average.
  */
 
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hh"
 #include "server/server_model.hh"
+#include "sim/contract.hh"
 
 namespace
 {
@@ -17,8 +24,32 @@ namespace
 using namespace mercury;
 using namespace mercury::server;
 
+/** Average ticks spent in one stage over the measurement window. */
+Tick
+windowAverage(const ServerModel &server, const char *stage)
+{
+    const auto *stat =
+        server.stats().find(std::string("window.") + stage);
+    const auto *hist =
+        dynamic_cast<const stats::LatencyHistogram *>(stat);
+    MERCURY_ASSERT(hist != nullptr && hist->count() > 0,
+                   "missing window histogram for stage ", stage);
+    return static_cast<Tick>(hist->totalSum() / hist->count());
+}
+
+RttBreakdown
+windowBreakdown(const ServerModel &server)
+{
+    RttBreakdown b;
+    b.wire = windowAverage(server, "wireTicks");
+    b.netstack = windowAverage(server, "netstackTicks");
+    b.hash = windowAverage(server, "hashTicks");
+    b.memcached = windowAverage(server, "memcachedTicks");
+    return b;
+}
+
 void
-sweep(bool puts)
+sweep(mercury::bench::Session &session, bool puts)
 {
     ServerModelParams params;
     params.core = cpu::cortexA15Params(1.0);
@@ -26,33 +57,44 @@ sweep(bool puts)
     params.memory = MemoryKind::StackedDram;
     params.dramArrayLatency = 10 * tickNs;
     params.storeMemLimit = 224 * miB;
+    params.name = puts ? "fig4b" : "fig4a";
+    params.statsParent = session.statsParent();
+    params.tracer = session.tracer();
     ServerModel server(params);
 
     std::printf("%-8s %12s %12s %12s\n", "Size",
                 "Memcached", "NetStack", "Hash");
     bench::rule(48);
-    for (std::uint32_t size : bench::requestSizeSweep()) {
-        const Measurement m = puts ? server.measurePuts(size)
-                                   : server.measureGets(size);
+    for (std::uint32_t size : session.sizes()) {
+        if (puts)
+            server.measurePuts(size);
+        else
+            server.measureGets(size);
+        const RttBreakdown b = windowBreakdown(server);
         std::printf("%-8s %11.1f%% %11.1f%% %11.1f%%\n",
                     bench::sizeLabel(size).c_str(),
-                    m.avgBreakdown.memcachedFraction() * 100,
-                    m.avgBreakdown.netstackFraction() * 100,
-                    m.avgBreakdown.hashFraction() * 100);
+                    b.memcachedFraction() * 100,
+                    b.netstackFraction() * 100,
+                    b.hashFraction() * 100);
     }
     std::printf("\n");
+    session.capture();  // the model (and its stat tree) dies here
 }
 
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::banner("Figure 4a: components of GET execution time "
-                  "(A15 @1GHz, 2MB L2, 10ns DRAM)");
-    sweep(false);
+    mercury::bench::Session session(argc, argv, "fig4");
 
-    bench::banner("Figure 4b: components of PUT execution time");
-    sweep(true);
+    mercury::bench::banner(
+        "Figure 4a: components of GET execution time "
+        "(A15 @1GHz, 2MB L2, 10ns DRAM)");
+    sweep(session, false);
+
+    mercury::bench::banner(
+        "Figure 4b: components of PUT execution time");
+    sweep(session, true);
     return 0;
 }

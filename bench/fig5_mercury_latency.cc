@@ -20,11 +20,15 @@ using namespace mercury;
 using namespace mercury::server;
 
 void
-panel(const char *title, const cpu::CoreParams &core, bool with_l2)
+panel(bench::Session &session, const char *tag, const char *title,
+      const cpu::CoreParams &core, bool with_l2)
 {
     bench::banner(title);
-    const std::vector<Tick> latencies{10 * tickNs, 30 * tickNs,
-                                      50 * tickNs, 100 * tickNs};
+    const std::vector<Tick> latencies =
+        session.smoke()
+            ? std::vector<Tick>{10 * tickNs, 100 * tickNs}
+            : std::vector<Tick>{10 * tickNs, 30 * tickNs,
+                                50 * tickNs, 100 * tickNs};
 
     // One model per latency; request sizes share each model's
     // populated working sets.
@@ -36,6 +40,10 @@ panel(const char *title, const cpu::CoreParams &core, bool with_l2)
         params.memory = MemoryKind::StackedDram;
         params.dramArrayLatency = latency;
         params.storeMemLimit = 224 * miB;
+        params.name = std::string(tag) + "." +
+                      std::to_string(latency / tickNs) + "ns";
+        params.statsParent = session.statsParent();
+        params.tracer = session.tracer();
         models.push_back(std::make_unique<ServerModel>(params));
     }
 
@@ -50,7 +58,7 @@ panel(const char *title, const cpu::CoreParams &core, bool with_l2)
     std::printf("   (TPS)\n");
     bench::rule(100);
 
-    for (std::uint32_t size : bench::requestSizeSweep()) {
+    for (std::uint32_t size : session.sizes()) {
         std::printf("%-8s", bench::sizeLabel(size).c_str());
         for (auto &model : models) {
             const double get_tps = model->measureGets(size).avgTps;
@@ -59,20 +67,24 @@ panel(const char *title, const cpu::CoreParams &core, bool with_l2)
         }
         std::printf("\n");
     }
+    session.capture();  // the panel's models die here
 }
 
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    panel("Figure 5a: Mercury-1, A15 @1GHz with a 2MB L2",
+    bench::Session session(argc, argv, "fig5");
+    panel(session, "fig5a",
+          "Figure 5a: Mercury-1, A15 @1GHz with a 2MB L2",
           cpu::cortexA15Params(1.0), true);
-    panel("Figure 5b: Mercury-1, A15 @1GHz with no L2",
+    panel(session, "fig5b",
+          "Figure 5b: Mercury-1, A15 @1GHz with no L2",
           cpu::cortexA15Params(1.0), false);
-    panel("Figure 5c: Mercury-1, A7 with a 2MB L2",
+    panel(session, "fig5c", "Figure 5c: Mercury-1, A7 with a 2MB L2",
           cpu::cortexA7Params(), true);
-    panel("Figure 5d: Mercury-1, A7 with no L2",
+    panel(session, "fig5d", "Figure 5d: Mercury-1, A7 with no L2",
           cpu::cortexA7Params(), false);
     return 0;
 }

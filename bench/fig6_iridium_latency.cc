@@ -20,7 +20,8 @@ using namespace mercury;
 using namespace mercury::server;
 
 void
-panel(const char *title, const cpu::CoreParams &core, bool with_l2)
+panel(bench::Session &session, const char *tag, const char *title,
+      const cpu::CoreParams &core, bool with_l2)
 {
     bench::banner(title);
     const std::vector<Tick> latencies{10 * tickUs, 20 * tickUs};
@@ -33,6 +34,10 @@ panel(const char *title, const cpu::CoreParams &core, bool with_l2)
         params.memory = MemoryKind::Flash;
         params.flashReadLatency = latency;
         params.storeMemLimit = 224 * miB;
+        params.name = std::string(tag) + "." +
+                      std::to_string(latency / tickUs) + "us";
+        params.statsParent = session.statsParent();
+        params.tracer = session.tracer();
         models.push_back(std::make_unique<ServerModel>(params));
     }
 
@@ -40,7 +45,7 @@ panel(const char *title, const cpu::CoreParams &core, bool with_l2)
                 "10us-GET", "10us-PUT", "20us-GET", "20us-PUT");
     bench::rule(60);
 
-    for (std::uint32_t size : bench::requestSizeSweep()) {
+    for (std::uint32_t size : session.sizes()) {
         std::printf("%-8s", bench::sizeLabel(size).c_str());
         for (auto &model : models) {
             const double get_tps = model->measureGets(size).avgTps;
@@ -49,20 +54,24 @@ panel(const char *title, const cpu::CoreParams &core, bool with_l2)
         }
         std::printf("\n");
     }
+    session.capture();  // the panel's models die here
 }
 
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    panel("Figure 6a: Iridium-1, A15 @1GHz with a 2MB L2",
+    bench::Session session(argc, argv, "fig6");
+    panel(session, "fig6a",
+          "Figure 6a: Iridium-1, A15 @1GHz with a 2MB L2",
           cpu::cortexA15Params(1.0), true);
-    panel("Figure 6b: Iridium-1, A15 @1GHz with no L2",
+    panel(session, "fig6b",
+          "Figure 6b: Iridium-1, A15 @1GHz with no L2",
           cpu::cortexA15Params(1.0), false);
-    panel("Figure 6c: Iridium-1, A7 with a 2MB L2",
+    panel(session, "fig6c", "Figure 6c: Iridium-1, A7 with a 2MB L2",
           cpu::cortexA7Params(), true);
-    panel("Figure 6d: Iridium-1, A7 with no L2",
+    panel(session, "fig6d", "Figure 6d: Iridium-1, A7 with no L2",
           cpu::cortexA7Params(), false);
     return 0;
 }

@@ -58,8 +58,9 @@ panel(const char *title, StackMemory memory)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    mercury::bench::Session session(argc, argv, "fig7_density_throughput");
     panel("Figure 7a: Mercury density vs TPS (64 B GETs)",
           StackMemory::Dram3D);
     panel("Figure 7b: Iridium density vs TPS (64 B GETs)",

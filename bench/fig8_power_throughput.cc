@@ -57,8 +57,9 @@ panel(const char *title, StackMemory memory)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    mercury::bench::Session session(argc, argv, "fig8_power_throughput");
     panel("Figure 8a: Mercury power vs TPS (64 B GETs)",
           StackMemory::Dram3D);
     panel("Figure 8b: Iridium power vs TPS (64 B GETs)",

@@ -51,8 +51,9 @@ curve(const char *title, MemoryKind memory, std::uint32_t size,
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    mercury::bench::Session session(argc, argv, "loadlatency_sla");
     curve("Mercury A7, 64 B, 95% GETs under open-loop Poisson load",
           MemoryKind::StackedDram, 64);
     curve("Iridium A7, 64 B, 95% GETs under open-loop Poisson load",

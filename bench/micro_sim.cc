@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hh"
+
 #include <memory>
 
 #include "cpu/core.hh"
@@ -128,4 +130,17 @@ BENCHMARK(BM_EndToEndGet);
 
 } // anonymous namespace
 
-BENCHMARK_MAIN();
+// Same shape as BENCHMARK_MAIN(), with the shared bench flags
+// (--stats-json/--trace-out/--smoke) consumed first so
+// google-benchmark never sees them.
+int
+main(int argc, char **argv)
+{
+    mercury::bench::Session obs(argc, argv, "micro_sim");
+    ::benchmark::Initialize(&argc, argv);
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    return 0;
+}

@@ -10,8 +10,9 @@
 #include "physical/components.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    mercury::bench::Session session(argc, argv, "table1_components");
     using namespace mercury;
     using namespace mercury::physical;
 

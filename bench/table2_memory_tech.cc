@@ -12,8 +12,9 @@
 #include "physical/components.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    mercury::bench::Session session(argc, argv, "table2_memory_tech");
     using namespace mercury;
     using namespace mercury::physical;
 

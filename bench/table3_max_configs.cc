@@ -79,8 +79,9 @@ printBlock(const CoreChoice &choice, StackMemory memory)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    mercury::bench::Session session(argc, argv, "table3_max_configs");
     bench::banner("Table 3: Power and area comparison for 1.5U "
                   "maximum configurations");
 

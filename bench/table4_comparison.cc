@@ -67,8 +67,9 @@ fromBaseline(const BaselineServer &server)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    mercury::bench::Session session(argc, argv, "table4_comparison");
     bench::banner("Table 4: A7-based Mercury and Iridium vs prior "
                   "art (64 B GET requests)");
 

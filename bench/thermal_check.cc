@@ -14,8 +14,9 @@
 #include "physical/thermal.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    mercury::bench::Session session(argc, argv, "thermal_check");
     using namespace mercury;
     using namespace mercury::config;
     using namespace mercury::physical;

@@ -52,8 +52,9 @@ sweep(const char *title, MemoryKind memory, std::uint32_t size)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    mercury::bench::Session session(argc, argv, "validate_linear_scaling");
     bench::banner("Validation: linear scaling of per-core TPS to "
                   "the stack level (Sec. 5.3)");
 

@@ -9,6 +9,11 @@
 #      not installed -- the CI image may not ship it);
 #   3. the project-specific lint rules in tools/lint/mercury_lint.py.
 #
+# The golden observability suite (`ctest -L golden`) runs inside both
+# the asan-ubsan ctest pass and an explicit release-preset stage, so a
+# stats drift fails this gate under either compiler mode. The line
+# coverage gate lives in scripts/coverage.sh.
+#
 # Fails on the first stage that reports a problem. Usage:
 #   scripts/check.sh [--skip-build]
 
@@ -40,6 +45,25 @@ if [ "$skip_build" -eq 0 ]; then
     fi
     if ! ctest --preset asan-ubsan; then
         echo "check.sh: tests failed under asan-ubsan" >&2
+        exit 1
+    fi
+
+    # The golden observability dumps must be byte-stable across
+    # presets: run just the golden label again under release. (The
+    # asan-ubsan ctest above already covered the sanitized build.)
+    note "golden stats dumps under the release preset"
+    if ! cmake --preset release; then
+        echo "check.sh: release configure failed" >&2
+        exit 1
+    fi
+    if ! cmake --build --preset release -j "$(nproc)" --target \
+            fig4_request_breakdown fig5_mercury_latency \
+            fig6_iridium_latency; then
+        echo "check.sh: release bench build failed" >&2
+        exit 1
+    fi
+    if ! ctest --test-dir build/release -L golden --output-on-failure; then
+        echo "check.sh: golden suite failed under release" >&2
         exit 1
     fi
 

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Regenerate the golden observability dumps under tests/golden/.
+#
+# Run this after an *intentional* behaviour or stats-schema change,
+# eyeball the diff (tools/statdiff.py shows it key by key), and
+# commit the new goldens together with the change that moved them.
+#
+# Usage: scripts/update_goldens.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build=${1:-build}
+
+if [ ! -d "$build" ]; then
+    echo "build directory '$build' not found; configure first:" >&2
+    echo "  cmake --preset release && cmake --build --preset release" >&2
+    exit 1
+fi
+
+cmake --build "$build" -j "$(nproc)" --target \
+    fig4_request_breakdown fig5_mercury_latency fig6_iridium_latency
+
+declare -A benches=(
+    [fig4_smoke]=fig4_request_breakdown
+    [fig5_smoke]=fig5_mercury_latency
+    [fig6_smoke]=fig6_iridium_latency
+)
+
+for golden in "${!benches[@]}"; do
+    bin=$build/bench/${benches[$golden]}
+    out=tests/golden/$golden.json
+    if [ -f "$out" ]; then
+        cp "$out" "$out.orig"
+    fi
+    "$bin" --smoke --stats-json="$out" > /dev/null
+    echo "$(python3 tools/statdiff.py --digest "$out")  $out"
+    if [ -f "$out.orig" ]; then
+        python3 tools/statdiff.py -q "$out.orig" "$out" || true
+        rm -f "$out.orig"
+    fi
+done
+
+echo "goldens updated; review and commit tests/golden/*.json"

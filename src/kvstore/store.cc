@@ -48,7 +48,7 @@ Store::Store(const StoreParams &params)
         stripes_.push_back(std::make_unique<std::recursive_mutex>());
 }
 
-Store::~Store() = default;
+// Defined below RegisteredStats so unique_ptr sees a complete type.
 
 unsigned
 Store::stripeOf(std::uint64_t hash) const
@@ -544,6 +544,85 @@ Store::lruReorderOps() const
         total += policy->reorderOps();
     return total;
 }
+
+struct Store::RegisteredStats
+{
+    RegisteredStats(Store *store, stats::StatGroup *parent)
+        : group(store->params_.name, parent),
+          gets(&group, "gets", "GET operations",
+               [store] { return double(store->counters_.gets.load()); }),
+          getHits(&group, "getHits", "GETs that found a live item",
+                  [store] {
+                      return double(store->counters_.getHits.load());
+                  }),
+          getMisses(&group, "getMisses", "GETs that found nothing",
+                    [store] {
+                        return double(store->counters_.getMisses.load());
+                    }),
+          sets(&group, "sets", "store mutations (set/add/replace/cas)",
+               [store] { return double(store->counters_.sets.load()); }),
+          deletes(&group, "deletes", "delete operations",
+                  [store] {
+                      return double(store->counters_.deletes.load());
+                  }),
+          evictions(&group, "evictions", "items evicted for space",
+                    [store] {
+                        return double(store->counters_.evictions.load());
+                    }),
+          expired(&group, "expiredReclaimed",
+                  "dead items lazily reclaimed",
+                  [store] {
+                      return double(
+                          store->counters_.expiredReclaimed.load());
+                  }),
+          casMismatches(&group, "casMismatches", "cas token mismatches",
+                        [store] {
+                            return double(
+                                store->counters_.casMismatches.load());
+                        }),
+          outOfMemory(&group, "outOfMemory",
+                      "allocations that failed outright",
+                      [store] {
+                          return double(
+                              store->counters_.outOfMemory.load());
+                      }),
+          itemCount(&group, "items", "live items resident",
+                    [store] { return double(store->itemCount()); }),
+          usedBytes(&group, "usedBytes", "bytes of slab memory in use",
+                    [store] { return double(store->usedBytes()); }),
+          hitRate(&group, "hitRate", "GET hit fraction",
+                  [store] {
+                      const auto gets = store->counters_.gets.load();
+                      return gets ? double(
+                                        store->counters_.getHits.load()) /
+                                        double(gets)
+                                  : 0.0;
+                  })
+    {}
+
+    stats::StatGroup group;
+    stats::Formula gets;
+    stats::Formula getHits;
+    stats::Formula getMisses;
+    stats::Formula sets;
+    stats::Formula deletes;
+    stats::Formula evictions;
+    stats::Formula expired;
+    stats::Formula casMismatches;
+    stats::Formula outOfMemory;
+    stats::Formula itemCount;
+    stats::Formula usedBytes;
+    stats::Formula hitRate;
+};
+
+void
+Store::registerStats(stats::StatGroup *parent)
+{
+    stats_.reset();
+    stats_ = std::make_unique<RegisteredStats>(this, parent);
+}
+
+Store::~Store() = default;
 
 bool
 Store::checkConsistency()

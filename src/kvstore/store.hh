@@ -33,6 +33,7 @@
 #include "kvstore/eviction.hh"
 #include "kvstore/hash_table.hh"
 #include "kvstore/slab.hh"
+#include "sim/stats.hh"
 
 namespace mercury::kvstore
 {
@@ -186,6 +187,13 @@ class Store
     /** Sum of reorder ops across class policies (contention proxy). */
     std::uint64_t lruReorderOps() const;
 
+    /**
+     * Publish the op counters into a stats registry as formula
+     * stats under a group named after this store. Idempotent: a
+     * second call replaces the previous registration.
+     */
+    void registerStats(stats::StatGroup *parent);
+
     /** Verify internal invariants (test hook): every linked item is
      * tracked by exactly one policy, accounting matches, etc. */
     bool checkConsistency();
@@ -239,6 +247,10 @@ class Store
     std::atomic<std::uint64_t> flushCas_{0};
 
     StoreCounters counters_;
+
+    /** Registry bridge built by registerStats(). */
+    struct RegisteredStats;
+    std::unique_ptr<RegisteredStats> stats_;
 };
 
 } // namespace mercury::kvstore

@@ -31,6 +31,31 @@ ServerModel::ServerModel(const ServerModelParams &params,
                          const SharedStackDevices *shared)
     : params_(params),
       map_(params.sliceBase, params.storeMemLimit + miB),
+      stats_(params.name, params.statsParent),
+      gets_(&stats_, "gets", "GET requests served"),
+      puts_(&stats_, "puts", "PUT requests served"),
+      getHits_(&stats_, "getHits", "GETs that found the key"),
+      getMisses_(&stats_, "getMisses", "GETs that missed"),
+      bytesIn_(&stats_, "bytesIn", "request payload bytes received"),
+      bytesOut_(&stats_, "bytesOut", "response payload bytes sent"),
+      hitRate_(&stats_, "hitRate", "GET hit fraction",
+               [this] {
+                   return gets_.value()
+                              ? static_cast<double>(getHits_.value()) /
+                                    static_cast<double>(gets_.value())
+                              : 0.0;
+               }),
+      window_("window", &stats_),
+      rttHist_(&window_, "rtt", "request round-trip ticks"),
+      wireHist_(&window_, "wireTicks",
+                "serialization + propagation ticks per request"),
+      netstackHist_(&window_, "netstackTicks",
+                    "network stack + copy ticks per request"),
+      hashHist_(&window_, "hashTicks",
+                "key hash computation ticks per request"),
+      memcachedHist_(&window_, "memcachedTicks",
+                     "metadata walk + persistence ticks per request"),
+      tracer_(params.tracer),
       rng_(params.seed)
 {
     if (shared) {
@@ -43,9 +68,11 @@ ServerModel::ServerModel(const ServerModelParams &params,
     if (!c2s_) {
         net::NetParams np = params_.net;
         np.name = params_.name + ".c2s";
-        ownedC2s_ = std::make_unique<net::NetworkPath>(np);
+        ownedC2s_ = std::make_unique<net::NetworkPath>(
+            np, params_.statsParent);
         np.name = params_.name + ".s2c";
-        ownedS2c_ = std::make_unique<net::NetworkPath>(np);
+        ownedS2c_ = std::make_unique<net::NetworkPath>(
+            np, params_.statsParent);
         c2s_ = ownedC2s_.get();
         s2c_ = ownedS2c_.get();
     }
@@ -56,7 +83,8 @@ ServerModel::ServerModel(const ServerModelParams &params,
             dp.name = params_.name + ".dram";
             dp.arrayLatency = params_.dramArrayLatency;
             dp.pagePolicy = params_.dramPagePolicy;
-            ownedDram_ = std::make_unique<mem::DramModel>(dp);
+            ownedDram_ = std::make_unique<mem::DramModel>(
+                dp, params_.statsParent);
             dram_ = ownedDram_.get();
         }
         memory_ = dram_;
@@ -72,7 +100,8 @@ ServerModel::ServerModel(const ServerModelParams &params,
                 fp.pageBytes = params_.flashPageBytes;
             if (params_.flashCapacity)
                 fp.capacity = params_.flashCapacity;
-            ownedFlash_ = std::make_unique<mem::FlashController>(fp);
+            ownedFlash_ = std::make_unique<mem::FlashController>(
+                fp, params_.statsParent);
             flash_ = ownedFlash_.get();
         }
 
@@ -120,11 +149,13 @@ ServerModel::ServerModel(const ServerModelParams &params,
     hp.name = params_.name + ".caches";
     if (params_.l2SizeBytes)
         hp.l2.sizeBytes = params_.l2SizeBytes;
-    caches_ = std::make_unique<mem::CacheHierarchy>(hp, memory_);
+    caches_ = std::make_unique<mem::CacheHierarchy>(
+        hp, memory_, params_.statsParent);
 
     cpu::CoreParams cp = params_.core;
     cp.name = params_.name + ".core";
-    core_ = std::make_unique<cpu::CoreModel>(cp, caches_.get());
+    core_ = std::make_unique<cpu::CoreModel>(cp, caches_.get(),
+                                             params_.statsParent);
 
     kvstore::StoreParams sp;
     sp.name = params_.name + ".store";
@@ -133,6 +164,8 @@ ServerModel::ServerModel(const ServerModelParams &params,
     sp.locking = params_.locking;
     sp.hashPower = 16;
     store_ = std::make_unique<kvstore::Store>(sp);
+    if (params_.statsParent)
+        store_->registerStats(params_.statsParent);
 }
 
 unsigned
@@ -230,6 +263,16 @@ ServerModel::populate(unsigned num_keys, std::uint32_t value_bytes)
 
     populated_[value_bytes] = stored;
     return stored - start;
+}
+
+void
+ServerModel::recordRequest(const RequestTiming &timing)
+{
+    rttHist_.record(timing.rtt);
+    wireHist_.record(timing.breakdown.wire);
+    netstackHist_.record(timing.breakdown.netstack);
+    hashHist_.record(timing.breakdown.hash);
+    memcachedHist_.record(timing.breakdown.memcached);
 }
 
 Tick
@@ -435,36 +478,52 @@ ServerModel::get(const std::string &key)
     const Calibration &cal = params_.cal;
     const Tick t0 = cursor_;
 
+    std::uint32_t traceReq = 0;
+    if (MERCURY_TRACING && tracer_)
+        traceReq = tracer_->beginRequest();
+
     const std::uint64_t req_payload =
         key.size() + cal.getRequestOverheadBytes;
     const auto arrival = c2s_->deliver(req_payload, t0);
     cursor_ = arrival.completion;
+    MERCURY_TRACE_SPAN(tracer_, traceReq, trace::Stage::NicIn, t0,
+                       arrival.completion, req_payload);
 
     PhaseTimes pt;
     {
+        Tick begin = cursor_;
         cpu::OpTrace trace;
         buildRxPhase(trace, req_payload, arrival.packets,
                      params_.udpGets);
         pt.netstack += runPhase(trace);
+        MERCURY_TRACE_SPAN(tracer_, traceReq, trace::Stage::Netstack,
+                           begin, cursor_, arrival.packets);
     }
     {
+        Tick begin = cursor_;
         cpu::OpTrace trace;
         buildHashPhase(trace, key.size());
         pt.hash += runPhase(trace);
+        MERCURY_TRACE_SPAN(tracer_, traceReq, trace::Stage::Hash,
+                           begin, cursor_, key.size());
     }
 
     kvstore::ProbeTrace probe;
     const kvstore::GetResult result = store_->getTraced(key, probe);
     {
+        Tick begin = cursor_;
         cpu::OpTrace trace;
         buildLookupPhase(trace, probe, false);
         pt.memcached += runPhase(trace);
+        MERCURY_TRACE_SPAN(tracer_, traceReq, trace::Stage::StoreWalk,
+                           begin, cursor_, probe.chainItems.size());
     }
 
     const std::uint64_t resp_payload =
         result.hit ? probe.valueLen + cal.getResponseOverheadBytes
                    : 5;  // "END\r\n"
     {
+        Tick begin = cursor_;
         cpu::OpTrace trace;
         const unsigned packets =
             s2c_->segmenter().numSegments(resp_payload);
@@ -476,18 +535,33 @@ ServerModel::get(const std::string &key)
             buildValueCopy(trace, value_addr, probe.valueLen, false);
         }
         pt.netstack += runPhase(trace);
+        MERCURY_TRACE_SPAN(tracer_, traceReq, trace::Stage::Netstack,
+                           begin, cursor_, resp_payload);
     }
 
     const auto response = s2c_->deliver(resp_payload,
                                                   cursor_);
     const Tick wire = (arrival.completion - t0) +
                       (response.completion - cursor_);
+    MERCURY_TRACE_SPAN(tracer_, traceReq, trace::Stage::NicOut,
+                       cursor_, response.completion, resp_payload);
     cursor_ = response.completion;
+    MERCURY_TRACE_SPAN(tracer_, traceReq, trace::Stage::Request, t0,
+                       cursor_, result.hit ? 1 : 0);
 
     RequestTiming timing;
     timing.rtt = response.completion - t0;
     timing.breakdown = {wire, pt.netstack, pt.hash, pt.memcached};
     timing.hit = result.hit;
+
+    ++gets_;
+    if (result.hit)
+        ++getHits_;
+    else
+        ++getMisses_;
+    bytesIn_ += req_payload;
+    bytesOut_ += resp_payload;
+    recordRequest(timing);
     return timing;
 }
 
@@ -497,30 +571,45 @@ ServerModel::put(const std::string &key, std::uint32_t value_bytes)
     const Calibration &cal = params_.cal;
     const Tick t0 = cursor_;
 
+    std::uint32_t traceReq = 0;
+    if (MERCURY_TRACING && tracer_)
+        traceReq = tracer_->beginRequest();
+
     const std::uint64_t req_payload =
         key.size() + value_bytes + cal.putRequestOverheadBytes;
     const auto arrival = c2s_->deliver(req_payload, t0);
     cursor_ = arrival.completion;
+    MERCURY_TRACE_SPAN(tracer_, traceReq, trace::Stage::NicIn, t0,
+                       arrival.completion, req_payload);
 
     PhaseTimes pt;
     {
+        Tick begin = cursor_;
         cpu::OpTrace trace;
         buildRxPhase(trace, req_payload, arrival.packets);
         pt.netstack += runPhase(trace);
+        MERCURY_TRACE_SPAN(tracer_, traceReq, trace::Stage::Netstack,
+                           begin, cursor_, arrival.packets);
     }
     {
+        Tick begin = cursor_;
         cpu::OpTrace trace;
         buildHashPhase(trace, key.size());
         pt.hash += runPhase(trace);
+        MERCURY_TRACE_SPAN(tracer_, traceReq, trace::Stage::Hash,
+                           begin, cursor_, key.size());
     }
 
     kvstore::ProbeTrace probe;
     const std::string value(value_bytes, 'p');
     const auto status = store_->setTraced(key, value, 0, 0, probe);
     {
+        Tick begin = cursor_;
         cpu::OpTrace trace;
         buildLookupPhase(trace, probe, true);
         pt.memcached += runPhase(trace);
+        MERCURY_TRACE_SPAN(tracer_, traceReq, trace::Stage::StoreWalk,
+                           begin, cursor_, probe.chainItems.size());
     }
 
     // Copy the inbound value from the socket buffers into the item
@@ -539,6 +628,7 @@ ServerModel::put(const std::string &key, std::uint32_t value_bytes)
     // latency at 200 us and PUT throughput is bound by it (Fig. 6).
     if (params_.memory == MemoryKind::Flash &&
         status == kvstore::StoreStatus::Stored && probe.itemAddr) {
+        const Tick memBegin = cursor_;
         const Addr item =
             map_.mapDataPointer(store_->slabs(), probe.itemAddr);
         const std::uint64_t item_bytes =
@@ -561,25 +651,40 @@ ServerModel::put(const std::string &key, std::uint32_t value_bytes)
         t = flash_->drainChannel(ourChannel(), t);
         pt.memcached += t - cursor_;
         cursor_ = t;
+        MERCURY_TRACE_SPAN(tracer_, traceReq, trace::Stage::Memory,
+                           memBegin, cursor_, item_bytes);
     }
 
     const std::uint64_t resp_payload = cal.putResponseBytes;
     {
+        Tick begin = cursor_;
         cpu::OpTrace trace;
         buildTxCodePhase(trace, 1);
         pt.netstack += runPhase(trace);
+        MERCURY_TRACE_SPAN(tracer_, traceReq, trace::Stage::Netstack,
+                           begin, cursor_, resp_payload);
     }
 
     const auto response = s2c_->deliver(resp_payload,
                                                   cursor_);
     const Tick wire = (arrival.completion - t0) +
                       (response.completion - cursor_);
+    MERCURY_TRACE_SPAN(tracer_, traceReq, trace::Stage::NicOut,
+                       cursor_, response.completion, resp_payload);
     cursor_ = response.completion;
+    MERCURY_TRACE_SPAN(tracer_, traceReq, trace::Stage::Request, t0,
+                       cursor_,
+                       status == kvstore::StoreStatus::Stored ? 1 : 0);
 
     RequestTiming timing;
     timing.rtt = response.completion - t0;
     timing.breakdown = {wire, pt.netstack, pt.hash, pt.memcached};
     timing.hit = status == kvstore::StoreStatus::Stored;
+
+    ++puts_;
+    bytesIn_ += req_payload;
+    bytesOut_ += resp_payload;
+    recordRequest(timing);
     return timing;
 }
 
@@ -619,7 +724,6 @@ ServerModel::measure(bool puts, std::uint32_t value_bytes,
 
     std::vector<Tick> rtts;
     rtts.reserve(samples);
-    RttBreakdown sum;
     std::uint64_t payload_total = 0;
     Tick span_begin = 0;
 
@@ -627,29 +731,34 @@ ServerModel::measure(bool puts, std::uint32_t value_bytes,
         const std::string key =
             keyFor(value_bytes, static_cast<unsigned>(
                                     rng_.nextInt(keys)));
-        if (i == warmup)
+        if (i == warmup) {
             span_begin = cursor_;
+            // From here the window histograms hold exactly the
+            // sampled requests; the breakdown below is a registry
+            // query over them rather than bespoke accumulation.
+            window_.resetStats();
+        }
         const RequestTiming timing =
             puts ? put(key, value_bytes) : get(key);
         if (i < warmup)
             continue;
         rtts.push_back(timing.rtt);
-        sum.wire += timing.breakdown.wire;
-        sum.netstack += timing.breakdown.netstack;
-        sum.hash += timing.breakdown.hash;
-        sum.memcached += timing.breakdown.memcached;
         payload_total += value_bytes;
     }
+
+    MERCURY_ASSERT(rttHist_.count() == samples,
+                   "measurement window lost requests");
 
     Measurement m;
     const Tick span = cursor_ - span_begin;
     m.avgTps = static_cast<double>(samples) / ticksToSeconds(span);
     const double n = static_cast<double>(samples);
     m.avgRttUs = ticksToUs(span) / n;
-    m.avgBreakdown = {static_cast<Tick>(sum.wire / samples),
-                      static_cast<Tick>(sum.netstack / samples),
-                      static_cast<Tick>(sum.hash / samples),
-                      static_cast<Tick>(sum.memcached / samples)};
+    m.avgBreakdown = {
+        static_cast<Tick>(wireHist_.totalSum() / samples),
+        static_cast<Tick>(netstackHist_.totalSum() / samples),
+        static_cast<Tick>(hashHist_.totalSum() / samples),
+        static_cast<Tick>(memcachedHist_.totalSum() / samples)};
     std::sort(rtts.begin(), rtts.end());
     m.p99RttUs = ticksToUs(rtts[static_cast<std::size_t>(
         0.99 * (rtts.size() - 1))]);

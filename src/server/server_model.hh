@@ -31,6 +31,8 @@
 #include "sim/contract.hh"
 #include "sim/fault.hh"
 #include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace mercury::server
 {
@@ -89,6 +91,19 @@ struct ServerModelParams
     Calibration cal{};
 
     std::uint64_t seed = 1;
+
+    /**
+     * Parent group for this node's statistics tree. The model and
+     * every device it owns register under it (bench harnesses pass
+     * their Registry root so --stats-json sees the whole node);
+     * nullptr keeps the groups as detached roots, exactly as before
+     * observability existed.
+     */
+    stats::StatGroup *statsParent = nullptr;
+
+    /** Request-lifecycle tracer; nullptr (the default) records
+     * nothing and costs nothing. */
+    trace::Tracer *tracer = nullptr;
 
     /** Base of this core's slice in the stack's address space; used
      * when several cores share one stack's devices (multi-core
@@ -231,6 +246,15 @@ class ServerModel
     mem::CacheHierarchy &caches() { return *caches_; }
 
     /**
+     * This node's statistics tree: lifetime counters (gets, puts,
+     * hits, bytes) plus the "window" subgroup of per-stage latency
+     * histograms that measure*() resets at each warmup boundary, so
+     * post-measurement the window holds exactly the sampled
+     * requests. Fig. 4's breakdown is a query over this group.
+     */
+    const stats::StatGroup &stats() const { return stats_; }
+
+    /**
      * Attach @p injector to this node's fault-capable devices: both
      * network directions and, when present, the flash controller.
      * nullptr detaches. Fault probabilities come from the device
@@ -254,6 +278,9 @@ class ServerModel
 
     /** Run one trace as a phase, returning elapsed time. */
     Tick runPhase(const cpu::OpTrace &trace);
+
+    /** Record one finished request into the window histograms. */
+    void recordRequest(const RequestTiming &timing);
 
     void buildRxPhase(cpu::OpTrace &trace, std::uint64_t payload_bytes,
                       unsigned packets, bool udp = false);
@@ -287,6 +314,26 @@ class ServerModel
 
     ServerModelParams params_;
     AddressMap map_;
+
+    // Statistics. Declared before the devices/store so child groups
+    // registered under stats_ (or params_.statsParent) are destroyed
+    // before their parent.
+    stats::StatGroup stats_;
+    stats::Counter gets_;
+    stats::Counter puts_;
+    stats::Counter getHits_;
+    stats::Counter getMisses_;
+    stats::Counter bytesIn_;
+    stats::Counter bytesOut_;
+    stats::Formula hitRate_;
+    stats::StatGroup window_;
+    stats::LatencyHistogram rttHist_;
+    stats::LatencyHistogram wireHist_;
+    stats::LatencyHistogram netstackHist_;
+    stats::LatencyHistogram hashHist_;
+    stats::LatencyHistogram memcachedHist_;
+
+    trace::Tracer *tracer_ = nullptr;
 
     // Owned devices (empty when shared devices are injected).
     std::unique_ptr<mem::DramModel> ownedDram_;

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tiny deterministic JSON emission helpers.
+ *
+ * The stats registry and the bench harnesses emit JSON that golden
+ * tests digest byte-for-byte, so formatting must be reproducible
+ * across builds: fields appear in insertion order, integers print as
+ * integers, and doubles go through one canonical printf format.
+ */
+
+#ifndef MERCURY_SIM_JSON_HH
+#define MERCURY_SIM_JSON_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace mercury::json
+{
+
+/** Escape a string for inclusion inside JSON double quotes. */
+inline std::string
+escape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Canonical double formatting: round-trippable, locale-free. */
+inline void
+writeDouble(std::ostream &os, double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    os << buf;
+}
+
+/** Emit "key": with the leading comma handled via @p first. */
+inline void
+writeKey(std::ostream &os, bool &first, std::string_view key)
+{
+    if (!first)
+        os << ",";
+    first = false;
+    os << "\"" << escape(key) << "\":";
+}
+
+inline void
+writeField(std::ostream &os, bool &first, std::string_view key,
+           std::uint64_t value)
+{
+    writeKey(os, first, key);
+    os << value;
+}
+
+inline void
+writeField(std::ostream &os, bool &first, std::string_view key,
+           double value)
+{
+    writeKey(os, first, key);
+    writeDouble(os, value);
+}
+
+inline void
+writeField(std::ostream &os, bool &first, std::string_view key,
+           std::string_view value)
+{
+    writeKey(os, first, key);
+    os << "\"" << escape(value) << "\"";
+}
+
+} // namespace mercury::json
+
+#endif // MERCURY_SIM_JSON_HH

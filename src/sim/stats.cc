@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <iomanip>
+#include <sstream>
 
+#include "sim/json.hh"
 #include "sim/logging.hh"
 
 namespace mercury::stats
@@ -40,11 +42,56 @@ Scalar::format(std::ostream &os, const std::string &prefix) const
 }
 
 void
+Scalar::formatJson(std::ostream &os, const std::string &prefix,
+                   bool &first) const
+{
+    json::writeField(os, first, prefix + name(), _value);
+}
+
+void
+Counter::format(std::ostream &os, const std::string &prefix) const
+{
+    formatLine(os, prefix, name(), static_cast<double>(_value), desc());
+}
+
+void
+Counter::formatJson(std::ostream &os, const std::string &prefix,
+                    bool &first) const
+{
+    json::writeField(os, first, prefix + name(), _value);
+}
+
+void
 Average::format(std::ostream &os, const std::string &prefix) const
 {
     formatLine(os, prefix, name() + "::mean", mean(), desc());
     formatLine(os, prefix, name() + "::count",
                static_cast<double>(_count), desc());
+}
+
+void
+Average::formatJson(std::ostream &os, const std::string &prefix,
+                    bool &first) const
+{
+    json::writeField(os, first, prefix + name() + "::mean", mean());
+    json::writeField(os, first, prefix + name() + "::count", _count);
+}
+
+void
+TickAverage::format(std::ostream &os, const std::string &prefix) const
+{
+    formatLine(os, prefix, name() + "::mean", mean(), desc());
+    formatLine(os, prefix, name() + "::ticks",
+               static_cast<double>(_ticks), desc());
+}
+
+void
+TickAverage::formatJson(std::ostream &os, const std::string &prefix,
+                        bool &first) const
+{
+    json::writeField(os, first, prefix + name() + "::mean", mean());
+    json::writeField(os, first, prefix + name() + "::ticks",
+                     static_cast<std::uint64_t>(_ticks));
 }
 
 Histogram::Histogram(StatGroup *parent, std::string name, std::string desc,
@@ -163,6 +210,21 @@ Histogram::format(std::ostream &os, const std::string &prefix) const
 }
 
 void
+Histogram::formatJson(std::ostream &os, const std::string &prefix,
+                      bool &first) const
+{
+    const std::string base = prefix + name();
+    json::writeField(os, first, base + "::count", _count);
+    json::writeField(os, first, base + "::mean", mean());
+    if (_count > 0) {
+        json::writeField(os, first, base + "::min", _min);
+        json::writeField(os, first, base + "::max", _max);
+        json::writeField(os, first, base + "::p50", percentile(0.50));
+        json::writeField(os, first, base + "::p99", percentile(0.99));
+    }
+}
+
+void
 Histogram::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);
@@ -170,6 +232,159 @@ Histogram::reset()
     _sum = 0.0;
     _min = std::numeric_limits<double>::infinity();
     _max = -std::numeric_limits<double>::infinity();
+}
+
+LatencyHistogram::LatencyHistogram(StatGroup *parent, std::string name,
+                                   std::string desc,
+                                   unsigned precision_bits,
+                                   unsigned max_value_bits)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      precisionBits_(precision_bits), maxValueBits_(max_value_bits)
+{
+    mercury_assert(precisionBits_ >= 1 && precisionBits_ <= 20,
+                   "latency histogram precision out of range");
+    mercury_assert(maxValueBits_ > precisionBits_ && maxValueBits_ <= 64,
+                   "latency histogram max-value bits out of range");
+    const std::size_t half = std::size_t(1) << precisionBits_;
+    const std::size_t regular =
+        2 * half + (maxValueBits_ - (precisionBits_ + 1)) * half;
+    buckets_.assign(regular + 1, 0);  // + overflow slot
+}
+
+std::uint64_t
+LatencyHistogram::lowOf(std::size_t index) const
+{
+    const std::uint64_t half = std::uint64_t(1) << precisionBits_;
+    const std::uint64_t sub = half << 1;
+    if (index < sub)
+        return index;
+    const std::uint64_t r = index - sub;
+    const unsigned shift = static_cast<unsigned>(r / half) + 1;
+    const std::uint64_t subIdx = half + r % half;
+    return subIdx << shift;
+}
+
+void
+LatencyHistogram::record(std::uint64_t value, std::uint64_t count)
+{
+    const std::size_t index = indexFor(value);
+    buckets_[index] += count;
+    if (index == buckets_.size() - 1)
+        _overflow += count;
+    _count += count;
+    _sum += value * count;
+    _min = std::min(_min, value);
+    _max = std::max(_max, value);
+}
+
+std::uint64_t
+LatencyHistogram::percentile(double p) const
+{
+    mercury_assert(p >= 0.0 && p <= 1.0, "percentile requires p in [0,1]");
+    if (_count == 0)
+        return 0;
+    if (p <= 0.0)
+        return _min;
+
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(_count)));
+    rank = std::clamp<std::uint64_t>(rank, 1, _count);
+    if (rank == _count)
+        return _max;  // the last rank is the recorded maximum
+
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        cumulative += buckets_[i];
+        if (cumulative >= rank) {
+            if (i == buckets_.size() - 1)
+                return _max;  // overflow bucket: best answer is max
+            return std::clamp(lowOf(i), _min, _max);
+        }
+    }
+    return _max;
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    mercury_assert(precisionBits_ == other.precisionBits_ &&
+                       maxValueBits_ == other.maxValueBits_,
+                   "cannot merge latency histograms of different "
+                   "geometry");
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    _count += other._count;
+    _sum += other._sum;
+    _overflow += other._overflow;
+    _min = std::min(_min, other._min);
+    _max = std::max(_max, other._max);
+}
+
+void
+LatencyHistogram::format(std::ostream &os, const std::string &prefix) const
+{
+    formatLine(os, prefix, name() + "::count",
+               static_cast<double>(_count), desc());
+    formatLine(os, prefix, name() + "::sum",
+               static_cast<double>(_sum), desc());
+    if (_count > 0) {
+        formatLine(os, prefix, name() + "::min",
+                   static_cast<double>(minValue()), desc());
+        formatLine(os, prefix, name() + "::max",
+                   static_cast<double>(_max), desc());
+        formatLine(os, prefix, name() + "::p50",
+                   static_cast<double>(percentile(0.50)), desc());
+        formatLine(os, prefix, name() + "::p99",
+                   static_cast<double>(percentile(0.99)), desc());
+        formatLine(os, prefix, name() + "::p999",
+                   static_cast<double>(percentile(0.999)), desc());
+    }
+}
+
+void
+LatencyHistogram::formatJson(std::ostream &os, const std::string &prefix,
+                             bool &first) const
+{
+    const std::string base = prefix + name();
+    json::writeField(os, first, base + "::count", _count);
+    json::writeField(os, first, base + "::sum", _sum);
+    json::writeField(os, first, base + "::min", minValue());
+    json::writeField(os, first, base + "::max", _max);
+    json::writeField(os, first, base + "::p50", percentile(0.50));
+    json::writeField(os, first, base + "::p99", percentile(0.99));
+    json::writeField(os, first, base + "::p999", percentile(0.999));
+    json::writeField(os, first, base + "::overflow", _overflow);
+}
+
+void
+LatencyHistogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    _count = 0;
+    _sum = 0;
+    _min = std::numeric_limits<std::uint64_t>::max();
+    _max = 0;
+    _overflow = 0;
+}
+
+Formula::Formula(StatGroup *parent, std::string name, std::string desc,
+                 std::function<double()> fn)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      fn_(std::move(fn))
+{
+}
+
+void
+Formula::format(std::ostream &os, const std::string &prefix) const
+{
+    formatLine(os, prefix, name(), value(), desc());
+}
+
+void
+Formula::formatJson(std::ostream &os, const std::string &prefix,
+                    bool &first) const
+{
+    json::writeField(os, first, prefix + name(), value());
 }
 
 StatGroup::StatGroup(std::string name, StatGroup *parent)
@@ -205,12 +420,76 @@ StatGroup::format(std::ostream &os, const std::string &prefix) const
 }
 
 void
+StatGroup::formatJson(std::ostream &os, const std::string &prefix,
+                      bool &first) const
+{
+    const std::string full =
+        prefix.empty() ? _name + "." : prefix + _name + ".";
+    for (const auto *stat : stats_)
+        stat->formatJson(os, full, first);
+    for (const auto *child : children_)
+        child->formatJson(os, full, first);
+}
+
+void
 StatGroup::resetStats()
 {
     for (auto *stat : stats_)
         stat->reset();
     for (auto *child : children_)
         child->resetStats();
+}
+
+const StatGroup *
+StatGroup::findGroup(std::string_view path) const
+{
+    const StatGroup *group = this;
+    while (!path.empty()) {
+        const std::size_t dot = path.find('.');
+        const std::string_view head =
+            dot == std::string_view::npos ? path : path.substr(0, dot);
+        path = dot == std::string_view::npos ? std::string_view{}
+                                             : path.substr(dot + 1);
+        const StatGroup *next = nullptr;
+        for (const auto *child : group->children_) {
+            if (child->_name == head) {
+                next = child;
+                break;
+            }
+        }
+        if (!next)
+            return nullptr;
+        group = next;
+    }
+    return group;
+}
+
+const StatBase *
+StatGroup::find(std::string_view path) const
+{
+    const std::size_t dot = path.rfind('.');
+    const StatGroup *group = this;
+    std::string_view leaf = path;
+    if (dot != std::string_view::npos) {
+        group = findGroup(path.substr(0, dot));
+        leaf = path.substr(dot + 1);
+    }
+    if (!group)
+        return nullptr;
+    for (const auto *stat : group->stats_) {
+        if (stat->name() == leaf)
+            return stat;
+    }
+    return nullptr;
+}
+
+void
+Registry::writeJson(std::ostream &os) const
+{
+    os << "{";
+    bool first = true;
+    formatJson(os, "", first);
+    os << "}\n";
 }
 
 } // namespace mercury::stats

@@ -1,0 +1,89 @@
+#include "sim/trace.hh"
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace mercury::trace
+{
+
+const char *
+stageName(Stage stage)
+{
+    switch (stage) {
+      case Stage::NicIn: return "nic-in";
+      case Stage::Netstack: return "netstack";
+      case Stage::Hash: return "hash";
+      case Stage::StoreWalk: return "store-walk";
+      case Stage::Memory: return "memory";
+      case Stage::NicOut: return "nic-out";
+      case Stage::Request: return "request";
+    }
+    return "unknown";
+}
+
+Tracer::Tracer(std::size_t capacity)
+{
+    mercury_assert(capacity > 0, "tracer needs a non-empty ring");
+    ring_.resize(capacity);
+}
+
+const Span &
+Tracer::span(std::size_t index) const
+{
+    mercury_assert(index < size(), "tracer span index out of range");
+    const std::size_t oldest =
+        written_ < ring_.size()
+            ? 0
+            : static_cast<std::size_t>(written_ % ring_.size());
+    return ring_[(oldest + index) % ring_.size()];
+}
+
+void
+Tracer::writeJsonl(std::ostream &os) const
+{
+    for (std::size_t i = 0; i < size(); ++i) {
+        const Span &s = span(i);
+        bool first = true;
+        os << "{";
+        json::writeField(os, first, "req",
+                         static_cast<std::uint64_t>(s.request));
+        json::writeField(os, first, "stage",
+                         std::string_view(stageName(s.stage)));
+        json::writeField(os, first, "begin",
+                         static_cast<std::uint64_t>(s.begin));
+        json::writeField(os, first, "end",
+                         static_cast<std::uint64_t>(s.end));
+        json::writeField(os, first, "arg", s.arg);
+        os << "}\n";
+    }
+}
+
+std::uint64_t
+Tracer::digest() const
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    const auto fold = [&hash](std::uint64_t value) {
+        for (unsigned byte = 0; byte < 8; ++byte) {
+            hash ^= (value >> (byte * 8)) & 0xff;
+            hash *= 0x100000001b3ull;
+        }
+    };
+    for (std::size_t i = 0; i < size(); ++i) {
+        const Span &s = span(i);
+        fold(s.begin);
+        fold(s.end);
+        fold(s.arg);
+        fold(s.request);
+        fold(static_cast<std::uint64_t>(s.stage));
+    }
+    return hash;
+}
+
+void
+Tracer::clear()
+{
+    written_ = 0;
+    nextRequest_ = 0;
+}
+
+} // namespace mercury::trace

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Ring-buffered request-lifecycle event tracer.
+ *
+ * A request flows NIC-in -> TCP/UDP stack -> hash -> store walk ->
+ * DRAM/flash -> NIC-out; the tracer records one Span per stage with
+ * begin/end ticks so per-request breakdowns (paper Fig. 4) can be
+ * reconstructed offline from `--trace-out` instead of bespoke
+ * plumbing.
+ *
+ * Off modes, both provably zero-cost on the simulated timeline
+ * (recording is pure observation and never consumes RNG state):
+ *
+ *  - compile-time: configure with -DMERCURY_TRACING=OFF and the
+ *    MERCURY_TRACE_SPAN macro expands to nothing;
+ *  - runtime: subsystems only record through a Tracer pointer they
+ *    were explicitly handed (default nullptr), and an attached
+ *    tracer can additionally be setEnabled(false).
+ *
+ * The buffer is a fixed-capacity ring: recording never allocates
+ * after construction, and when full the oldest spans are overwritten
+ * (droppedSpans() counts them).
+ */
+
+#ifndef MERCURY_SIM_TRACE_HH
+#define MERCURY_SIM_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+#ifndef MERCURY_TRACING
+#define MERCURY_TRACING 1
+#endif
+
+namespace mercury::trace
+{
+
+/** Request lifecycle stages, in wire order. */
+enum class Stage : std::uint8_t
+{
+    NicIn,     ///< client -> server wire + NIC delivery
+    Netstack,  ///< TCP/UDP per-packet processing and copies
+    Hash,      ///< key hash computation
+    StoreWalk, ///< hash-table walk + item bookkeeping
+    Memory,    ///< explicit DRAM/flash persistence (PUT programs)
+    NicOut,    ///< server -> client wire
+    Request,   ///< whole-request envelope span
+};
+
+/** Stable printable name ("nic-in", "store-walk", ...). */
+const char *stageName(Stage stage);
+
+/** One recorded stage span. */
+struct Span
+{
+    Tick begin = 0;
+    Tick end = 0;
+    std::uint64_t arg = 0;   ///< stage-specific (bytes, hit flag...)
+    std::uint32_t request = 0;
+    Stage stage{};
+};
+
+class Tracer
+{
+  public:
+    /** @param capacity spans retained (oldest overwritten beyond). */
+    explicit Tracer(std::size_t capacity = 1 << 16);
+
+    bool enabled() const { return enabled_; }
+    void setEnabled(bool enabled) { enabled_ = enabled; }
+
+    /** Start a new request; returns its id for subsequent spans. */
+    std::uint32_t
+    beginRequest()
+    {
+        return nextRequest_++;
+    }
+
+    /** Record one stage span. No-op while disabled. */
+    void
+    record(std::uint32_t request, Stage stage, Tick begin, Tick end,
+           std::uint64_t arg = 0)
+    {
+        if (!enabled_)
+            return;
+        Span &span = ring_[written_ % ring_.size()];
+        span.begin = begin;
+        span.end = end;
+        span.arg = arg;
+        span.request = request;
+        span.stage = stage;
+        ++written_;
+    }
+
+    std::size_t capacity() const { return ring_.size(); }
+
+    /** Spans currently retained in the ring. */
+    std::size_t
+    size() const
+    {
+        return written_ < ring_.size()
+                   ? static_cast<std::size_t>(written_)
+                   : ring_.size();
+    }
+
+    /** Spans overwritten because the ring wrapped. */
+    std::uint64_t
+    droppedSpans() const
+    {
+        return written_ < ring_.size() ? 0 : written_ - ring_.size();
+    }
+
+    std::uint64_t recordedSpans() const { return written_; }
+
+    /** Retained span by age (0 = oldest retained). */
+    const Span &span(std::size_t index) const;
+
+    /** One JSON object per line, oldest retained span first. */
+    void writeJsonl(std::ostream &os) const;
+
+    /** FNV-1a fold of the retained spans, for drift tests. */
+    std::uint64_t digest() const;
+
+    void clear();
+
+  private:
+    bool enabled_ = true;
+    std::uint32_t nextRequest_ = 0;
+    std::uint64_t written_ = 0;
+    std::vector<Span> ring_;
+};
+
+} // namespace mercury::trace
+
+/**
+ * Record a span through an optional tracer pointer. Compiles to
+ * nothing when tracing is configured out, so instrumented hot paths
+ * carry provably zero cost in that build.
+ */
+#if MERCURY_TRACING
+#define MERCURY_TRACE_SPAN(tracer, request, stage, begin, end, arg)   \
+    do {                                                              \
+        if (tracer)                                                   \
+            (tracer)->record((request), (stage), (begin), (end),      \
+                             (arg));                                  \
+    } while (0)
+#else
+#define MERCURY_TRACE_SPAN(tracer, request, stage, begin, end, arg)   \
+    do {                                                              \
+    } while (0)
+#endif
+
+#endif // MERCURY_SIM_TRACE_HH

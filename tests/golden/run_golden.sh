@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Golden observability check: run one bench's smoke config, dump the
+# stats registry, and require the bytes to match the checked-in
+# golden exactly (FNV-1a digest first, then a key-level diff for the
+# human). Regenerate intentionally-changed goldens with
+# scripts/update_goldens.sh.
+#
+# Usage: run_golden.sh BENCH_BINARY GOLDEN_JSON [EXTRA_ARGS...]
+set -euo pipefail
+
+if [ $# -lt 2 ]; then
+    echo "usage: $0 BENCH_BINARY GOLDEN_JSON [EXTRA_ARGS...]" >&2
+    exit 2
+fi
+
+bin=$1
+golden=$2
+shift 2
+
+script_dir=$(cd "$(dirname "$0")" && pwd)
+statdiff=$script_dir/../../tools/statdiff.py
+
+if [ ! -f "$golden" ]; then
+    echo "missing golden file $golden" >&2
+    echo "generate it with scripts/update_goldens.sh" >&2
+    exit 1
+fi
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+"$bin" --smoke --stats-json="$tmpdir/actual.json" "$@" \
+    > "$tmpdir/stdout.txt"
+
+if cmp -s "$golden" "$tmpdir/actual.json"; then
+    echo "golden OK: $(python3 "$statdiff" --digest "$golden") $golden"
+    exit 0
+fi
+
+echo "golden drift against $golden:" >&2
+python3 "$statdiff" "$golden" "$tmpdir/actual.json" >&2 || true
+echo "if intentional, run scripts/update_goldens.sh" >&2
+exit 1

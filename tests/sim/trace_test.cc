@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the request-lifecycle event tracer: ring-buffer
+ * retention and wrap-around, JSONL output, digest drift detection,
+ * the runtime-off mode, and the zero-allocation record() hot path.
+ */
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "alloc_probe.hh"
+#include "sim/trace.hh"
+
+namespace
+{
+
+using namespace mercury;
+using trace::Stage;
+using trace::Tracer;
+
+TEST(Tracer, RecordsSpansInOrder)
+{
+    Tracer tracer(16);
+    const std::uint32_t req = tracer.beginRequest();
+    tracer.record(req, Stage::NicIn, 0, 100, 15);
+    tracer.record(req, Stage::Hash, 100, 140, 9);
+    tracer.record(req, Stage::Request, 0, 500, 1);
+
+    ASSERT_EQ(tracer.size(), 3u);
+    EXPECT_EQ(tracer.recordedSpans(), 3u);
+    EXPECT_EQ(tracer.droppedSpans(), 0u);
+    EXPECT_EQ(tracer.span(0).stage, Stage::NicIn);
+    EXPECT_EQ(tracer.span(0).end, 100u);
+    EXPECT_EQ(tracer.span(1).stage, Stage::Hash);
+    EXPECT_EQ(tracer.span(2).stage, Stage::Request);
+    EXPECT_EQ(tracer.span(2).arg, 1u);
+}
+
+TEST(Tracer, BeginRequestHandsOutSequentialIds)
+{
+    Tracer tracer;
+    EXPECT_EQ(tracer.beginRequest(), 0u);
+    EXPECT_EQ(tracer.beginRequest(), 1u);
+    EXPECT_EQ(tracer.beginRequest(), 2u);
+}
+
+TEST(Tracer, RingWrapKeepsNewestSpans)
+{
+    Tracer tracer(4);
+    for (std::uint32_t i = 0; i < 10; ++i)
+        tracer.record(i, Stage::Netstack, i * 10, i * 10 + 5);
+
+    EXPECT_EQ(tracer.capacity(), 4u);
+    EXPECT_EQ(tracer.size(), 4u);
+    EXPECT_EQ(tracer.recordedSpans(), 10u);
+    EXPECT_EQ(tracer.droppedSpans(), 6u);
+    // Oldest retained is request 6, newest is request 9.
+    EXPECT_EQ(tracer.span(0).request, 6u);
+    EXPECT_EQ(tracer.span(3).request, 9u);
+}
+
+TEST(Tracer, DisabledRecordsNothing)
+{
+    Tracer tracer(8);
+    tracer.setEnabled(false);
+    tracer.record(0, Stage::NicIn, 0, 10);
+    EXPECT_EQ(tracer.size(), 0u);
+    EXPECT_EQ(tracer.recordedSpans(), 0u);
+
+    tracer.setEnabled(true);
+    tracer.record(0, Stage::NicIn, 0, 10);
+    EXPECT_EQ(tracer.size(), 1u);
+}
+
+TEST(Tracer, TraceSpanMacroToleratesNullTracer)
+{
+    Tracer *tracer = nullptr;
+    // Must neither crash nor evaluate into anything observable.
+    MERCURY_TRACE_SPAN(tracer, 0, Stage::NicIn, 0, 10, 0);
+    SUCCEED();
+}
+
+TEST(Tracer, WriteJsonlEmitsOneObjectPerSpan)
+{
+    Tracer tracer(8);
+    tracer.record(3, Stage::StoreWalk, 100, 250, 2);
+    tracer.record(3, Stage::NicOut, 250, 300, 64);
+
+    std::ostringstream os;
+    tracer.writeJsonl(os);
+    EXPECT_EQ(os.str(),
+              "{\"req\":3,\"stage\":\"store-walk\",\"begin\":100,"
+              "\"end\":250,\"arg\":2}\n"
+              "{\"req\":3,\"stage\":\"nic-out\",\"begin\":250,"
+              "\"end\":300,\"arg\":64}\n");
+}
+
+TEST(Tracer, StageNamesAreStable)
+{
+    EXPECT_STREQ(trace::stageName(Stage::NicIn), "nic-in");
+    EXPECT_STREQ(trace::stageName(Stage::Netstack), "netstack");
+    EXPECT_STREQ(trace::stageName(Stage::Hash), "hash");
+    EXPECT_STREQ(trace::stageName(Stage::StoreWalk), "store-walk");
+    EXPECT_STREQ(trace::stageName(Stage::Memory), "memory");
+    EXPECT_STREQ(trace::stageName(Stage::NicOut), "nic-out");
+    EXPECT_STREQ(trace::stageName(Stage::Request), "request");
+}
+
+TEST(Tracer, DigestDetectsAnySpanChange)
+{
+    auto fill = [](Tracer &tracer, Tick delta) {
+        tracer.record(0, Stage::NicIn, 0, 100 + delta, 15);
+        tracer.record(0, Stage::Request, 0, 500, 1);
+    };
+
+    Tracer a(8), b(8), c(8);
+    fill(a, 0);
+    fill(b, 0);
+    fill(c, 1);  // one tick of drift in one span
+
+    EXPECT_EQ(a.digest(), b.digest());
+    EXPECT_NE(a.digest(), c.digest());
+
+    // An empty tracer digests differently from a populated one.
+    Tracer empty(8);
+    EXPECT_NE(empty.digest(), a.digest());
+}
+
+TEST(Tracer, ClearResetsRetentionAndRequestIds)
+{
+    Tracer tracer(8);
+    tracer.beginRequest();
+    tracer.record(0, Stage::NicIn, 0, 10);
+    tracer.clear();
+
+    EXPECT_EQ(tracer.size(), 0u);
+    EXPECT_EQ(tracer.droppedSpans(), 0u);
+    EXPECT_EQ(tracer.beginRequest(), 0u);
+}
+
+TEST(Tracer, RecordHotPathNeverAllocates)
+{
+    Tracer tracer(1024);
+
+    const std::uint64_t before = mercuryAllocCalls.load();
+    for (std::uint32_t i = 0; i < 100'000; ++i)
+        tracer.record(i, Stage::Netstack, i, i + 7, i % 3);
+    const std::uint64_t after = mercuryAllocCalls.load();
+
+    EXPECT_EQ(before, after)
+        << "Tracer::record allocated on the hot path";
+    EXPECT_EQ(tracer.recordedSpans(), 100'000u);
+    EXPECT_EQ(tracer.size(), 1024u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Diff two --stats-json dumps key by key, or digest one.
+
+The simulator's observability layer emits a flat JSON object mapping
+dotted stat paths to numbers (see src/sim/stats.hh). This tool is the
+human side of the golden suite:
+
+    statdiff.py old.json new.json     key-level diff, exit 1 on drift
+    statdiff.py --digest file.json    FNV-1a of the raw bytes
+
+The digest matches the golden files under tests/golden/ (and the
+convention of src/sim/fault.hh): FNV-1a 64-bit over the exact bytes,
+so any formatting or ordering change counts as drift too.
+"""
+
+import argparse
+import json
+import sys
+
+FNV_OFFSET = 0xCBF29CE484222325
+FNV_PRIME = 0x100000001B3
+MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def fnv1a(data: bytes) -> int:
+    digest = FNV_OFFSET
+    for byte in data:
+        digest = ((digest ^ byte) * FNV_PRIME) & MASK
+    return digest
+
+
+def load(path):
+    with open(path, "rb") as f:
+        raw = f.read()
+    return raw, json.loads(raw)
+
+
+def fmt(value):
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def diff(old_path, new_path, quiet=False):
+    old_raw, old = load(old_path)
+    new_raw, new = load(new_path)
+    if old_raw == new_raw:
+        if not quiet:
+            print("identical (digest 0x%016x)" % fnv1a(old_raw))
+        return 0
+
+    drift = 0
+    for key in old:
+        if key not in new:
+            drift += 1
+            print("- %s = %s" % (key, fmt(old[key])))
+    for key in new:
+        if key not in old:
+            drift += 1
+            print("+ %s = %s" % (key, fmt(new[key])))
+    for key in old:
+        if key in new and old[key] != new[key]:
+            drift += 1
+            rel = ""
+            if isinstance(old[key], (int, float)) and old[key]:
+                rel = " (%+.3g%%)" % (
+                    100.0 * (new[key] - old[key]) / old[key]
+                )
+            print(
+                "~ %s: %s -> %s%s"
+                % (key, fmt(old[key]), fmt(new[key]), rel)
+            )
+
+    if drift == 0:
+        # Same values, different bytes: formatting/ordering drift,
+        # which the golden digests still reject.
+        print("values equal but bytes differ "
+              "(ordering or formatting drift)")
+    print(
+        "%d key(s) drifted; digests 0x%016x -> 0x%016x"
+        % (drift, fnv1a(old_raw), fnv1a(new_raw))
+    )
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("files", nargs="+", help="one file for "
+                        "--digest, two (old new) to diff")
+    parser.add_argument(
+        "--digest",
+        action="store_true",
+        help="print the FNV-1a digest of FILE and exit",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress the identical-files message",
+    )
+    args = parser.parse_args()
+
+    if args.digest:
+        if len(args.files) != 1:
+            parser.error("--digest takes exactly one file")
+        with open(args.files[0], "rb") as f:
+            print("0x%016x" % fnv1a(f.read()))
+        return 0
+
+    if len(args.files) != 2:
+        parser.error("diff mode takes exactly two files: old new")
+    return diff(args.files[0], args.files[1], quiet=args.quiet)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
