@@ -8,23 +8,33 @@
  *   bench --stats-json=FILE   dump the stats registry as flat JSON
  *   bench --trace-out=FILE    dump request-lifecycle spans as JSONL
  *   bench --smoke             tiny CI-sized configuration
+ *   bench --jobs=N            run sweep points on N worker threads
+ *                             (0 = all hardware threads); output is
+ *                             byte-identical to --jobs=1
  *
  * "-" as FILE writes to stdout. The flags are consumed (removed from
  * argv) so benches built on other frameworks (google-benchmark) can
  * forward the rest. Without flags a Session changes nothing: stdout
  * stays byte-identical to a bench that never had one.
+ *
+ * Sweep-style benches shard their points through bench::ParallelSweep
+ * (parallel_sweep.hh), which honours --jobs and merges per-point
+ * stdout text and stats fragments in submission order.
  */
 
 #ifndef MERCURY_BENCH_BENCH_UTIL_HH
 #define MERCURY_BENCH_BENCH_UTIL_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/stats.hh"
@@ -67,12 +77,18 @@ banner(const std::string &title)
     std::printf("\n=== %s ===\n\n", title.c_str());
 }
 
+/** The rule's dashes as a string, for points that buffer their text
+ * through PointContext::printf instead of writing stdout directly. */
+inline std::string
+ruleString(int width = 100)
+{
+    return std::string(static_cast<std::size_t>(width), '-');
+}
+
 inline void
 rule(int width = 100)
 {
-    for (int i = 0; i < width; ++i)
-        std::putchar('-');
-    std::putchar('\n');
+    std::fputs((ruleString(width) + "\n").c_str(), stdout);
 }
 
 /**
@@ -100,6 +116,8 @@ class Session
                 tracePath_ = value;
             } else if (arg == "--smoke") {
                 smoke_ = true;
+            } else if (match(arg, "--jobs", i, argc, argv, value)) {
+                jobs_ = parseJobs(value);
             } else {
                 argv[out++] = argv[i];
             }
@@ -134,6 +152,16 @@ class Session
 
     bool smoke() const { return smoke_; }
 
+    /**
+     * Worker threads for ParallelSweep. Tracing forces 1 (the ring
+     * buffer is single-writer; span order must stay byte-stable).
+     */
+    unsigned
+    jobs() const
+    {
+        return tracer_ ? 1u : jobs_;
+    }
+
     /** Size sweep honouring --smoke. */
     std::vector<std::uint32_t>
     sizes() const
@@ -155,9 +183,33 @@ class Session
     {
         if (statsPath_.empty())
             return;
-        std::ostringstream os;
-        registry_.formatJson(os, "", capturedFirst_);
-        captured_ += os.str();
+        if (captured_.capacity() < 4096)
+            captured_.reserve(4096);
+        registry_.formatJson(captured_, "", capturedFirst_);
+        haveCapture_ = true;
+    }
+
+    /** True when --stats-json was requested (ParallelSweep points
+     * skip fragment formatting otherwise). */
+    bool wantStats() const { return !statsPath_.empty(); }
+
+    /**
+     * Fold a pre-formatted JSON fragment (comma-separated
+     * "key":value pairs, no braces) into the eventual --stats-json
+     * dump. ParallelSweep emits per-point fragments through here in
+     * submission order, producing the same bytes capture() would
+     * have produced from live models. No-op without --stats-json or
+     * for an empty fragment.
+     */
+    void
+    appendStatsFragment(const std::string &fragment)
+    {
+        if (statsPath_.empty() || fragment.empty())
+            return;
+        if (!capturedFirst_)
+            captured_ += ',';
+        capturedFirst_ = false;
+        captured_ += fragment;
         haveCapture_ = true;
     }
 
@@ -185,6 +237,16 @@ class Session
     }
 
   private:
+    /** "--jobs 0" means one worker per hardware thread. */
+    static unsigned
+    parseJobs(const std::string &value)
+    {
+        const long parsed = std::strtol(value.c_str(), nullptr, 10);
+        if (parsed <= 0)
+            return std::max(1u, std::thread::hardware_concurrency());
+        return static_cast<unsigned>(parsed);
+    }
+
     /** Accepts --flag=VALUE and --flag VALUE; advances @p i for the
      * two-token form. */
     static bool
@@ -230,6 +292,7 @@ class Session
     bool haveCapture_ = false;
     bool smoke_ = false;
     bool finished_ = false;
+    unsigned jobs_ = 1;
 };
 
 /**
@@ -289,8 +352,12 @@ class JsonLine
     void
     print(std::FILE *out = stdout)
     {
-        std::fputs((body_ + "}\n").c_str(), out);
+        std::fputs(text().c_str(), out);
     }
+
+    /** The finished line (with closing brace and newline), for
+     * callers routing output through PointContext::printf. */
+    std::string text() const { return body_ + "}\n"; }
 
   private:
     JsonLine &

@@ -11,12 +11,18 @@
  * Under extreme skew, finer granularity makes the hot node saturate
  * earlier (the classic memcached hot-key problem that production
  * systems solve with client-side caching or key replication).
+ *
+ * Each (nodes, theta) cell is an independent ParallelSweep point;
+ * `--jobs N` output stays byte-identical to the serial run.
  */
 
+#include <cstddef>
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
 #include "cluster/cluster_sim.hh"
+#include "parallel_sweep.hh"
 
 namespace
 {
@@ -24,8 +30,9 @@ namespace
 using namespace mercury;
 using namespace mercury::cluster;
 
-ClusterSimResult
-run(unsigned nodes, double theta, double utilization)
+void
+cell(bench::PointContext &ctx, unsigned nodes, double theta,
+     double utilization)
 {
     ClusterSimParams params;
     params.node.core = cpu::cortexA7Params();
@@ -36,17 +43,12 @@ run(unsigned nodes, double theta, double utilization)
     params.requests = 2500;
 
     ClusterSim sim(params);
-    return sim.run(utilization * sim.aggregateCapacity());
-}
-
-void
-row(unsigned nodes, double theta, double utilization)
-{
-    const ClusterSimResult r = run(nodes, theta, utilization);
-    std::printf("%-6u %6.2f %7.0f%% %10.1f %10.1f %9.0f%% %9.2f%%\n",
-                nodes, theta, utilization * 100, r.avgLatencyUs,
-                r.p99LatencyUs, r.subMsFraction * 100,
-                r.hottestNodeShare * 100);
+    const ClusterSimResult r =
+        sim.run(utilization * sim.aggregateCapacity());
+    ctx.printf("%-6u %6.2f %7.0f%% %10.1f %10.1f %9.0f%% %9.2f%%\n",
+               nodes, theta, utilization * 100, r.avgLatencyUs,
+               r.p99LatencyUs, r.subMsFraction * 100,
+               r.hottestNodeShare * 100);
 }
 
 } // anonymous namespace
@@ -54,7 +56,7 @@ row(unsigned nodes, double theta, double utilization)
 int
 main(int argc, char **argv)
 {
-    mercury::bench::Session session(argc, argv, "cluster_tail");
+    bench::Session session(argc, argv, "cluster_tail");
     bench::banner("Cluster tail latency: node granularity x "
                   "workload skew (open-loop Zipf GETs)");
 
@@ -63,15 +65,35 @@ main(int argc, char **argv)
                 "hot share");
     bench::rule(68);
 
-    std::printf("-- moderate skew: finer granularity smooths the "
-                "ring (Sec. 3.8) --\n");
-    for (unsigned nodes : {4u, 16u, 48u})
-        row(nodes, 0.70, 0.6);
+    const struct
+    {
+        const char *header;
+        double theta;
+    } sections[] = {
+        {"-- moderate skew: finer granularity smooths the ring "
+         "(Sec. 3.8) --\n",
+         0.70},
+        {"-- extreme skew: one hot key defeats sharding; thin nodes "
+         "saturate first --\n",
+         0.99},
+    };
 
-    std::printf("-- extreme skew: one hot key defeats sharding; "
-                "thin nodes saturate first --\n");
-    for (unsigned nodes : {4u, 16u, 48u})
-        row(nodes, 0.99, 0.6);
+    bench::ParallelSweep sweep(session);
+    for (const auto &section : sections) {
+        const std::vector<unsigned> node_counts{4, 16, 48};
+        for (std::size_t ni = 0; ni < node_counts.size(); ++ni) {
+            const unsigned nodes = node_counts[ni];
+            const double theta = section.theta;
+            const char *header = ni == 0 ? section.header : nullptr;
+            sweep.point(
+                [header, nodes, theta](bench::PointContext &ctx) {
+                    if (header)
+                        ctx.printf("%s", header);
+                    cell(ctx, nodes, theta, 0.6);
+                });
+        }
+    }
+    sweep.run();
 
     std::printf("\nWith theta=0.7 the hot node's share tracks its "
                 "arc and tails stay flat as nodes multiply. With "

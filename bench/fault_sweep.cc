@@ -15,15 +15,23 @@
  * client-visible availability and tail latency under faults are part
  * of the density trade.
  *
+ * Each sweep point owns its cluster (or FTL) and fault-injector
+ * stream, so points shard freely across `--jobs N` workers; JSON
+ * lines and the sweep-wide stats accumulate in submission order
+ * during the ordered emission phase, keeping output byte-identical
+ * to the serial run.
+ *
  * Usage: fault_sweep [--smoke]   (--smoke runs a tiny CI-sized sweep)
  */
 
+#include <cstddef>
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.hh"
 #include "cluster/cluster_sim.hh"
 #include "mem/flash.hh"
+#include "parallel_sweep.hh"
 #include "sim/random.hh"
 
 namespace
@@ -82,8 +90,9 @@ baseParams(bool smoke)
 }
 
 void
-clusterPoint(const ClusterSimParams &params, double offered_tps,
-             SweepStats &stats)
+clusterPoint(bench::PointContext &ctx,
+             const ClusterSimParams &params, double offered_tps,
+             ClusterSimResult &out)
 {
     ClusterSim sim(params);
     const ClusterSimResult r = sim.run(offered_tps);
@@ -106,18 +115,21 @@ clusterPoint(const ClusterSimParams &params, double offered_tps,
         .uint("netDrops", r.netDrops)
         .uint("netRetransmits", r.netRetransmits)
         .hex("digest", r.faultTimelineDigest);
-    line.print();
-
-    ++stats.points;
-    stats.timeouts += r.timeouts;
-    stats.retries += r.retries;
-    stats.failed += r.failedRequests;
-    stats.crashes += r.crashes;
+    ctx.printf("%s", line.text().c_str());
+    out = r;
 }
 
+/** The slice of FTL state the ordered stats accumulation needs
+ * after the point's Ftl object is gone. */
+struct FlashOutcome
+{
+    std::uint64_t retired = 0;
+    std::uint64_t programFailures = 0;
+};
+
 void
-flashPoint(double erase_fail, double program_fail, unsigned writes,
-           SweepStats &stats)
+flashPoint(bench::PointContext &ctx, double erase_fail,
+           double program_fail, unsigned writes, FlashOutcome &out)
 {
     // One small channel: 128 blocks of 32 pages, 10% spare.
     mem::Ftl ftl(4096, 32, 0.10, 4, 64);
@@ -143,11 +155,10 @@ flashPoint(double erase_fail, double program_fail, unsigned writes,
         .uint("programFailures", ftl.programFailures())
         .boolean("consistent", ftl.checkConsistency())
         .hex("digest", injector.timelineDigest());
-    line.print();
+    ctx.printf("%s", line.text().c_str());
 
-    ++stats.flashPoints;
-    stats.retired += ftl.retiredBlocks();
-    stats.programFailures += ftl.programFailures();
+    out.retired = ftl.retiredBlocks();
+    out.programFailures = ftl.programFailures();
 }
 
 } // anonymous namespace
@@ -178,22 +189,55 @@ main(int argc, char **argv)
         offered = 0.6 * probe.aggregateCapacity();
     }
 
+    // The cluster points run first; their JSON lines and stats
+    // accumulate in loss-major order no matter how many workers ran
+    // them.
+    bench::ParallelSweep sweep(session);
+    std::vector<ClusterSimResult> results(losses.size() *
+                                          crash_rates.size());
+    std::size_t index = 0;
     for (const double loss : losses) {
         for (const double crashes : crash_rates) {
-            ClusterSimParams params = base;
-            params.faults.packetLossProbability = loss;
-            params.faults.nodeCrashesPerSecond = crashes;
-            clusterPoint(params, offered, stats);
+            ClusterSimResult &slot = results[index++];
+            sweep.point(
+                [&, loss, crashes](bench::PointContext &ctx) {
+                    ClusterSimParams params = base;
+                    params.faults.packetLossProbability = loss;
+                    params.faults.nodeCrashesPerSecond = crashes;
+                    clusterPoint(ctx, params, offered, slot);
+                },
+                [&stats, &slot] {
+                    ++stats.points;
+                    stats.timeouts += slot.timeouts;
+                    stats.retries += slot.retries;
+                    stats.failed += slot.failedRequests;
+                    stats.crashes += slot.crashes;
+                });
         }
     }
+    sweep.run();
 
     std::printf("\n");
     const std::vector<double> erase_fails =
         smoke ? std::vector<double>{0.0, 0.01}
               : std::vector<double>{0.0, 0.002, 0.01, 0.05};
     const unsigned writes = smoke ? 20000 : 100000;
-    for (const double erase_fail : erase_fails)
-        flashPoint(erase_fail, erase_fail / 5.0, writes, stats);
+    std::vector<FlashOutcome> outcomes(erase_fails.size());
+    for (std::size_t i = 0; i < erase_fails.size(); ++i) {
+        const double erase_fail = erase_fails[i];
+        FlashOutcome &slot = outcomes[i];
+        sweep.point(
+            [&, erase_fail](bench::PointContext &ctx) {
+                flashPoint(ctx, erase_fail, erase_fail / 5.0,
+                           writes, slot);
+            },
+            [&stats, &slot] {
+                ++stats.flashPoints;
+                stats.retired += slot.retired;
+                stats.programFailures += slot.programFailures;
+            });
+    }
+    sweep.run();
 
     std::printf(
         "\nReading the curves: availability and hit rate fall and "

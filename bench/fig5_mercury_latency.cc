@@ -4,13 +4,19 @@
  * Mercury-1 stack across CPU configurations (A15 / A7, with and
  * without a 2 MB L2) and DRAM latencies (10/30/50/100 ns), for GET
  * and PUT requests from 64 B to 1 MB.
+ *
+ * Each (panel, latency) pair is an independent sweep point run
+ * through bench::ParallelSweep, so `--jobs N` shards the sixteen
+ * models across workers while keeping stdout and --stats-json
+ * byte-identical to the serial run.
  */
 
+#include <cstddef>
 #include <cstdio>
-#include <memory>
 #include <vector>
 
 #include "bench_util.hh"
+#include "parallel_sweep.hh"
 #include "server/server_model.hh"
 
 namespace
@@ -19,33 +25,26 @@ namespace
 using namespace mercury;
 using namespace mercury::server;
 
-void
-panel(bench::Session &session, const char *tag, const char *title,
-      const cpu::CoreParams &core, bool with_l2)
+struct Cell
 {
-    bench::banner(title);
-    const std::vector<Tick> latencies =
-        session.smoke()
-            ? std::vector<Tick>{10 * tickNs, 100 * tickNs}
-            : std::vector<Tick>{10 * tickNs, 30 * tickNs,
-                                50 * tickNs, 100 * tickNs};
+    double getTps = 0;
+    double putTps = 0;
+};
 
-    // One model per latency; request sizes share each model's
-    // populated working sets.
-    std::vector<std::unique_ptr<ServerModel>> models;
-    for (Tick latency : latencies) {
-        ServerModelParams params;
-        params.core = core;
-        params.withL2 = with_l2;
-        params.memory = MemoryKind::StackedDram;
-        params.dramArrayLatency = latency;
-        params.storeMemLimit = 224 * miB;
-        params.name = std::string(tag) + "." +
-                      std::to_string(latency / tickNs) + "ns";
-        params.statsParent = session.statsParent();
-        params.tracer = session.tracer();
-        models.push_back(std::make_unique<ServerModel>(params));
-    }
+struct PanelSpec
+{
+    const char *tag;
+    const char *title;
+    cpu::CoreParams core;
+    bool withL2;
+};
+
+void
+printPanel(const PanelSpec &spec, const std::vector<Tick> &latencies,
+           const std::vector<std::uint32_t> &sizes,
+           const std::vector<std::vector<Cell>> &cells)
+{
+    bench::banner(spec.title);
 
     std::printf("%-8s", "Size");
     for (Tick latency : latencies) {
@@ -58,16 +57,14 @@ panel(bench::Session &session, const char *tag, const char *title,
     std::printf("   (TPS)\n");
     bench::rule(100);
 
-    for (std::uint32_t size : session.sizes()) {
-        std::printf("%-8s", bench::sizeLabel(size).c_str());
-        for (auto &model : models) {
-            const double get_tps = model->measureGets(size).avgTps;
-            const double put_tps = model->measurePuts(size).avgTps;
-            std::printf("  %9.0f %9.0f", get_tps, put_tps);
+    for (std::size_t si = 0; si < sizes.size(); ++si) {
+        std::printf("%-8s", bench::sizeLabel(sizes[si]).c_str());
+        for (std::size_t li = 0; li < latencies.size(); ++li) {
+            const Cell &cell = cells[li][si];
+            std::printf("  %9.0f %9.0f", cell.getTps, cell.putTps);
         }
         std::printf("\n");
     }
-    session.capture();  // the panel's models die here
 }
 
 } // anonymous namespace
@@ -76,15 +73,74 @@ int
 main(int argc, char **argv)
 {
     bench::Session session(argc, argv, "fig5");
-    panel(session, "fig5a",
-          "Figure 5a: Mercury-1, A15 @1GHz with a 2MB L2",
-          cpu::cortexA15Params(1.0), true);
-    panel(session, "fig5b",
-          "Figure 5b: Mercury-1, A15 @1GHz with no L2",
-          cpu::cortexA15Params(1.0), false);
-    panel(session, "fig5c", "Figure 5c: Mercury-1, A7 with a 2MB L2",
-          cpu::cortexA7Params(), true);
-    panel(session, "fig5d", "Figure 5d: Mercury-1, A7 with no L2",
-          cpu::cortexA7Params(), false);
+
+    const std::vector<Tick> latencies =
+        session.smoke()
+            ? std::vector<Tick>{10 * tickNs, 100 * tickNs}
+            : std::vector<Tick>{10 * tickNs, 30 * tickNs,
+                                50 * tickNs, 100 * tickNs};
+    const std::vector<std::uint32_t> sizes = session.sizes();
+
+    const std::vector<PanelSpec> panels = {
+        {"fig5a", "Figure 5a: Mercury-1, A15 @1GHz with a 2MB L2",
+         cpu::cortexA15Params(1.0), true},
+        {"fig5b", "Figure 5b: Mercury-1, A15 @1GHz with no L2",
+         cpu::cortexA15Params(1.0), false},
+        {"fig5c", "Figure 5c: Mercury-1, A7 with a 2MB L2",
+         cpu::cortexA7Params(), true},
+        {"fig5d", "Figure 5d: Mercury-1, A7 with no L2",
+         cpu::cortexA7Params(), false},
+    };
+
+    // cells[panel][latency][size], filled by the sweep points.
+    std::vector<std::vector<std::vector<Cell>>> cells(
+        panels.size(),
+        std::vector<std::vector<Cell>>(
+            latencies.size(), std::vector<Cell>(sizes.size())));
+
+    bench::ParallelSweep sweep(session);
+    for (std::size_t pi = 0; pi < panels.size(); ++pi) {
+        for (std::size_t li = 0; li < latencies.size(); ++li) {
+            // The panel's table prints once its last point is
+            // published, keeping panels in figure order.
+            std::function<void()> after;
+            if (li + 1 == latencies.size()) {
+                after = [&, pi] {
+                    printPanel(panels[pi], latencies, sizes,
+                               cells[pi]);
+                };
+            }
+            sweep.point(
+                [&, pi, li](bench::PointContext &ctx) {
+                    const PanelSpec &spec = panels[pi];
+                    ServerModelParams params;
+                    params.core = spec.core;
+                    params.withL2 = spec.withL2;
+                    params.memory = MemoryKind::StackedDram;
+                    params.dramArrayLatency = latencies[li];
+                    params.storeMemLimit = 224 * miB;
+                    params.name =
+                        std::string(spec.tag) + "." +
+                        std::to_string(latencies[li] / tickNs) +
+                        "ns";
+                    params.statsParent = ctx.statsParent();
+                    params.tracer = ctx.tracer();
+                    ServerModel model(params);
+
+                    // One model per latency; request sizes share
+                    // the model's populated working sets.
+                    for (std::size_t si = 0; si < sizes.size();
+                         ++si) {
+                        cells[pi][li][si].getTps =
+                            model.measureGets(sizes[si]).avgTps;
+                        cells[pi][li][si].putTps =
+                            model.measurePuts(sizes[si]).avgTps;
+                    }
+                    ctx.capture();  // the point's model dies here
+                },
+                std::move(after));
+        }
+    }
+    sweep.run();
     return 0;
 }

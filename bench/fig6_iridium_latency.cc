@@ -4,13 +4,17 @@
  * Iridium-1 stack across CPU configurations and flash read
  * latencies (10/20 us; writes fixed at 200 us), for GET and PUT
  * requests from 64 B to 1 MB.
+ *
+ * Each (panel, latency) pair is an independent ParallelSweep point;
+ * `--jobs N` output stays byte-identical to the serial run.
  */
 
+#include <cstddef>
 #include <cstdio>
-#include <memory>
 #include <vector>
 
 #include "bench_util.hh"
+#include "parallel_sweep.hh"
 #include "server/server_model.hh"
 
 namespace
@@ -19,42 +23,39 @@ namespace
 using namespace mercury;
 using namespace mercury::server;
 
-void
-panel(bench::Session &session, const char *tag, const char *title,
-      const cpu::CoreParams &core, bool with_l2)
+struct Cell
 {
-    bench::banner(title);
-    const std::vector<Tick> latencies{10 * tickUs, 20 * tickUs};
+    double getTps = 0;
+    double putTps = 0;
+};
 
-    std::vector<std::unique_ptr<ServerModel>> models;
-    for (Tick latency : latencies) {
-        ServerModelParams params;
-        params.core = core;
-        params.withL2 = with_l2;
-        params.memory = MemoryKind::Flash;
-        params.flashReadLatency = latency;
-        params.storeMemLimit = 224 * miB;
-        params.name = std::string(tag) + "." +
-                      std::to_string(latency / tickUs) + "us";
-        params.statsParent = session.statsParent();
-        params.tracer = session.tracer();
-        models.push_back(std::make_unique<ServerModel>(params));
-    }
+struct PanelSpec
+{
+    const char *tag;
+    const char *title;
+    cpu::CoreParams core;
+    bool withL2;
+};
+
+void
+printPanel(const PanelSpec &spec,
+           const std::vector<std::uint32_t> &sizes,
+           const std::vector<std::vector<Cell>> &cells)
+{
+    bench::banner(spec.title);
 
     std::printf("%-8s  %9s %9s  %9s %9s   (TPS)\n", "Size",
                 "10us-GET", "10us-PUT", "20us-GET", "20us-PUT");
     bench::rule(60);
 
-    for (std::uint32_t size : session.sizes()) {
-        std::printf("%-8s", bench::sizeLabel(size).c_str());
-        for (auto &model : models) {
-            const double get_tps = model->measureGets(size).avgTps;
-            const double put_tps = model->measurePuts(size).avgTps;
-            std::printf("  %9.0f %9.0f", get_tps, put_tps);
+    for (std::size_t si = 0; si < sizes.size(); ++si) {
+        std::printf("%-8s", bench::sizeLabel(sizes[si]).c_str());
+        for (std::size_t li = 0; li < cells.size(); ++li) {
+            const Cell &cell = cells[li][si];
+            std::printf("  %9.0f %9.0f", cell.getTps, cell.putTps);
         }
         std::printf("\n");
     }
-    session.capture();  // the panel's models die here
 }
 
 } // anonymous namespace
@@ -63,15 +64,65 @@ int
 main(int argc, char **argv)
 {
     bench::Session session(argc, argv, "fig6");
-    panel(session, "fig6a",
-          "Figure 6a: Iridium-1, A15 @1GHz with a 2MB L2",
-          cpu::cortexA15Params(1.0), true);
-    panel(session, "fig6b",
-          "Figure 6b: Iridium-1, A15 @1GHz with no L2",
-          cpu::cortexA15Params(1.0), false);
-    panel(session, "fig6c", "Figure 6c: Iridium-1, A7 with a 2MB L2",
-          cpu::cortexA7Params(), true);
-    panel(session, "fig6d", "Figure 6d: Iridium-1, A7 with no L2",
-          cpu::cortexA7Params(), false);
+
+    const std::vector<Tick> latencies{10 * tickUs, 20 * tickUs};
+    const std::vector<std::uint32_t> sizes = session.sizes();
+
+    const std::vector<PanelSpec> panels = {
+        {"fig6a", "Figure 6a: Iridium-1, A15 @1GHz with a 2MB L2",
+         cpu::cortexA15Params(1.0), true},
+        {"fig6b", "Figure 6b: Iridium-1, A15 @1GHz with no L2",
+         cpu::cortexA15Params(1.0), false},
+        {"fig6c", "Figure 6c: Iridium-1, A7 with a 2MB L2",
+         cpu::cortexA7Params(), true},
+        {"fig6d", "Figure 6d: Iridium-1, A7 with no L2",
+         cpu::cortexA7Params(), false},
+    };
+
+    // cells[panel][latency][size], filled by the sweep points.
+    std::vector<std::vector<std::vector<Cell>>> cells(
+        panels.size(),
+        std::vector<std::vector<Cell>>(
+            latencies.size(), std::vector<Cell>(sizes.size())));
+
+    bench::ParallelSweep sweep(session);
+    for (std::size_t pi = 0; pi < panels.size(); ++pi) {
+        for (std::size_t li = 0; li < latencies.size(); ++li) {
+            std::function<void()> after;
+            if (li + 1 == latencies.size()) {
+                after = [&, pi] {
+                    printPanel(panels[pi], sizes, cells[pi]);
+                };
+            }
+            sweep.point(
+                [&, pi, li](bench::PointContext &ctx) {
+                    const PanelSpec &spec = panels[pi];
+                    ServerModelParams params;
+                    params.core = spec.core;
+                    params.withL2 = spec.withL2;
+                    params.memory = MemoryKind::Flash;
+                    params.flashReadLatency = latencies[li];
+                    params.storeMemLimit = 224 * miB;
+                    params.name =
+                        std::string(spec.tag) + "." +
+                        std::to_string(latencies[li] / tickUs) +
+                        "us";
+                    params.statsParent = ctx.statsParent();
+                    params.tracer = ctx.tracer();
+                    ServerModel model(params);
+
+                    for (std::size_t si = 0; si < sizes.size();
+                         ++si) {
+                        cells[pi][li][si].getTps =
+                            model.measureGets(sizes[si]).avgTps;
+                        cells[pi][li][si].putTps =
+                            model.measurePuts(sizes[si]).avgTps;
+                    }
+                    ctx.capture();  // the point's model dies here
+                },
+                std::move(after));
+        }
+    }
+    sweep.run();
     return 0;
 }

@@ -2,13 +2,18 @@
  * @file
  * Regenerates paper Figure 8: power vs throughput for Mercury-n and
  * Iridium-n stacks servicing 64 B GET requests.
+ *
+ * Each (panel, core) pair is an independent ParallelSweep point;
+ * `--jobs N` output stays byte-identical to the serial run.
  */
 
+#include <cstddef>
 #include <cstdio>
 
 #include "bench_util.hh"
 #include "config/explorer.hh"
 #include "config/perf_oracle.hh"
+#include "parallel_sweep.hh"
 
 namespace
 {
@@ -17,52 +22,71 @@ using namespace mercury;
 using namespace mercury::config;
 using namespace mercury::physical;
 
-void
-panel(const char *title, StackMemory memory)
+struct CoreChoice
 {
-    bench::banner(title);
-    DesignExplorer explorer;
+    const char *label;
+    cpu::CoreParams core;
+};
 
-    const struct
-    {
-        const char *label;
-        cpu::CoreParams core;
-    } choices[] = {
-        {"A15 @1.5GHz", cpu::cortexA15Params(1.5)},
-        {"A15 @1GHz", cpu::cortexA15Params(1.0)},
-        {"A7", cpu::cortexA7Params()},
-    };
-
-    std::printf("%-12s %-12s %12s %14s %12s\n", "Core", "Config",
-                "Power (W)", "TPS@64B (M)", "KTPS/W");
-    bench::rule(68);
-    const char *family =
-        memory == StackMemory::Dram3D ? "Mercury" : "Iridium";
-    for (const auto &choice : choices) {
-        StackConfig stack;
-        stack.core = choice.core;
-        stack.memory = memory;
-        stack.withL2 = memory == StackMemory::Flash3D;
-        const PerCorePerf perf = measurePerCorePerf(stack);
-        for (unsigned n : {1u, 2u, 4u, 8u, 16u, 32u}) {
-            stack.coresPerStack = n;
-            const ServerDesign d = explorer.solve(stack, perf);
-            std::printf("%-12s %s-%-8u %12.0f %14.2f %12.2f\n",
-                        choice.label, family, n, d.powerAt64BW,
-                        d.tps64 / 1e6, d.tpsPerWatt() / 1e3);
-        }
-    }
-}
+struct PanelSpec
+{
+    const char *title;
+    StackMemory memory;
+};
 
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
-    mercury::bench::Session session(argc, argv, "fig8_power_throughput");
-    panel("Figure 8a: Mercury power vs TPS (64 B GETs)",
-          StackMemory::Dram3D);
-    panel("Figure 8b: Iridium power vs TPS (64 B GETs)",
-          StackMemory::Flash3D);
+    bench::Session session(argc, argv, "fig8_power_throughput");
+
+    const CoreChoice choices[] = {
+        {"A15 @1.5GHz", cpu::cortexA15Params(1.5)},
+        {"A15 @1GHz", cpu::cortexA15Params(1.0)},
+        {"A7", cpu::cortexA7Params()},
+    };
+    const PanelSpec panels[] = {
+        {"Figure 8a: Mercury power vs TPS (64 B GETs)",
+         StackMemory::Dram3D},
+        {"Figure 8b: Iridium power vs TPS (64 B GETs)",
+         StackMemory::Flash3D},
+    };
+
+    bench::ParallelSweep sweep(session);
+    for (std::size_t pi = 0; pi < std::size(panels); ++pi) {
+        for (std::size_t ci = 0; ci < std::size(choices); ++ci) {
+            sweep.point([&, pi, ci](bench::PointContext &ctx) {
+                const PanelSpec &panel = panels[pi];
+                if (ci == 0) {
+                    ctx.printf("\n=== %s ===\n\n", panel.title);
+                    ctx.printf("%-12s %-12s %12s %14s %12s\n",
+                               "Core", "Config", "Power (W)",
+                               "TPS@64B (M)", "KTPS/W");
+                    ctx.printf("%s\n",
+                               bench::ruleString(68).c_str());
+                }
+                DesignExplorer explorer;
+                const char *family =
+                    panel.memory == StackMemory::Dram3D ? "Mercury"
+                                                        : "Iridium";
+                StackConfig stack;
+                stack.core = choices[ci].core;
+                stack.memory = panel.memory;
+                stack.withL2 = panel.memory == StackMemory::Flash3D;
+                const PerCorePerf perf = measurePerCorePerf(stack);
+                for (unsigned n : {1u, 2u, 4u, 8u, 16u, 32u}) {
+                    stack.coresPerStack = n;
+                    const ServerDesign d = explorer.solve(stack,
+                                                          perf);
+                    ctx.printf("%-12s %s-%-8u %12.0f %14.2f %12.2f\n",
+                               choices[ci].label, family, n,
+                               d.powerAt64BW, d.tps64 / 1e6,
+                               d.tpsPerWatt() / 1e3);
+                }
+            });
+        }
+    }
+    sweep.run();
     return 0;
 }

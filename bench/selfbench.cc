@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Host-performance self-benchmark: how fast does the simulator
+ * itself run on this machine?
+ *
+ * Three sections, each timed with std::chrono::steady_clock and
+ * reported both as a human-readable table and as a JSON file
+ * (default BENCH_selfbench.json, override with --out=PATH):
+ *
+ *  - event queue: schedule/service throughput of the intrusive
+ *    two-level EventQueue against the std::set ModelEventQueue
+ *    reference (the pre-optimization implementation), plus the
+ *    arena-managed one-shot churn rate;
+ *  - kv store: end-to-end GET/SET ops/sec through the single-node
+ *    server timing model;
+ *  - sweep: wall-clock for a fig5-style batch of independent server
+ *    measurements run serially and through sim::ThreadPool, i.e.
+ *    what `--jobs N` buys on this host. (On a single-hardware-thread
+ *    container the parallel time roughly equals the serial time;
+ *    the JSON records the measured ratio honestly either way.)
+ *
+ * Numbers are host-dependent by design -- nothing here is golden.
+ * CI only checks that the binary runs and emits well-formed JSON
+ * (scripts/check.sh perf-smoke stage); scripts/bench.sh runs the
+ * full version.
+ *
+ * Usage: selfbench [--smoke] [--jobs=N] [--out=PATH]
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hh"
+#include "server/server_model.hh"
+#include "sim/event_queue.hh"
+#include "sim/model_event_queue.hh"
+#include "sim/thread_pool.hh"
+
+namespace
+{
+
+using namespace mercury;
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start)
+        .count();
+}
+
+std::uint64_t
+lcgNext(std::uint64_t &lcg)
+{
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return lcg >> 33;
+}
+
+/**
+ * "Clocked" deltas: one of four fixed device latencies, the way
+ * cache/DRAM/flash/NIC models schedule completions. Few distinct
+ * (tick, priority) keys are live at once, so bins stay short.
+ */
+std::uint64_t
+clockedDelta(std::uint64_t &lcg)
+{
+    static constexpr std::uint64_t latencies[4] = {10, 20, 50, 100};
+    return latencies[lcgNext(lcg) & 3];
+}
+
+/** "Scattered" deltas (1..256 ticks): every event lands in its own
+ * bin -- the intrusive queue's worst case. */
+std::uint64_t
+scatteredDelta(std::uint64_t &lcg)
+{
+    return (lcgNext(lcg) & 0xff) + 1;
+}
+
+struct NoopEvent : Event
+{
+    void process() override {}
+    std::string description() const override { return "noop"; }
+};
+
+/**
+ * Ladder workload: @p inflight no-op events stay queued; every
+ * service immediately reschedules the serviced event a
+ * pseudo-random (but deterministic) distance ahead. Exercises the
+ * mixed near-head/at-tail insertion pattern real device models
+ * produce. Works on both queue types by duck typing.
+ */
+template <typename Queue>
+double
+queueEventsPerSec(std::uint64_t total, unsigned inflight,
+                  std::uint64_t (*next_delta)(std::uint64_t &))
+{
+    Queue queue;
+    std::vector<NoopEvent> events(inflight);
+    std::uint64_t lcg = 0x5eed;
+    for (unsigned i = 0; i < inflight; ++i)
+        queue.schedule(&events[i], queue.curTick() + next_delta(lcg));
+
+    const auto start = Clock::now();
+    for (std::uint64_t serviced = 0; serviced < total; ++serviced) {
+        Event *event = queue.serviceOne();
+        queue.schedule(event, queue.curTick() + next_delta(lcg));
+    }
+    const double elapsed = secondsSince(start);
+
+    // Drain so the static events are unqueued at destruction.
+    while (queue.serviceOne() != nullptr) {
+    }
+    return static_cast<double>(total) / elapsed;
+}
+
+/** Arena-managed one-shot churn: makeEvent + schedule + drain. */
+double
+arenaEventsPerSec(std::uint64_t total, unsigned batch)
+{
+    EventQueue queue;
+    std::uint64_t lcg = 0x5eed;
+    std::uint64_t created = 0;
+    const auto start = Clock::now();
+    while (created < total) {
+        for (unsigned i = 0; i < batch; ++i)
+            queue.schedule(queue.makeEvent<NoopEvent>(),
+                           queue.curTick() + clockedDelta(lcg));
+        created += batch;
+        queue.run();
+    }
+    return static_cast<double>(total) / secondsSince(start);
+}
+
+double
+storeOpsPerSec(std::uint64_t total)
+{
+    server::ServerModelParams params;
+    params.core = cpu::cortexA7Params();
+    params.withL2 = true;
+    params.storeMemLimit = 64 * miB;
+    server::ServerModel server(params);
+    server.populate(1000, 64);
+
+    const auto start = Clock::now();
+    for (std::uint64_t i = 0; i < total; ++i) {
+        const std::string key = "v64:" + std::to_string(i % 1000);
+        if (i % 4 == 3)
+            server.put(key, 64);
+        else
+            server.get(key);
+    }
+    return static_cast<double>(total) / secondsSince(start);
+}
+
+/** One fig5-style measurement task: build a small server model and
+ * measure a GET size point. Self-contained, like a sweep point. */
+void
+sweepTask(unsigned samples)
+{
+    server::ServerModelParams params;
+    params.core = cpu::cortexA15Params(1.0);
+    params.withL2 = true;
+    params.memory = server::MemoryKind::StackedDram;
+    params.storeMemLimit = 32 * miB;
+    server::ServerModel model(params);
+    model.measureGets(4096, samples);
+}
+
+double
+sweepSerialSeconds(unsigned points, unsigned samples)
+{
+    const auto start = Clock::now();
+    for (unsigned i = 0; i < points; ++i)
+        sweepTask(samples);
+    return secondsSince(start);
+}
+
+double
+sweepParallelSeconds(unsigned points, unsigned samples,
+                     unsigned jobs)
+{
+    sim::ThreadPool pool(jobs);
+    const auto start = Clock::now();
+    for (unsigned i = 0; i < points; ++i)
+        pool.submit([samples] { sweepTask(samples); });
+    pool.wait();
+    return secondsSince(start);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Session session(argc, argv, "selfbench");
+    const bool smoke = session.smoke();
+
+    std::string out = "BENCH_selfbench.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--out=", 0) == 0)
+            out = arg.substr(6);
+    }
+
+    // --jobs defaults to 1 in Session; for the sweep section the
+    // interesting default is "all hardware threads".
+    const unsigned jobs =
+        session.jobs() > 1
+            ? session.jobs()
+            : std::max(1u, std::thread::hardware_concurrency());
+
+    const std::uint64_t queueTotal = smoke ? 200'000 : 4'000'000;
+    const std::uint64_t arenaTotal = smoke ? 100'000 : 2'000'000;
+    const std::uint64_t storeTotal = smoke ? 20'000 : 200'000;
+    const unsigned sweepPoints = smoke ? 4 : 16;
+    const unsigned sweepSamples = smoke ? 2 : 8;
+
+    bench::banner("Simulator self-benchmark (host performance)");
+
+    const double intrusive =
+        queueEventsPerSec<EventQueue>(queueTotal, 64, clockedDelta);
+    const double reference = queueEventsPerSec<ModelEventQueue>(
+        queueTotal, 64, clockedDelta);
+    const double queueSpeedup = intrusive / reference;
+    const double intrusiveScattered = queueEventsPerSec<EventQueue>(
+        queueTotal, 64, scatteredDelta);
+    const double referenceScattered =
+        queueEventsPerSec<ModelEventQueue>(queueTotal, 64,
+                                           scatteredDelta);
+    const double scatteredSpeedup =
+        intrusiveScattered / referenceScattered;
+    const double arena = arenaEventsPerSec(arenaTotal, 64);
+    std::printf("%-34s %14.0f events/s\n",
+                "queue clocked (intrusive)", intrusive);
+    std::printf("%-34s %14.0f events/s\n",
+                "queue clocked (std::set ref)", reference);
+    std::printf("%-34s %14.2fx\n", "queue clocked speedup",
+                queueSpeedup);
+    std::printf("%-34s %14.0f events/s\n",
+                "queue scattered (intrusive)", intrusiveScattered);
+    std::printf("%-34s %14.0f events/s\n",
+                "queue scattered (std::set ref)",
+                referenceScattered);
+    std::printf("%-34s %14.2fx\n", "queue scattered speedup",
+                scatteredSpeedup);
+    std::printf("%-34s %14.0f events/s\n",
+                "arena one-shot events", arena);
+
+    const double storeOps = storeOpsPerSec(storeTotal);
+    std::printf("%-34s %14.0f ops/s\n", "kv store GET/SET",
+                storeOps);
+
+    const double serialS =
+        sweepSerialSeconds(sweepPoints, sweepSamples);
+    const double parallelS =
+        sweepParallelSeconds(sweepPoints, sweepSamples, jobs);
+    const double sweepSpeedup = serialS / parallelS;
+    std::printf("%-34s %14.1f ms\n", "sweep serial",
+                serialS * 1e3);
+    char label[64];
+    std::snprintf(label, sizeof(label), "sweep --jobs %u", jobs);
+    std::printf("%-34s %14.1f ms\n", label, parallelS * 1e3);
+    std::printf("%-34s %14.2fx  (%u hardware threads)\n",
+                "sweep speedup", sweepSpeedup,
+                std::thread::hardware_concurrency());
+
+    std::FILE *fp = std::fopen(out.c_str(), "w");
+    if (!fp) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     out.c_str());
+        return 1;
+    }
+    std::fprintf(
+        fp,
+        "{\"smoke\":%s,"
+        "\"queue\":{\"intrusive_events_per_sec\":%.0f,"
+        "\"reference_events_per_sec\":%.0f,"
+        "\"speedup\":%.3f,"
+        "\"scattered_intrusive_events_per_sec\":%.0f,"
+        "\"scattered_reference_events_per_sec\":%.0f,"
+        "\"scattered_speedup\":%.3f,"
+        "\"arena_events_per_sec\":%.0f},"
+        "\"store\":{\"ops_per_sec\":%.0f},"
+        "\"sweep\":{\"points\":%u,\"jobs\":%u,"
+        "\"hardware_threads\":%u,"
+        "\"serial_ms\":%.2f,\"parallel_ms\":%.2f,"
+        "\"speedup\":%.3f}}\n",
+        smoke ? "true" : "false", intrusive, reference,
+        queueSpeedup, intrusiveScattered, referenceScattered,
+        scatteredSpeedup, arena, storeOps, sweepPoints, jobs,
+        std::thread::hardware_concurrency(), serialS * 1e3,
+        parallelS * 1e3, sweepSpeedup);
+    std::fclose(fp);
+    std::printf("\nwrote %s\n", out.c_str());
+    return 0;
+}

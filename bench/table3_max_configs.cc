@@ -8,14 +8,19 @@
  * Per-core throughput/bandwidth inputs are measured live with the
  * single-core server timing model (Sec. 5.2-5.3 methodology), then
  * scaled under the chassis constraints.
+ *
+ * Each (core, memory) block is an independent ParallelSweep point;
+ * `--jobs N` output stays byte-identical to the serial run.
  */
 
+#include <cstddef>
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.hh"
 #include "config/explorer.hh"
 #include "config/perf_oracle.hh"
+#include "parallel_sweep.hh"
 
 namespace
 {
@@ -31,7 +36,8 @@ struct CoreChoice
 };
 
 void
-printBlock(const CoreChoice &choice, StackMemory memory)
+block(bench::PointContext &ctx, const CoreChoice &choice,
+      StackMemory memory)
 {
     DesignExplorer explorer;
     const std::vector<unsigned> core_counts{1, 2, 4, 8, 16, 32};
@@ -45,35 +51,35 @@ printBlock(const CoreChoice &choice, StackMemory memory)
 
     const PerCorePerf perf = measurePerCorePerf(stack);
 
-    std::printf("%s, %s\n", choice.label,
-                memory == StackMemory::Dram3D ? "Mercury (3D DRAM)"
-                                              : "Iridium (3D Flash)");
-    std::printf("  %-18s", "Cores per stack");
+    ctx.printf("%s, %s\n", choice.label,
+               memory == StackMemory::Dram3D ? "Mercury (3D DRAM)"
+                                             : "Iridium (3D Flash)");
+    ctx.printf("  %-18s", "Cores per stack");
     for (unsigned n : core_counts)
-        std::printf(" %9u", n);
-    std::printf("\n");
-    bench::rule(80);
+        ctx.printf(" %9u", n);
+    ctx.printf("\n");
+    ctx.printf("%s\n", bench::ruleString(80).c_str());
 
-    std::printf("  %-18s", "Stacks");
+    ctx.printf("  %-18s", "Stacks");
     std::vector<ServerDesign> designs;
     for (unsigned n : core_counts) {
         stack.coresPerStack = n;
         designs.push_back(explorer.solve(stack, perf));
-        std::printf(" %9u", designs.back().stacks);
+        ctx.printf(" %9u", designs.back().stacks);
     }
-    std::printf("\n  %-18s", "Area (cm^2)");
+    ctx.printf("\n  %-18s", "Area (cm^2)");
     for (const auto &d : designs)
-        std::printf(" %9.0f", d.areaCm2);
-    std::printf("\n  %-18s", "Power (W)");
+        ctx.printf(" %9.0f", d.areaCm2);
+    ctx.printf("\n  %-18s", "Power (W)");
     for (const auto &d : designs)
-        std::printf(" %9.0f", d.powerAtMaxBwW);
-    std::printf("\n  %-18s", "Density (GB)");
+        ctx.printf(" %9.0f", d.powerAtMaxBwW);
+    ctx.printf("\n  %-18s", "Density (GB)");
     for (const auto &d : designs)
-        std::printf(" %9.0f", d.densityGB);
-    std::printf("\n  %-18s", "Max BW (GB/s)");
+        ctx.printf(" %9.0f", d.densityGB);
+    ctx.printf("\n  %-18s", "Max BW (GB/s)");
     for (const auto &d : designs)
-        std::printf(" %9.1f", d.maxBwGBs);
-    std::printf("\n\n");
+        ctx.printf(" %9.1f", d.maxBwGBs);
+    ctx.printf("\n\n");
 }
 
 } // anonymous namespace
@@ -81,19 +87,26 @@ printBlock(const CoreChoice &choice, StackMemory memory)
 int
 main(int argc, char **argv)
 {
-    mercury::bench::Session session(argc, argv, "table3_max_configs");
+    bench::Session session(argc, argv, "table3_max_configs");
     bench::banner("Table 3: Power and area comparison for 1.5U "
                   "maximum configurations");
 
-    const CoreChoice choices[] = {
+    const std::vector<CoreChoice> choices = {
         {"A15 @1.5GHz", cpu::cortexA15Params(1.5)},
         {"A15 @1GHz", cpu::cortexA15Params(1.0)},
         {"A7 @1GHz", cpu::cortexA7Params()},
     };
+    const std::vector<StackMemory> memories = {StackMemory::Dram3D,
+                                               StackMemory::Flash3D};
 
-    for (const CoreChoice &choice : choices)
-        printBlock(choice, StackMemory::Dram3D);
-    for (const CoreChoice &choice : choices)
-        printBlock(choice, StackMemory::Flash3D);
+    bench::ParallelSweep sweep(session);
+    for (StackMemory memory : memories) {
+        for (const CoreChoice &choice : choices) {
+            sweep.point([&choice, memory](bench::PointContext &ctx) {
+                block(ctx, choice, memory);
+            });
+        }
+    }
+    sweep.run();
     return 0;
 }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Host-performance benchmark runner.
+#
+# Builds the release preset and runs the simulator self-benchmark,
+# leaving BENCH_selfbench.json in the repo root:
+#
+#   - event-queue events/sec, intrusive vs std::set reference
+#     (clocked and scattered scheduling patterns) and the arena
+#     one-shot churn rate;
+#   - kv-store GET/SET ops/sec through the server timing model;
+#   - fig5-style sweep wall-clock, serial vs --jobs N.
+#
+# Numbers are host-dependent; nothing here is golden. Pass --smoke
+# for the CI-sized run (scripts/check.sh uses that for its
+# perf-smoke stage).
+#
+# Usage: scripts/bench.sh [--smoke] [--jobs=N] [--out=PATH]
+
+set -eu -o pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset release
+cmake --build --preset release -j "$(nproc)" --target selfbench micro_sim
+
+./build/release/bench/selfbench "$@"
+
+# The google-benchmark micro suite prints per-operation costs for
+# the same substrate; useful next to the selfbench aggregate rates.
+./build/release/bench/micro_sim --benchmark_filter='EventQueue'

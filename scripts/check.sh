@@ -5,9 +5,15 @@
 #   1. the asan-ubsan preset: configure, build (-Werror), full ctest
 #      under AddressSanitizer + UBSan with expensive invariant checks
 #      (MERCURY_EXTRA_CHECKS) compiled in;
-#   2. clang-tidy over src/ (skipped with a warning when clang-tidy is
+#   2. the tsan preset: golden + parallel-sweep determinism suites and
+#      the thread-pool unit tests under ThreadSanitizer (the `--jobs`
+#      machinery must be race-free, not just byte-stable);
+#   3. a perf smoke: the release selfbench --smoke must run and emit
+#      well-formed JSON (numbers are host-dependent; only the shape
+#      is checked);
+#   4. clang-tidy over src/ (skipped with a warning when clang-tidy is
 #      not installed -- the CI image may not ship it);
-#   3. the project-specific lint rules in tools/lint/mercury_lint.py.
+#   5. the project-specific lint rules in tools/lint/mercury_lint.py.
 #
 # The golden observability suite (`ctest -L golden`) runs inside both
 # the asan-ubsan ctest pass and an explicit release-preset stage, so a
@@ -80,6 +86,61 @@ if [ "$skip_build" -eq 0 ]; then
         exit 1
     fi
     echo "fault_sweep: two runs byte-identical"
+
+    note "tsan: determinism + golden suites + thread-pool tests"
+    if ! cmake --preset tsan; then
+        echo "check.sh: tsan configure failed" >&2
+        exit 1
+    fi
+    if ! cmake --build --preset tsan -j "$(nproc)"; then
+        echo "check.sh: tsan build failed (warnings are errors)" >&2
+        exit 1
+    fi
+    if ! ctest --test-dir build/tsan -L "golden|determinism" \
+            --output-on-failure; then
+        echo "check.sh: golden/determinism failed under tsan" >&2
+        exit 1
+    fi
+    if ! ./build/tsan/tests/test_sim \
+            --gtest_filter='ThreadPool.*'; then
+        echo "check.sh: thread-pool tests failed under tsan" >&2
+        exit 1
+    fi
+
+    note "perf smoke (release selfbench)"
+    if ! cmake --build --preset release -j "$(nproc)" \
+            --target selfbench; then
+        echo "check.sh: selfbench build failed" >&2
+        exit 1
+    fi
+    selfbench_json=/tmp/mercury-selfbench-smoke.json
+    if ! ./build/release/bench/selfbench --smoke \
+            --out="$selfbench_json" > /tmp/mercury-selfbench.log; then
+        echo "check.sh: selfbench --smoke failed" >&2
+        exit 1
+    fi
+    if ! python3 - "$selfbench_json" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    report = json.load(fh)
+for section, keys in {
+    "queue": ["intrusive_events_per_sec", "reference_events_per_sec",
+              "speedup", "arena_events_per_sec"],
+    "store": ["ops_per_sec"],
+    "sweep": ["serial_ms", "parallel_ms", "speedup", "jobs"],
+}.items():
+    for key in keys:
+        value = report[section][key]
+        assert value > 0, f"{section}.{key} = {value}"
+print("selfbench JSON well-formed:",
+      f"queue speedup {report['queue']['speedup']:.2f}x,",
+      f"sweep speedup {report['sweep']['speedup']:.2f}x",
+      f"at --jobs {report['sweep']['jobs']}")
+PYEOF
+    then
+        echo "check.sh: selfbench JSON malformed" >&2
+        exit 1
+    fi
 else
     note "asan-ubsan build + tests (skipped)"
 fi

@@ -1,6 +1,7 @@
 #include "config/perf_oracle.hh"
 
 #include <map>
+#include <mutex>
 #include <tuple>
 
 namespace mercury::config
@@ -27,15 +28,24 @@ measurePerCorePerf(const physical::StackConfig &stack,
                    const OracleOptions &options)
 {
     using Key = std::tuple<int, int, int, bool, Tick, Tick>;
+    // Memoization shared by all sweep points; guarded so parallel
+    // sweeps (fig7/fig8/table3 under --jobs N) may probe it
+    // concurrently. The measurement itself runs outside the lock --
+    // two points racing on the same key both compute the same
+    // deterministic value, and the first insert wins.
     static std::map<Key, PerCorePerf> cache;
+    static std::mutex cacheMutex;
 
     const Key key{static_cast<int>(stack.core.type),
                   static_cast<int>(stack.core.freqGHz * 100),
                   static_cast<int>(stack.memory), stack.withL2,
                   options.dramLatency, options.flashReadLatency};
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+    }
 
     server::ServerModel model(serverParamsFor(stack, options));
 
@@ -52,7 +62,10 @@ measurePerCorePerf(const physical::StackConfig &stack,
         perf.maxBwGBs = std::max(perf.maxBwGBs, big.goodput / 1e9);
     }
 
-    cache.emplace(key, perf);
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        cache.emplace(key, perf);
+    }
     return perf;
 }
 

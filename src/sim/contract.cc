@@ -9,9 +9,12 @@ namespace mercury::contract
 namespace
 {
 
-/** Most recent simulated time reported by a clock owner. Relaxed
- * atomics keep noteTick() cheap and tsan-clean. */
-std::atomic<Tick> lastTick{0};
+/** Most recent simulated time reported by a clock owner on THIS
+ * thread. Thread-local so parallel sweep workers -- each running a
+ * private simulation -- stamp their own diagnostics with their own
+ * timeline instead of racing over one global, and noteTick() stays
+ * a plain store on the hot path. */
+thread_local Tick lastTick{0};
 
 /** Nesting depth of active ScopedContractThrow guards. */
 std::atomic<int> throwDepth{0};
@@ -32,13 +35,13 @@ kindName(Kind kind)
 void
 noteTick(Tick tick)
 {
-    lastTick.store(tick, std::memory_order_relaxed);
+    lastTick = tick;
 }
 
 Tick
 lastNotedTick()
 {
-    return lastTick.load(std::memory_order_relaxed);
+    return lastTick;
 }
 
 ScopedContractThrow::ScopedContractThrow()

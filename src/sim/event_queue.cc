@@ -1,5 +1,7 @@
 #include "sim/event_queue.hh"
 
+#include <vector>
+
 #include "sim/contract.hh"
 
 namespace mercury
@@ -15,22 +17,174 @@ EventQueue::EventQueue(std::string name)
     : _name(std::move(name))
 {}
 
+EventQueue::~EventQueue()
+{
+    // Arena events still queued at teardown are released here, under
+    // their own bookkeeping, so the arena's destructor never sees a
+    // still-scheduled Event (whose destructor would assert). Static
+    // events keep their scheduled flag: destroying one while its
+    // queue entry was never serviced is a bug worth the assert.
+    std::vector<Event *> managed;
+    for (Event *bin = head_; bin; bin = bin->_nextBin) {
+        Event *event = bin;
+        do {
+            if (event->_arenaManaged)
+                managed.push_back(event);
+            event = event->_nextInBin;
+        } while (event != bin);
+    }
+    for (Event *event : managed) {
+        event->_scheduled = false;
+        arena_.release(event);
+    }
+}
+
 bool
 EventQueue::checkInvariants() const
 {
-    // Every queued entry must be in the future (or now), flagged
-    // scheduled, and agree with the event's own bookkeeping.
-    Tick prev = _curTick;
-    for (const Entry &entry : queue_) {
-        if (entry.when < prev)
+    // Walk both levels: bins must ascend strictly in (when,
+    // priority); every member must carry its bin's key, be flagged
+    // scheduled, and link back consistently; the member count must
+    // match size().
+    std::size_t counted = 0;
+    const Event *prevBin = nullptr;
+    for (const Event *bin = head_; bin; bin = bin->_nextBin) {
+        if (!bin->_binHead)
             return false;
-        prev = entry.when;
-        if (!entry.event->_scheduled)
+        if (bin->_prevBin != prevBin)
             return false;
-        if (entry.event->_when != entry.when)
+        if (prevBin && !binBefore(prevBin->_when, prevBin->_priority, bin))
             return false;
+        if (bin->_when < _curTick)
+            return false;
+        const Event *event = bin;
+        do {
+            if (!event->_scheduled)
+                return false;
+            if (event->_when != bin->_when ||
+                event->_priority != bin->_priority) {
+                return false;
+            }
+            if (event != bin && event->_binHead)
+                return false;
+            if (event->_nextInBin->_prevInBin != event)
+                return false;
+            ++counted;
+            event = event->_nextInBin;
+        } while (event != bin);
+        prevBin = bin;
     }
-    return true;
+    if (tail_ != prevBin)
+        return false;
+    return counted == size_;
+}
+
+void
+EventQueue::link(Event *event)
+{
+    const Tick when = event->_when;
+    const Event::Priority priority = event->_priority;
+
+    // Self-link the second level; fixed up below when joining a bin.
+    event->_nextInBin = event;
+    event->_prevInBin = event;
+    event->_nextBin = nullptr;
+    event->_prevBin = nullptr;
+    event->_binHead = false;
+
+    if (!head_) {
+        event->_binHead = true;
+        head_ = tail_ = event;
+        return;
+    }
+
+    // Find the first bin not ordering before (when, priority).
+    // Checking the tail first makes append-at-the-end O(1); the walk
+    // from the head is short for the dominant near-now schedules.
+    Event *bin;
+    if (binBefore(tail_->_when, tail_->_priority, event) ||
+        binEqual(when, priority, tail_)) {
+        bin = binEqual(when, priority, tail_) ? tail_ : nullptr;
+    } else {
+        bin = head_;
+        while (bin && binBefore(bin->_when, bin->_priority, event))
+            bin = bin->_nextBin;
+        if (bin && !binEqual(when, priority, bin)) {
+            // Insert a new bin before `bin`.
+            event->_binHead = true;
+            event->_prevBin = bin->_prevBin;
+            event->_nextBin = bin;
+            if (bin->_prevBin)
+                bin->_prevBin->_nextBin = event;
+            else
+                head_ = event;
+            bin->_prevBin = event;
+            return;
+        }
+    }
+
+    if (!bin) {
+        // Append a fresh last bin.
+        event->_binHead = true;
+        event->_prevBin = tail_;
+        tail_->_nextBin = event;
+        tail_ = event;
+        return;
+    }
+
+    // FIFO-append into the existing bin (before the head in the
+    // circular list).
+    Event *last = bin->_prevInBin;
+    last->_nextInBin = event;
+    event->_prevInBin = last;
+    event->_nextInBin = bin;
+    bin->_prevInBin = event;
+}
+
+void
+EventQueue::unlink(Event *event)
+{
+    if (!event->_binHead) {
+        event->_prevInBin->_nextInBin = event->_nextInBin;
+        event->_nextInBin->_prevInBin = event->_prevInBin;
+        return;
+    }
+
+    if (event->_nextInBin == event) {
+        // Sole member: drop the whole bin from the first level.
+        if (event->_prevBin)
+            event->_prevBin->_nextBin = event->_nextBin;
+        else
+            head_ = event->_nextBin;
+        if (event->_nextBin)
+            event->_nextBin->_prevBin = event->_prevBin;
+        else
+            tail_ = event->_prevBin;
+    } else {
+        // Promote the next-oldest member to bin head.
+        Event *next = event->_nextInBin;
+        event->_prevInBin->_nextInBin = next;
+        next->_prevInBin = event->_prevInBin;
+        next->_binHead = true;
+        next->_nextBin = event->_nextBin;
+        next->_prevBin = event->_prevBin;
+        if (event->_prevBin)
+            event->_prevBin->_nextBin = next;
+        else
+            head_ = next;
+        if (event->_nextBin)
+            event->_nextBin->_prevBin = next;
+        else
+            tail_ = next;
+    }
+    event->_binHead = false;
+}
+
+void
+EventQueue::releaseIfManaged(Event *event)
+{
+    if (event->_arenaManaged)
+        arena_.release(event);
 }
 
 void
@@ -47,7 +201,8 @@ EventQueue::schedule(Event *event, Tick when)
     event->_when = when;
     event->_sequence = _nextSequence++;
     event->_scheduled = true;
-    queue_.insert(Entry{when, event->priority(), event->_sequence, event});
+    link(event);
+    ++size_;
     MERCURY_ASSERT_SLOW(checkInvariants(),
                         "event queue ", _name,
                         " inconsistent after schedule");
@@ -62,13 +217,13 @@ EventQueue::deschedule(Event *event)
                     "deschedule of unscheduled event: ",
                     event->description());
 
-    Entry key{event->_when, event->priority(), event->_sequence, event};
-    auto it = queue_.find(key);
-    MERCURY_ASSERT(it != queue_.end(),
-                   "scheduled event missing from queue: ",
-                   event->description());
-    queue_.erase(it);
+    unlink(event);
+    --size_;
     event->_scheduled = false;
+    MERCURY_ASSERT_SLOW(checkInvariants(),
+                        "event queue ", _name,
+                        " inconsistent after deschedule");
+    releaseIfManaged(event);
 }
 
 void
@@ -76,27 +231,41 @@ EventQueue::reschedule(Event *event, Tick when)
 {
     MERCURY_EXPECTS(event != nullptr,
                     "null event rescheduled on ", _name);
-    if (event->scheduled())
-        deschedule(event);
-    schedule(event, when);
+    if (!event->_scheduled) {
+        schedule(event, when);
+        return;
+    }
+    MERCURY_EXPECTS(when >= _curTick,
+                    "event '", event->description(),
+                    "' rescheduled in the past: when=", when,
+                    " curTick=", _curTick);
+
+    // Single move: unlink from the old bin, restamp, relink -- one
+    // structural audit instead of the two a deschedule + schedule
+    // pair would run.
+    unlink(event);
+    event->_when = when;
+    event->_sequence = _nextSequence++;
+    link(event);
+    MERCURY_ASSERT_SLOW(checkInvariants(),
+                        "event queue ", _name,
+                        " inconsistent after reschedule");
 }
 
 Event *
 EventQueue::serviceOne()
 {
-    if (queue_.empty())
+    if (!head_)
         return nullptr;
 
-    auto it = queue_.begin();
-    Entry entry = *it;
-    queue_.erase(it);
-
-    MERCURY_ASSERT(entry.when >= _curTick, "event queue time warp: ",
-                   "head when=", entry.when, " curTick=", _curTick);
-    _curTick = entry.when;
+    Event *event = head_;
+    MERCURY_ASSERT(event->_when >= _curTick, "event queue time warp: ",
+                   "head when=", event->_when, " curTick=", _curTick);
+    unlink(event);
+    --size_;
+    _curTick = event->_when;
     contract::noteTick(_curTick);
 
-    Event *event = entry.event;
     event->_scheduled = false;
     ++_numServiced;
     event->process();
@@ -104,6 +273,12 @@ EventQueue::serviceOne()
                         "event queue ", _name,
                         " inconsistent after servicing ",
                         event->description());
+    if (event->_arenaManaged && !event->_scheduled) {
+        // One-shot arena event: recycle it now that it ran (unless
+        // process() rescheduled it).
+        arena_.release(event);
+        return nullptr;
+    }
     return event;
 }
 
@@ -111,7 +286,7 @@ Counter
 EventQueue::run(Tick limit)
 {
     Counter serviced = 0;
-    while (!queue_.empty() && queue_.begin()->when <= limit) {
+    while (head_ && headWhen() <= limit) {
         serviceOne();
         ++serviced;
     }
@@ -128,10 +303,10 @@ EventQueue::setCurTick(Tick tick)
     MERCURY_EXPECTS(tick >= _curTick,
                     "attempt to move simulated time backwards: tick=",
                     tick, " curTick=", _curTick);
-    if (!queue_.empty()) {
-        MERCURY_EXPECTS(tick <= queue_.begin()->when,
+    if (head_) {
+        MERCURY_EXPECTS(tick <= headWhen(),
                         "setCurTick would skip scheduled events: tick=",
-                        tick, " next event at ", queue_.begin()->when);
+                        tick, " next event at ", headWhen());
     }
     _curTick = tick;
     contract::noteTick(_curTick);

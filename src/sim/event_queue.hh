@@ -4,9 +4,27 @@
  *
  * The kernel follows the classic gem5 structure: Events are scheduled
  * on an EventQueue at absolute ticks and are serviced in (tick,
- * priority, insertion-order) order. The queue owns nothing; event
- * lifetime is the caller's responsibility, which allows events to be
- * members of the objects they operate on.
+ * priority, insertion-order) order.
+ *
+ * The queue is an intrusive two-level structure. The first level is a
+ * doubly-linked list of *bins*, one per distinct (tick, priority) key,
+ * kept in service order; the second level is a circular doubly-linked
+ * FIFO of the events inside one bin. All links live inside the Event
+ * itself, so schedule / deschedule / serviceOne never allocate, and
+ * every list operation is O(1) once the bin is located. Locating the
+ * bin checks the head and tail first (the overwhelmingly common
+ * "near now" and "append at end" cases) before walking, which keeps
+ * scheduling O(1) amortized for the workloads the simulator runs.
+ *
+ * Statically owned events work exactly as before: the queue owns
+ * nothing and event lifetime is the caller's responsibility, which
+ * allows events to be members of the objects they operate on. For
+ * dynamically created one-shot events, each queue also carries a slab
+ * EventArena: makeEvent<T>() returns an arena-owned event that is
+ * destroyed and recycled automatically after it is serviced (or when
+ * it is descheduled), so the hot path never touches the host
+ * allocator. Never `delete` an arena-owned event (the mercury_lint
+ * event-ownership rule flags it).
  */
 
 #ifndef MERCURY_SIM_EVENT_QUEUE_HH
@@ -14,9 +32,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <set>
 #include <string>
 
+#include "sim/event_arena.hh"
 #include "sim/types.hh"
 
 namespace mercury
@@ -65,13 +83,32 @@ class Event
     /** True while the event sits in a queue awaiting service. */
     bool scheduled() const { return _scheduled; }
 
+    /** True when the event's storage is owned by its queue's arena
+     * (created via EventQueue::makeEvent); such events are released
+     * automatically after service or deschedule. */
+    bool arenaManaged() const { return _arenaManaged; }
+
   private:
     friend class EventQueue;
+
+    // --- intrusive queue links (owned by the queue while scheduled) -
+    //
+    // Events at one (when, priority) key form a circular doubly-linked
+    // FIFO through _nextInBin/_prevInBin; the oldest event of each bin
+    // is the *bin head* and additionally carries the _nextBin/_prevBin
+    // links of the first-level bin list. Only the queue ever touches
+    // these.
+    Event *_nextBin = nullptr;
+    Event *_prevBin = nullptr;
+    Event *_nextInBin = nullptr;
+    Event *_prevInBin = nullptr;
 
     Tick _when = 0;
     std::uint64_t _sequence = 0;
     Priority _priority;
     bool _scheduled = false;
+    bool _binHead = false;
+    bool _arenaManaged = false;
 };
 
 /** Convenience event that runs a captured callable. */
@@ -101,6 +138,10 @@ class EventQueue
 {
   public:
     explicit EventQueue(std::string name = "event queue");
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
 
     /** Current simulated time. */
     Tick curTick() const { return _curTick; }
@@ -108,9 +149,9 @@ class EventQueue
     const std::string &name() const { return _name; }
 
     /** Number of events awaiting service. */
-    std::size_t size() const { return queue_.size(); }
+    std::size_t size() const { return size_; }
 
-    bool empty() const { return queue_.empty(); }
+    bool empty() const { return size_ == 0; }
 
     /** Total events serviced since construction. */
     Counter numServiced() const { return _numServiced; }
@@ -124,16 +165,28 @@ class EventQueue
      */
     void schedule(Event *event, Tick when);
 
-    /** Remove a scheduled event from the queue without running it. */
+    /**
+     * Remove a scheduled event from the queue without running it.
+     * An arena-managed event is released back to the arena and must
+     * not be touched afterwards.
+     */
     void deschedule(Event *event);
 
-    /** Deschedule (if needed) and schedule at a new tick. */
+    /**
+     * Deschedule (if needed) and schedule at a new tick, as a single
+     * unlink + relink with one structural audit. The event is
+     * re-stamped with a fresh sequence number, so it services after
+     * events already queued at the same (tick, priority) — exactly
+     * the order the old deschedule-then-schedule pair produced.
+     */
     void reschedule(Event *event, Tick when);
 
     /**
      * Service the single next event, advancing curTick to its time.
      *
-     * @return the event serviced, or nullptr if the queue was empty.
+     * @return the event serviced, or nullptr if the queue was empty
+     *         or the serviced event was arena-managed (it has been
+     *         released and must not be touched).
      */
     Event *serviceOne();
 
@@ -149,38 +202,67 @@ class EventQueue
      * models that share a clock with the event world). */
     void setCurTick(Tick tick);
 
+    /**
+     * Construct a dynamically-created event in this queue's slab
+     * arena. The queue releases it automatically after it is
+     * serviced or descheduled; never delete it manually.
+     */
+    template <typename T, typename... Args>
+    T *
+    makeEvent(Args &&...args)
+    {
+        T *event = arena_.make<T>(std::forward<Args>(args)...);
+        event->_arenaManaged = true;
+        return event;
+    }
+
+    /** The queue's event arena (exposed for capacity probes). */
+    const EventArena &arena() const { return arena_; }
+
   private:
+    /** Tick of the next event to service; queue must be non-empty. */
+    Tick headWhen() const { return head_->_when; }
+
+    /** True when a orders strictly before b's (when, priority). */
+    static bool
+    binBefore(Tick when, Event::Priority priority, const Event *b)
+    {
+        if (when != b->_when)
+            return when < b->_when;
+        return priority < b->_priority;
+    }
+
+    /** Same first-level key (one bin)? */
+    static bool
+    binEqual(Tick when, Event::Priority priority, const Event *b)
+    {
+        return when == b->_when && priority == b->_priority;
+    }
+
+    /** Unlink @p event from both levels; flags are left untouched. */
+    void unlink(Event *event);
+
+    /** Link @p event into the two-level structure at its stamped
+     * (when, priority), at the tail of its bin. */
+    void link(Event *event);
+
+    /** Release an arena-managed event after service/deschedule. */
+    void releaseIfManaged(Event *event);
+
     /** Full structural audit (ordering, flags, cross-links); used by
      * MERCURY_ASSERT_SLOW in the mutating paths. */
     bool checkInvariants() const;
-
-    struct Entry
-    {
-        Tick when;
-        Event::Priority priority;
-        std::uint64_t sequence;
-        Event *event;
-    };
-
-    struct EntryLess
-    {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when < b.when;
-            if (a.priority != b.priority)
-                return a.priority < b.priority;
-            return a.sequence < b.sequence;
-        }
-    };
 
     std::string _name;
     Tick _curTick = 0;
     std::uint64_t _nextSequence = 0;
     Counter _numServiced = 0;
-    /** Ordered set so deschedule() can erase by key in O(log n). */
-    std::set<Entry, EntryLess> queue_;
+    std::size_t size_ = 0;
+    /** Head of the first-level bin list (earliest bin), or nullptr. */
+    Event *head_ = nullptr;
+    /** Last bin, for O(1) append-beyond-the-end scheduling. */
+    Event *tail_ = nullptr;
+    EventArena arena_;
 };
 
 } // namespace mercury

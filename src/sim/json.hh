@@ -48,6 +48,70 @@ escape(std::string_view text)
     return out;
 }
 
+/** Append @p text escaped for inclusion inside JSON double quotes,
+ * without building a temporary (the stats hot path dumps thousands
+ * of keys per sweep). Byte-identical to `out += escape(text)`. */
+inline void
+appendEscaped(std::string &out, std::string_view text)
+{
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+/** Canonical double formatting: round-trippable, locale-free. */
+inline void
+appendDouble(std::string &out, double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out += buf;
+}
+
+inline void
+appendUint(std::string &out, std::uint64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    out += buf;
+}
+
+/**
+ * Append `"p1p2p3":` with the leading comma handled via @p first.
+ * The key is passed in up to three pieces (prefix, name, "::field")
+ * so callers never concatenate a temporary key string.
+ */
+inline void
+appendKey(std::string &out, bool &first, std::string_view p1,
+          std::string_view p2 = {}, std::string_view p3 = {})
+{
+    if (!first)
+        out += ',';
+    first = false;
+    out += '"';
+    appendEscaped(out, p1);
+    appendEscaped(out, p2);
+    appendEscaped(out, p3);
+    out += "\":";
+}
+
 /** Canonical double formatting: round-trippable, locale-free. */
 inline void
 writeDouble(std::ostream &os, double value)

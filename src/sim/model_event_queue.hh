@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Reference event queue: the simplest implementation of the
+ * simulator's service order that can possibly work.
+ *
+ * A std::set of (tick, priority, sequence) keys -- exactly the
+ * structure the production EventQueue used before it became an
+ * intrusive two-level list. It exists for two audiences:
+ *
+ *  - the event-queue order tests drive the production queue and this
+ *    model with identical operation streams and demand identical
+ *    service orders, making the model the executable specification;
+ *  - bench/selfbench.cc uses it as the baseline the intrusive
+ *    queue's events/sec speedup is measured against.
+ *
+ * It deliberately does not touch Event's private intrusive state, so
+ * the same Event object can sit in a ModelEventQueue while the
+ * production queue schedules its own copy of the workload.
+ * Not part of the simulator proper -- nothing under src/ outside
+ * this header may include it.
+ */
+
+#ifndef MERCURY_SIM_MODEL_EVENT_QUEUE_HH
+#define MERCURY_SIM_MODEL_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <set>
+#include <tuple>
+
+#include "sim/contract.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace mercury
+{
+
+class ModelEventQueue
+{
+  public:
+    Tick curTick() const { return curTick_; }
+    std::size_t size() const { return queue_.size(); }
+    bool empty() const { return queue_.empty(); }
+
+    void
+    schedule(Event *event, Tick when)
+    {
+        MERCURY_EXPECTS(when >= curTick_,
+                        "model: scheduling in the past");
+        queue_.insert(Entry{when, event->priority(), nextSequence_++,
+                            event});
+    }
+
+    /** Remove (the earliest entry of) @p event; O(n). */
+    void
+    deschedule(Event *event)
+    {
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            if (it->event == event) {
+                queue_.erase(it);
+                return;
+            }
+        }
+        MERCURY_EXPECTS(false, "model: descheduling unqueued event");
+    }
+
+    /** Deschedule + schedule with a fresh sequence, mirroring
+     * EventQueue::reschedule. */
+    void
+    reschedule(Event *event, Tick when)
+    {
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            if (it->event == event) {
+                queue_.erase(it);
+                break;
+            }
+        }
+        schedule(event, when);
+    }
+
+    /** Pop the next event in (tick, priority, sequence) order and
+     * run its process(). Returns it, or nullptr when empty. */
+    Event *
+    serviceOne()
+    {
+        if (queue_.empty())
+            return nullptr;
+        const Entry entry = *queue_.begin();
+        queue_.erase(queue_.begin());
+        curTick_ = entry.when;
+        entry.event->process();
+        return entry.event;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        Event::Priority priority;
+        std::uint64_t sequence;
+        Event *event;
+
+        bool
+        operator<(const Entry &other) const
+        {
+            return std::tie(when, priority, sequence) <
+                   std::tie(other.when, other.priority,
+                            other.sequence);
+        }
+    };
+
+    std::set<Entry> queue_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSequence_ = 0;
+};
+
+} // namespace mercury
+
+#endif // MERCURY_SIM_MODEL_EVENT_QUEUE_HH

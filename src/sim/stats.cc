@@ -42,10 +42,11 @@ Scalar::format(std::ostream &os, const std::string &prefix) const
 }
 
 void
-Scalar::formatJson(std::ostream &os, const std::string &prefix,
+Scalar::formatJson(std::string &out, const std::string &prefix,
                    bool &first) const
 {
-    json::writeField(os, first, prefix + name(), _value);
+    json::appendKey(out, first, prefix, name());
+    json::appendDouble(out, _value);
 }
 
 void
@@ -55,10 +56,11 @@ Counter::format(std::ostream &os, const std::string &prefix) const
 }
 
 void
-Counter::formatJson(std::ostream &os, const std::string &prefix,
+Counter::formatJson(std::string &out, const std::string &prefix,
                     bool &first) const
 {
-    json::writeField(os, first, prefix + name(), _value);
+    json::appendKey(out, first, prefix, name());
+    json::appendUint(out, _value);
 }
 
 void
@@ -70,11 +72,13 @@ Average::format(std::ostream &os, const std::string &prefix) const
 }
 
 void
-Average::formatJson(std::ostream &os, const std::string &prefix,
+Average::formatJson(std::string &out, const std::string &prefix,
                     bool &first) const
 {
-    json::writeField(os, first, prefix + name() + "::mean", mean());
-    json::writeField(os, first, prefix + name() + "::count", _count);
+    json::appendKey(out, first, prefix, name(), "::mean");
+    json::appendDouble(out, mean());
+    json::appendKey(out, first, prefix, name(), "::count");
+    json::appendUint(out, _count);
 }
 
 void
@@ -86,12 +90,13 @@ TickAverage::format(std::ostream &os, const std::string &prefix) const
 }
 
 void
-TickAverage::formatJson(std::ostream &os, const std::string &prefix,
+TickAverage::formatJson(std::string &out, const std::string &prefix,
                         bool &first) const
 {
-    json::writeField(os, first, prefix + name() + "::mean", mean());
-    json::writeField(os, first, prefix + name() + "::ticks",
-                     static_cast<std::uint64_t>(_ticks));
+    json::appendKey(out, first, prefix, name(), "::mean");
+    json::appendDouble(out, mean());
+    json::appendKey(out, first, prefix, name(), "::ticks");
+    json::appendUint(out, static_cast<std::uint64_t>(_ticks));
 }
 
 Histogram::Histogram(StatGroup *parent, std::string name, std::string desc,
@@ -210,17 +215,22 @@ Histogram::format(std::ostream &os, const std::string &prefix) const
 }
 
 void
-Histogram::formatJson(std::ostream &os, const std::string &prefix,
+Histogram::formatJson(std::string &out, const std::string &prefix,
                       bool &first) const
 {
-    const std::string base = prefix + name();
-    json::writeField(os, first, base + "::count", _count);
-    json::writeField(os, first, base + "::mean", mean());
+    json::appendKey(out, first, prefix, name(), "::count");
+    json::appendUint(out, _count);
+    json::appendKey(out, first, prefix, name(), "::mean");
+    json::appendDouble(out, mean());
     if (_count > 0) {
-        json::writeField(os, first, base + "::min", _min);
-        json::writeField(os, first, base + "::max", _max);
-        json::writeField(os, first, base + "::p50", percentile(0.50));
-        json::writeField(os, first, base + "::p99", percentile(0.99));
+        json::appendKey(out, first, prefix, name(), "::min");
+        json::appendDouble(out, _min);
+        json::appendKey(out, first, prefix, name(), "::max");
+        json::appendDouble(out, _max);
+        json::appendKey(out, first, prefix, name(), "::p50");
+        json::appendDouble(out, percentile(0.50));
+        json::appendKey(out, first, prefix, name(), "::p99");
+        json::appendDouble(out, percentile(0.99));
     }
 }
 
@@ -342,18 +352,25 @@ LatencyHistogram::format(std::ostream &os, const std::string &prefix) const
 }
 
 void
-LatencyHistogram::formatJson(std::ostream &os, const std::string &prefix,
+LatencyHistogram::formatJson(std::string &out, const std::string &prefix,
                              bool &first) const
 {
-    const std::string base = prefix + name();
-    json::writeField(os, first, base + "::count", _count);
-    json::writeField(os, first, base + "::sum", _sum);
-    json::writeField(os, first, base + "::min", minValue());
-    json::writeField(os, first, base + "::max", _max);
-    json::writeField(os, first, base + "::p50", percentile(0.50));
-    json::writeField(os, first, base + "::p99", percentile(0.99));
-    json::writeField(os, first, base + "::p999", percentile(0.999));
-    json::writeField(os, first, base + "::overflow", _overflow);
+    json::appendKey(out, first, prefix, name(), "::count");
+    json::appendUint(out, _count);
+    json::appendKey(out, first, prefix, name(), "::sum");
+    json::appendUint(out, _sum);
+    json::appendKey(out, first, prefix, name(), "::min");
+    json::appendUint(out, minValue());
+    json::appendKey(out, first, prefix, name(), "::max");
+    json::appendUint(out, _max);
+    json::appendKey(out, first, prefix, name(), "::p50");
+    json::appendUint(out, percentile(0.50));
+    json::appendKey(out, first, prefix, name(), "::p99");
+    json::appendUint(out, percentile(0.99));
+    json::appendKey(out, first, prefix, name(), "::p999");
+    json::appendUint(out, percentile(0.999));
+    json::appendKey(out, first, prefix, name(), "::overflow");
+    json::appendUint(out, _overflow);
 }
 
 void
@@ -381,10 +398,11 @@ Formula::format(std::ostream &os, const std::string &prefix) const
 }
 
 void
-Formula::formatJson(std::ostream &os, const std::string &prefix,
+Formula::formatJson(std::string &out, const std::string &prefix,
                     bool &first) const
 {
-    json::writeField(os, first, prefix + name(), value());
+    json::appendKey(out, first, prefix, name());
+    json::appendDouble(out, value());
 }
 
 StatGroup::StatGroup(std::string name, StatGroup *parent)
@@ -420,15 +438,15 @@ StatGroup::format(std::ostream &os, const std::string &prefix) const
 }
 
 void
-StatGroup::formatJson(std::ostream &os, const std::string &prefix,
+StatGroup::formatJson(std::string &out, const std::string &prefix,
                       bool &first) const
 {
     const std::string full =
         prefix.empty() ? _name + "." : prefix + _name + ".";
     for (const auto *stat : stats_)
-        stat->formatJson(os, full, first);
+        stat->formatJson(out, full, first);
     for (const auto *child : children_)
-        child->formatJson(os, full, first);
+        child->formatJson(out, full, first);
 }
 
 void
@@ -484,12 +502,25 @@ StatGroup::find(std::string_view path) const
 }
 
 void
+Registry::writeJson(std::string &out) const
+{
+    out += '{';
+    bool first = true;
+    formatJson(out, "", first);
+    out += "}\n";
+}
+
+void
 Registry::writeJson(std::ostream &os) const
 {
-    os << "{";
-    bool first = true;
-    formatJson(os, "", first);
-    os << "}\n";
+    // clear() keeps the buffer's capacity, so after the first dump a
+    // sweep loop formats into already-sized storage.
+    jsonBuffer_.clear();
+    if (jsonBuffer_.capacity() < 4096)
+        jsonBuffer_.reserve(4096);
+    writeJson(jsonBuffer_);
+    os.write(jsonBuffer_.data(),
+             static_cast<std::streamsize>(jsonBuffer_.size()));
 }
 
 } // namespace mercury::stats

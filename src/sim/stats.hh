@@ -53,10 +53,12 @@ class StatBase
 
     /**
      * Append this statistic's fields to a flat JSON object as
-     * "<prefix><name>[::field]": value pairs. @p first carries the
-     * comma state across the whole object.
+     * "<prefix><name>[::field]": value pairs, appended to @p out.
+     * @p first carries the comma state across the whole object.
+     * String-building (not streaming) so one pre-sized buffer can be
+     * reused across the repeated dumps of a sweep loop.
      */
-    virtual void formatJson(std::ostream &os, const std::string &prefix,
+    virtual void formatJson(std::string &out, const std::string &prefix,
                             bool &first) const = 0;
 
     /** Zero out accumulated values. */
@@ -81,7 +83,7 @@ class Scalar : public StatBase
     double value() const { return _value; }
 
     void format(std::ostream &os, const std::string &prefix) const override;
-    void formatJson(std::ostream &os, const std::string &prefix,
+    void formatJson(std::string &out, const std::string &prefix,
                     bool &first) const override;
     void reset() override { _value = 0.0; }
 
@@ -105,7 +107,7 @@ class Counter : public StatBase
     std::uint64_t value() const { return _value; }
 
     void format(std::ostream &os, const std::string &prefix) const override;
-    void formatJson(std::ostream &os, const std::string &prefix,
+    void formatJson(std::string &out, const std::string &prefix,
                     bool &first) const override;
     void reset() override { _value = 0; }
 
@@ -126,7 +128,7 @@ class Average : public StatBase
     std::uint64_t count() const { return _count; }
 
     void format(std::ostream &os, const std::string &prefix) const override;
-    void formatJson(std::ostream &os, const std::string &prefix,
+    void formatJson(std::string &out, const std::string &prefix,
                     bool &first) const override;
     void reset() override { _sum = 0.0; _count = 0; }
 
@@ -162,7 +164,7 @@ class TickAverage : public StatBase
     Tick ticks() const { return _ticks; }
 
     void format(std::ostream &os, const std::string &prefix) const override;
-    void formatJson(std::ostream &os, const std::string &prefix,
+    void formatJson(std::string &out, const std::string &prefix,
                     bool &first) const override;
     void reset() override { _weighted = 0.0; _ticks = 0; }
 
@@ -209,7 +211,7 @@ class Histogram : public StatBase
     double fractionBelow(double threshold) const;
 
     void format(std::ostream &os, const std::string &prefix) const override;
-    void formatJson(std::ostream &os, const std::string &prefix,
+    void formatJson(std::string &out, const std::string &prefix,
                     bool &first) const override;
     void reset() override;
 
@@ -283,7 +285,7 @@ class LatencyHistogram : public StatBase
     void merge(const LatencyHistogram &other);
 
     void format(std::ostream &os, const std::string &prefix) const override;
-    void formatJson(std::ostream &os, const std::string &prefix,
+    void formatJson(std::string &out, const std::string &prefix,
                     bool &first) const override;
     void reset() override;
 
@@ -332,7 +334,7 @@ class Formula : public StatBase
     double value() const { return fn_ ? fn_() : 0.0; }
 
     void format(std::ostream &os, const std::string &prefix) const override;
-    void formatJson(std::ostream &os, const std::string &prefix,
+    void formatJson(std::string &out, const std::string &prefix,
                     bool &first) const override;
     /** Formulas have no state of their own. */
     void reset() override {}
@@ -364,7 +366,7 @@ class StatGroup
      * Append this subtree's statistics to a flat JSON object keyed
      * by full dotted path.
      */
-    void formatJson(std::ostream &os, const std::string &prefix,
+    void formatJson(std::string &out, const std::string &prefix,
                     bool &first) const;
 
     /** Reset every statistic in this group and its children. */
@@ -405,8 +407,18 @@ class Registry : public StatGroup
         : StatGroup(std::move(name))
     {}
 
-    /** Write the flat {"path":value,...} object plus newline. */
+    /** Write the flat {"path":value,...} object plus newline. The
+     * text is built in a pre-sized buffer that the registry keeps
+     * and reuses, so repeated --stats-json dumps in a sweep loop
+     * stop paying reallocation-per-append. */
     void writeJson(std::ostream &os) const;
+
+    /** Append the flat {"path":value,...} object plus newline. */
+    void writeJson(std::string &out) const;
+
+  private:
+    /** Reused across dumps; capacity persists, contents do not. */
+    mutable std::string jsonBuffer_;
 };
 
 } // namespace mercury::stats

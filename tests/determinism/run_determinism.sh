@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Parallel-sweep determinism check: run one bench's smoke config at
+# --jobs 1, 2, and 8 and require stdout AND the --stats-json dump to
+# be byte-identical across all three. This is the contract that lets
+# `--jobs N` be a pure wall-clock knob: per-point state isolation
+# plus submission-order merging make worker count unobservable.
+#
+# The stats digest printed on success is the same FNV-1a the golden
+# suite uses (tools/statdiff.py), so a drift here can be compared
+# against golden logs directly.
+#
+# Usage: run_determinism.sh BENCH_BINARY [EXTRA_ARGS...]
+set -euo pipefail
+
+if [ $# -lt 1 ]; then
+    echo "usage: $0 BENCH_BINARY [EXTRA_ARGS...]" >&2
+    exit 2
+fi
+
+bin=$1
+shift
+
+script_dir=$(cd "$(dirname "$0")" && pwd)
+statdiff=$script_dir/../../tools/statdiff.py
+name=$(basename "$bin")
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+for jobs in 1 2 8; do
+    "$bin" --smoke --jobs="$jobs" \
+        --stats-json="$tmpdir/stats_$jobs.json" "$@" \
+        > "$tmpdir/stdout_$jobs.txt"
+done
+
+status=0
+for jobs in 2 8; do
+    if ! cmp -s "$tmpdir/stdout_1.txt" "$tmpdir/stdout_$jobs.txt"; then
+        echo "$name: stdout differs between --jobs 1 and --jobs $jobs:" >&2
+        diff "$tmpdir/stdout_1.txt" "$tmpdir/stdout_$jobs.txt" >&2 || true
+        status=1
+    fi
+    if ! cmp -s "$tmpdir/stats_1.json" "$tmpdir/stats_$jobs.json"; then
+        echo "$name: stats JSON differs between --jobs 1 and --jobs $jobs:" >&2
+        python3 "$statdiff" "$tmpdir/stats_1.json" \
+            "$tmpdir/stats_$jobs.json" >&2 || true
+        status=1
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    exit 1
+fi
+echo "$name: --jobs 1/2/8 byte-identical" \
+    "($(python3 "$statdiff" --digest "$tmpdir/stats_1.json"))"

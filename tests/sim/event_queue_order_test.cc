@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Service-order equivalence tests for the intrusive EventQueue
+ * against the std::set ModelEventQueue reference, plus
+ * zero-allocation proof for the static-event hot path.
+ *
+ * The model is the executable specification of (tick, priority,
+ * sequence) order; every test drives both queues with an identical
+ * operation stream and demands identical service orders.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "alloc_probe.hh"
+#include "sim/event_queue.hh"
+#include "sim/model_event_queue.hh"
+
+namespace
+{
+
+using mercury::Event;
+using mercury::EventQueue;
+using mercury::ModelEventQueue;
+using mercury::Tick;
+
+/** Appends its id to an order log when serviced. */
+class RecordingEvent : public Event
+{
+  public:
+    RecordingEvent(int id, std::vector<int> *log,
+                   Priority priority = defaultPriority)
+        : Event(priority), id_(id), log_(log)
+    {}
+
+    void process() override { log_->push_back(id_); }
+    std::string description() const override { return "recording"; }
+
+  private:
+    int id_;
+    std::vector<int> *log_;
+};
+
+Event::Priority
+priorityFor(int id)
+{
+    switch (id % 3) {
+      case 0: return Event::highPriority;
+      case 1: return Event::defaultPriority;
+      default: return Event::lowPriority;
+    }
+}
+
+/** Both queues, driven in lockstep with twin event pools. */
+struct TwinQueues
+{
+    static constexpr int poolSize = 24;
+
+    EventQueue queue;
+    ModelEventQueue model;
+    std::vector<int> queueOrder, modelOrder;
+    std::vector<RecordingEvent> queueEvents, modelEvents;
+    std::vector<bool> scheduled = std::vector<bool>(poolSize, false);
+
+    TwinQueues()
+    {
+        queueEvents.reserve(poolSize);
+        modelEvents.reserve(poolSize);
+        for (int id = 0; id < poolSize; ++id) {
+            queueEvents.emplace_back(id, &queueOrder,
+                                     priorityFor(id));
+            modelEvents.emplace_back(id, &modelOrder,
+                                     priorityFor(id));
+        }
+    }
+
+    ~TwinQueues() { drain(); }
+
+    void
+    schedule(int id, Tick when)
+    {
+        queue.schedule(&queueEvents[id], when);
+        model.schedule(&modelEvents[id], when);
+        scheduled[id] = true;
+    }
+
+    void
+    deschedule(int id)
+    {
+        queue.deschedule(&queueEvents[id]);
+        model.deschedule(&modelEvents[id]);
+        scheduled[id] = false;
+    }
+
+    void
+    reschedule(int id, Tick when)
+    {
+        queue.reschedule(&queueEvents[id], when);
+        model.reschedule(&modelEvents[id], when);
+        scheduled[id] = true;
+    }
+
+    /** Service one event from each and check they agree. */
+    void
+    serviceOne()
+    {
+        const Event *fromQueue = queue.serviceOne();
+        const Event *fromModel = model.serviceOne();
+        ASSERT_EQ(fromQueue == nullptr, fromModel == nullptr);
+        ASSERT_EQ(queueOrder, modelOrder);
+        ASSERT_EQ(queue.curTick(), model.curTick());
+        if (!queueOrder.empty())
+            scheduled[queueOrder.back()] = false;
+    }
+
+    void
+    drain()
+    {
+        while (!queue.empty() || !model.empty())
+            serviceOne();
+    }
+};
+
+TEST(EventQueueOrder, TickPriorityInsertionTies)
+{
+    TwinQueues twins;
+    // Everything on one tick: order must be priority-major,
+    // insertion-minor. Pool ids cycle priorities, so scheduling
+    // 0..8 covers three ties per priority class.
+    for (int id = 0; id < 9; ++id)
+        twins.schedule(id, 100);
+    twins.drain();
+    EXPECT_EQ(twins.queueOrder,
+              (std::vector<int>{0, 3, 6, 1, 4, 7, 2, 5, 8}));
+}
+
+TEST(EventQueueOrder, DescheduleEveryBinPosition)
+{
+    // Three same-key events; removing head, middle, or tail of the
+    // bin must leave the remaining order intact.
+    for (int victim = 0; victim < 3; ++victim) {
+        TwinQueues twins;
+        // ids 1, 4, 7 share defaultPriority.
+        const int ids[3] = {1, 4, 7};
+        for (int id : ids)
+            twins.schedule(id, 50);
+        twins.deschedule(ids[victim]);
+        twins.drain();
+        std::vector<int> expected;
+        for (int i = 0; i < 3; ++i)
+            if (i != victim)
+                expected.push_back(ids[i]);
+        EXPECT_EQ(twins.queueOrder, expected) << "victim " << victim;
+    }
+}
+
+TEST(EventQueueOrder, RescheduleMovesBehindExistingTies)
+{
+    TwinQueues twins;
+    twins.schedule(1, 100);
+    twins.schedule(4, 200);
+    // Move id 1 to id 4's key: the fresh sequence stamp must put it
+    // AFTER 4, exactly as deschedule + schedule used to.
+    twins.reschedule(1, 200);
+    twins.drain();
+    EXPECT_EQ(twins.queueOrder, (std::vector<int>{4, 1}));
+}
+
+TEST(EventQueueOrder, RescheduleOfUnscheduledSchedules)
+{
+    TwinQueues twins;
+    twins.reschedule(1, 10);
+    EXPECT_TRUE(twins.queueEvents[1].scheduled());
+    twins.drain();
+    EXPECT_EQ(twins.queueOrder, (std::vector<int>{1}));
+}
+
+TEST(EventQueueOrder, RandomizedOperationFuzz)
+{
+    // A few thousand mixed schedule/deschedule/reschedule/service
+    // ops; the queues must agree on every single service.
+    std::mt19937 rng(0xeceb);
+    TwinQueues twins;
+    std::vector<int> live;  // ids currently scheduled
+
+    const auto randomLive = [&] {
+        return live[rng() % live.size()];
+    };
+
+    for (int op = 0; op < 5000; ++op) {
+        const unsigned kind = rng() % 8;
+        if (kind < 4) {  // schedule an idle event
+            int id = static_cast<int>(rng() % TwinQueues::poolSize);
+            bool found = false;
+            for (int probe = 0; probe < TwinQueues::poolSize;
+                 ++probe) {
+                const int cand =
+                    (id + probe) % TwinQueues::poolSize;
+                if (!twins.scheduled[cand]) {
+                    id = cand;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                continue;
+            twins.schedule(id,
+                           twins.queue.curTick() + rng() % 50);
+            live.push_back(id);
+        } else if (kind < 6) {  // service
+            twins.serviceOne();
+            live.clear();
+            for (int id = 0; id < TwinQueues::poolSize; ++id)
+                if (twins.scheduled[id])
+                    live.push_back(id);
+        } else if (kind == 6 && !live.empty()) {  // deschedule
+            const int id = randomLive();
+            twins.deschedule(id);
+            live.erase(std::find(live.begin(), live.end(), id));
+        } else if (!live.empty()) {  // reschedule a queued event
+            twins.reschedule(randomLive(),
+                             twins.queue.curTick() + rng() % 50);
+        }
+        if (twins.queueOrder.size() > 4000)
+            break;
+    }
+    twins.drain();
+    EXPECT_EQ(twins.queueOrder, twins.modelOrder);
+    EXPECT_GT(twins.queueOrder.size(), 500u);
+}
+
+TEST(EventQueueOrder, StaticEventHotPathDoesNotAllocate)
+{
+    EventQueue queue;
+    std::vector<int> log;
+    log.reserve(4096);  // the log itself must not realloc mid-probe
+    RecordingEvent a(0, &log), b(1, &log), c(2, &log);
+
+    // Warm up (EventQueue construction itself may allocate).
+    queue.schedule(&a, 10);
+    queue.serviceOne();
+
+    const std::uint64_t before = mercuryAllocCalls.load();
+    for (int i = 0; i < 1000; ++i) {
+        const Tick base = queue.curTick();
+        queue.schedule(&a, base + 10);
+        queue.schedule(&b, base + 10);
+        queue.schedule(&c, base + 25);
+        queue.reschedule(&c, base + 12);
+        queue.deschedule(&b);
+        queue.serviceOne();
+        queue.serviceOne();
+    }
+    EXPECT_EQ(mercuryAllocCalls.load(), before)
+        << "schedule/deschedule/reschedule/serviceOne allocated";
+}
+
+} // anonymous namespace

@@ -150,4 +150,43 @@ TEST(StatGroup, ResetStatsRecurses)
     EXPECT_DOUBLE_EQ(b.value(), 0.0);
 }
 
+TEST(Registry, WriteJsonStringAndStreamAgree)
+{
+    Registry registry("reg");
+    StatGroup group("g", &registry);
+    Scalar a(&group, "a", "a stat");
+    Counter c(&group, "c", "a counter");
+    a += 1.5;
+    c += 7;
+
+    std::ostringstream os;
+    registry.writeJson(os);
+
+    std::string text;
+    registry.writeJson(text);
+    EXPECT_EQ(os.str(), text);
+    EXPECT_EQ(text.front(), '{');
+    EXPECT_EQ(text.back(), '\n');
+    EXPECT_NE(text.find("\"reg.g.a\":1.5"), std::string::npos);
+}
+
+TEST(Registry, RepeatedDumpsReuseTheBuffer)
+{
+    Registry registry("reg");
+    Scalar a(&registry, "a", "a stat");
+
+    std::ostringstream first;
+    registry.writeJson(first);
+    for (int i = 0; i < 100; ++i) {
+        a += 1;
+        std::ostringstream os;
+        registry.writeJson(os);
+    }
+    registry.resetStats();
+    std::ostringstream last;
+    registry.writeJson(last);
+    EXPECT_EQ(first.str(), last.str())
+        << "buffer reuse must not leak bytes between dumps";
+}
+
 } // anonymous namespace

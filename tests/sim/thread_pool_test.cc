@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the sweep worker pool. The tsan stage of
+ * scripts/check.sh reruns these under ThreadSanitizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "sim/thread_pool.hh"
+
+namespace
+{
+
+using mercury::sim::ThreadPool;
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> sum{0};
+    for (int i = 1; i <= 100; ++i)
+        pool.submit([&sum, i] {
+            sum.fetch_add(i, std::memory_order_relaxed);
+        });
+    pool.wait();
+    EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, ClampsZeroThreadsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 1u);
+    std::atomic<bool> ran{false};
+    pool.submit([&] { ran = true; });
+    pool.wait();
+    EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&] {
+                count.fetch_add(1, std::memory_order_relaxed);
+            });
+        pool.wait();
+        EXPECT_EQ(count.load(), (round + 1) * 10);
+    }
+}
+
+TEST(ThreadPool, WaitWithNothingSubmittedReturns)
+{
+    ThreadPool pool(3);
+    pool.wait();  // must not hang
+    SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsPendingWork)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&] {
+                count.fetch_add(1, std::memory_order_relaxed);
+            });
+        // No wait(): the destructor must finish the queue.
+    }
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ParallelismIsBoundedByThreadCount)
+{
+    ThreadPool pool(2);
+    std::atomic<int> active{0};
+    std::atomic<int> peak{0};
+    for (int i = 0; i < 40; ++i)
+        pool.submit([&] {
+            const int now =
+                active.fetch_add(1, std::memory_order_acq_rel) + 1;
+            int seen = peak.load(std::memory_order_relaxed);
+            while (now > seen &&
+                   !peak.compare_exchange_weak(
+                       seen, now, std::memory_order_relaxed)) {
+            }
+            active.fetch_sub(1, std::memory_order_acq_rel);
+        });
+    pool.wait();
+    EXPECT_LE(peak.load(), 2);
+}
+
+} // anonymous namespace

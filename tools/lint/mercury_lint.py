@@ -22,6 +22,12 @@ line or the line above):
                    "own", "deletes", "delete", "freed", or "leak"
                    within two lines, or a smart-pointer assignment).
 
+  arena-delete     Manual `delete` of an arena-owned event: a variable
+                   initialized from EventQueue::makeEvent<...>() or
+                   EventArena::make<...>(). The queue's arena destroys
+                   and recycles those automatically after service or
+                   deschedule; deleting one by hand is a double free.
+
 Usage: mercury_lint.py <dir-or-file> [...]
 Exits 1 if any unsuppressed finding is reported.
 """
@@ -46,6 +52,12 @@ DOUBLEISH_RE = re.compile(
 NEW_EVENT_RE = re.compile(r"\bnew\s+[\w:]*Event\b")
 OWNERSHIP_RE = re.compile(r"own|delete[sd]?|freed|leak|unique_ptr|shared_ptr",
                           re.IGNORECASE)
+
+# A variable bound to an arena allocation: `x = queue.makeEvent<...`
+# or `x = arena.make<...` (any object expression before the call).
+ARENA_BIND_RE = re.compile(
+    r"\b(\w+)\s*=\s*[\w.\->]*\b(?:makeEvent|make)\s*<")
+DELETE_RE = re.compile(r"\bdelete\s+(\w+)\s*;")
 
 # Files that define the conversion helpers themselves.
 TICK_CAST_EXEMPT = {"src/sim/types.hh"}
@@ -72,6 +84,17 @@ def lint_file(path, findings):
     lines = text.splitlines()
 
     is_header = path.suffix in (".hh", ".h")
+
+    # First pass: every variable ever bound to an arena allocation in
+    # this file (scope-insensitive by design -- a false positive is an
+    # invitation to rename, and `// lint: allow(arena-delete)` exists).
+    arena_vars = set()
+    for line in lines:
+        stripped = line.strip()
+        if stripped.startswith("//") or stripped.startswith("*"):
+            continue
+        for m in ARENA_BIND_RE.finditer(line):
+            arena_vars.add(m.group(1))
 
     for idx, line in enumerate(lines):
         lineno = idx + 1
@@ -102,6 +125,16 @@ def lint_file(path, findings):
                         (rel, lineno, "tick-cast",
                          "double-to-Tick cast bypasses secondsToTicks; "
                          "use the sim/types.hh conversion helpers"))
+
+        # --- arena-delete: manual delete of an arena-owned event ---
+        for m in DELETE_RE.finditer(line):
+            if m.group(1) in arena_vars and \
+                    not allowed(lines, idx, "arena-delete"):
+                findings.append(
+                    (rel, lineno, "arena-delete",
+                     f"'{m.group(1)}' came from the event arena "
+                     f"(makeEvent/make); the queue releases it -- "
+                     f"manual delete is a double free"))
 
         # --- event-ownership: new ...Event without ownership note ---
         for m in NEW_EVENT_RE.finditer(line):
