@@ -7,10 +7,18 @@
  *
  *   bench --stats-json=FILE   dump the stats registry as flat JSON
  *   bench --trace-out=FILE    dump request-lifecycle spans as JSONL
+ *   bench --trace-chrome=FILE dump spans as Chrome trace-event JSON
+ *                             (loadable in Perfetto / chrome://tracing)
+ *   bench --timeseries-out=FILE  windowed time-series JSONL (one
+ *                             object per sample window, for benches
+ *                             that attach a stats::Sampler)
+ *   bench --sample-interval=US   sample window width in simulated
+ *                             microseconds (default 1000)
  *   bench --smoke             tiny CI-sized configuration
  *   bench --jobs=N            run sweep points on N worker threads
  *                             (0 = all hardware threads); output is
  *                             byte-identical to --jobs=1
+ *   bench --help              list the uniform flags and exit
  *
  * "-" as FILE writes to stdout. The flags are consumed (removed from
  * argv) so benches built on other frameworks (google-benchmark) can
@@ -37,8 +45,10 @@
 #include <thread>
 #include <vector>
 
+#include "sim/sampler.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
+#include "sim/types.hh"
 
 namespace mercury::bench
 {
@@ -102,6 +112,66 @@ rule(int width = 100)
 class Session
 {
   public:
+    /** The uniform flag table: the single source for parsing and for
+     * the generated --help block. */
+    struct FlagSpec
+    {
+        const char *flag;
+        const char *arg;  ///< nullptr for boolean flags
+        const char *help;
+    };
+
+    static const FlagSpec *
+    flagTable(std::size_t &count)
+    {
+        static const FlagSpec specs[] = {
+            {"--stats-json", "FILE",
+             "dump the stats registry as flat JSON ('-' = stdout)"},
+            {"--trace-out", "FILE",
+             "dump request-lifecycle spans as JSONL"},
+            {"--trace-chrome", "FILE",
+             "dump spans as Chrome trace-event JSON (Perfetto)"},
+            {"--timeseries-out", "FILE",
+             "windowed time-series JSONL (sampler-attached benches)"},
+            {"--sample-interval", "MICROS",
+             "sample window width in simulated microseconds "
+             "(default 1000)"},
+            {"--smoke", nullptr, "tiny CI-sized configuration"},
+            {"--jobs", "N",
+             "sweep worker threads (0 = all hardware threads); "
+             "output byte-identical to --jobs=1"},
+            {"--help", nullptr, "show the uniform bench flags and exit"},
+        };
+        count = sizeof(specs) / sizeof(specs[0]);
+        return specs;
+    }
+
+    /** The generated --help block, one line per uniform flag. */
+    static std::string
+    helpText(const std::string &name)
+    {
+        std::string out = "usage: " + name + " [flags]\n\n"
+                          "uniform bench flags:\n";
+        std::size_t count = 0;
+        const FlagSpec *specs = flagTable(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            std::string head = "  ";
+            head += specs[i].flag;
+            if (specs[i].arg) {
+                head += '=';
+                head += specs[i].arg;
+            }
+            if (head.size() < 28)
+                head.resize(28, ' ');
+            else
+                head += ' ';
+            out += head;
+            out += specs[i].help;
+            out += '\n';
+        }
+        return out;
+    }
+
     Session(int &argc, char **argv, std::string name)
         : registry_(std::move(name))
     {
@@ -114,10 +184,23 @@ class Session
             } else if (match(arg, "--trace-out", i, argc, argv,
                              value)) {
                 tracePath_ = value;
+            } else if (match(arg, "--trace-chrome", i, argc, argv,
+                             value)) {
+                chromePath_ = value;
+            } else if (match(arg, "--timeseries-out", i, argc, argv,
+                             value)) {
+                timeseriesPath_ = value;
+            } else if (match(arg, "--sample-interval", i, argc, argv,
+                             value)) {
+                sampleIntervalUs_ = parseSampleInterval(value);
             } else if (arg == "--smoke") {
                 smoke_ = true;
             } else if (match(arg, "--jobs", i, argc, argv, value)) {
                 jobs_ = parseJobs(value);
+            } else if (arg == "--help") {
+                std::fputs(helpText(registry_.name()).c_str(),
+                           stdout);
+                std::exit(0);
             } else {
                 argv[out++] = argv[i];
             }
@@ -125,13 +208,13 @@ class Session
         argc = out;
         argv[argc] = nullptr;
 
-        if (!tracePath_.empty()) {
+        if (!tracePath_.empty() || !chromePath_.empty()) {
             if (MERCURY_TRACING) {
                 tracer_ = std::make_unique<trace::Tracer>();
             } else {
                 std::fprintf(stderr,
                              "%s: built with MERCURY_TRACING=OFF; "
-                             "--trace-out ignored\n",
+                             "--trace-out/--trace-chrome ignored\n",
                              registry_.name().c_str());
             }
         }
@@ -193,6 +276,30 @@ class Session
      * skip fragment formatting otherwise). */
     bool wantStats() const { return !statsPath_.empty(); }
 
+    /** True when --timeseries-out was requested (benches attach a
+     * stats::Sampler only then; without it sampling is fully off and
+     * all other outputs stay byte-identical). */
+    bool wantTimeseries() const { return !timeseriesPath_.empty(); }
+
+    /** Sample window width as simulated ticks (--sample-interval,
+     * default 1000 simulated microseconds). */
+    Tick sampleInterval() const { return sampleIntervalUs_ * tickUs; }
+
+    /**
+     * Fold a sampler's accumulated JSONL into the eventual
+     * --timeseries-out file. ParallelSweep publishes per-point
+     * series through here in submission order, so the file is
+     * byte-identical across --jobs values. No-op without
+     * --timeseries-out or for an empty series.
+     */
+    void
+    appendTimeseries(const std::string &jsonl)
+    {
+        if (timeseriesPath_.empty() || jsonl.empty())
+            return;
+        timeseries_ += jsonl;
+    }
+
     /**
      * Fold a pre-formatted JSON fragment (comma-separated
      * "key":value pairs, no braces) into the eventual --stats-json
@@ -234,9 +341,29 @@ class Session
             writeTo(tracePath_, [this](std::ostream &os) {
                 tracer_->writeJsonl(os);
             });
+        if (tracer_ && !chromePath_.empty())
+            writeTo(chromePath_, [this](std::ostream &os) {
+                tracer_->writeChromeJson(os);
+            });
+        // The timeseries file is written even when no sampler fed it
+        // (an empty file is an honest "this bench sampled nothing"),
+        // so determinism harnesses can diff it unconditionally.
+        if (!timeseriesPath_.empty())
+            writeTo(timeseriesPath_, [this](std::ostream &os) {
+                os << timeseries_;
+            });
     }
 
   private:
+    /** Simulated microseconds per window; 0/garbage clamps to 1. */
+    static std::uint64_t
+    parseSampleInterval(const std::string &value)
+    {
+        const long long parsed =
+            std::strtoll(value.c_str(), nullptr, 10);
+        return parsed > 0 ? static_cast<std::uint64_t>(parsed) : 1;
+    }
+
     /** "--jobs 0" means one worker per hardware thread. */
     static unsigned
     parseJobs(const std::string &value)
@@ -287,7 +414,11 @@ class Session
     std::unique_ptr<trace::Tracer> tracer_;
     std::string statsPath_;
     std::string tracePath_;
+    std::string chromePath_;
+    std::string timeseriesPath_;
     std::string captured_;
+    std::string timeseries_;
+    std::uint64_t sampleIntervalUs_ = 1000;
     bool capturedFirst_ = true;
     bool haveCapture_ = false;
     bool smoke_ = false;

@@ -18,11 +18,13 @@
 
 #include <cstddef>
 #include <cstdio>
+#include <optional>
 #include <vector>
 
 #include "bench_util.hh"
 #include "cluster/cluster_sim.hh"
 #include "parallel_sweep.hh"
+#include "sim/sampler.hh"
 
 namespace
 {
@@ -41,10 +43,24 @@ cell(bench::PointContext &ctx, unsigned nodes, double theta,
     params.nodes = nodes;
     params.zipfTheta = theta;
     params.requests = 2500;
+    params.tracer = ctx.tracer();
+
+    // Windowed per-cell time series under --timeseries-out, labelled
+    // by the cell's coordinates.
+    std::optional<stats::Sampler> sampler;
+    if (ctx.wantTimeseries()) {
+        char label[48];
+        std::snprintf(label, sizeof(label), "nodes=%u,theta=%.2f",
+                      nodes, theta);
+        sampler.emplace(ctx.sampleInterval(), label);
+        params.sampler = &*sampler;
+    }
 
     ClusterSim sim(params);
     const ClusterSimResult r =
         sim.run(utilization * sim.aggregateCapacity());
+    if (sampler)
+        ctx.timeseries(sampler->jsonl());
     ctx.printf("%-6u %6.2f %7.0f%% %10.1f %10.1f %9.0f%% %9.2f%%\n",
                nodes, theta, utilization * 100, r.avgLatencyUs,
                r.p99LatencyUs, r.subMsFraction * 100,

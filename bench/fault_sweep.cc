@@ -26,6 +26,7 @@
 
 #include <cstddef>
 #include <cstdio>
+#include <optional>
 #include <vector>
 
 #include "bench_util.hh"
@@ -33,6 +34,7 @@
 #include "mem/flash.hh"
 #include "parallel_sweep.hh"
 #include "sim/random.hh"
+#include "sim/sampler.hh"
 
 namespace
 {
@@ -94,8 +96,29 @@ clusterPoint(bench::PointContext &ctx,
              const ClusterSimParams &params, double offered_tps,
              ClusterSimResult &out)
 {
-    ClusterSim sim(params);
+    ClusterSimParams run_params = params;
+    run_params.tracer = ctx.tracer();
+
+    // Per-point recovery-curve sampler under --timeseries-out: every
+    // line carries the point's fault coordinates as its label, so the
+    // merged JSONL is self-describing. Point samplers are private to
+    // the point and published in submission order, keeping the file
+    // byte-identical across --jobs values.
+    std::optional<stats::Sampler> sampler;
+    if (ctx.wantTimeseries()) {
+        char label[64];
+        std::snprintf(label, sizeof(label),
+                      "loss=%.4f,crash=%.0f",
+                      params.faults.packetLossProbability,
+                      params.faults.nodeCrashesPerSecond);
+        sampler.emplace(ctx.sampleInterval(), label);
+        run_params.sampler = &*sampler;
+    }
+
+    ClusterSim sim(run_params);
     const ClusterSimResult r = sim.run(offered_tps);
+    if (sampler)
+        ctx.timeseries(sampler->jsonl());
     bench::JsonLine line;
     line.str("section", "cluster")
         .number("loss", "%.4f", params.faults.packetLossProbability)

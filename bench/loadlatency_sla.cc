@@ -8,9 +8,11 @@
  */
 
 #include <cstdio>
+#include <optional>
 
 #include "bench_util.hh"
 #include "server/load_sim.hh"
+#include "sim/sampler.hh"
 
 namespace
 {
@@ -19,7 +21,8 @@ using namespace mercury;
 using namespace mercury::server;
 
 void
-curve(const char *title, MemoryKind memory, std::uint32_t size,
+curve(bench::Session &session, const char *title, const char *slug,
+      MemoryKind memory, std::uint32_t size,
       double get_fraction = 0.95)
 {
     bench::banner(title);
@@ -38,8 +41,22 @@ curve(const char *title, MemoryKind memory, std::uint32_t size,
                 "offered", "avg us", "p50 us", "p95 us", "p99 us",
                 "<1ms");
     bench::rule(66);
-    for (const LoadPoint &p :
-         sim.sweep({0.3, 0.5, 0.7, 0.8, 0.9, 0.95})) {
+    for (const double u : {0.3, 0.5, 0.7, 0.8, 0.9, 0.95}) {
+        // Fresh per-point sampler under --timeseries-out: each load
+        // point is its own labelled series.
+        std::optional<stats::Sampler> sampler;
+        if (session.wantTimeseries()) {
+            char label[64];
+            std::snprintf(label, sizeof(label), "%s,load=%.2f",
+                          slug, u);
+            sampler.emplace(session.sampleInterval(), label);
+            sim.setSampler(&*sampler);
+        }
+        const LoadPoint p = sim.run(u * sim.capacity());
+        if (sampler) {
+            session.appendTimeseries(sampler->jsonl());
+            sim.setSampler(nullptr);
+        }
         std::printf("%5.0f%% %10.0f %9.1f %9.1f %9.1f %9.1f %6.0f%%\n",
                     100 * p.offeredTps / sim.capacity(),
                     p.offeredTps, p.avgLatencyUs, p.p50Us, p.p95Us,
@@ -54,15 +71,18 @@ int
 main(int argc, char **argv)
 {
     mercury::bench::Session session(argc, argv, "loadlatency_sla");
-    curve("Mercury A7, 64 B, 95% GETs under open-loop Poisson load",
-          MemoryKind::StackedDram, 64);
-    curve("Iridium A7, 64 B, 95% GETs under open-loop Poisson load",
-          MemoryKind::Flash, 64);
-    curve("Iridium A7, 4 KB read-only (photo-tier objects)",
-          MemoryKind::Flash, 4096, 1.0);
-    curve("Iridium A7, 4 KB with 5% PUTs (flash write "
+    curve(session,
+          "Mercury A7, 64 B, 95% GETs under open-loop Poisson load",
+          "mercury-64", MemoryKind::StackedDram, 64);
+    curve(session,
+          "Iridium A7, 64 B, 95% GETs under open-loop Poisson load",
+          "iridium-64", MemoryKind::Flash, 64);
+    curve(session, "Iridium A7, 4 KB read-only (photo-tier objects)",
+          "iridium-4k-ro", MemoryKind::Flash, 4096, 1.0);
+    curve(session,
+          "Iridium A7, 4 KB with 5% PUTs (flash write "
           "interference)",
-          MemoryKind::Flash, 4096, 0.95);
+          "iridium-4k-put", MemoryKind::Flash, 4096, 0.95);
 
     std::printf("Mercury holds sub-millisecond tails to ~90%% "
                 "utilization; Iridium's flash tail crosses 1 ms "

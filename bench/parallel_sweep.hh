@@ -84,6 +84,25 @@ class PointContext
 
     bool smoke() const { return smoke_; }
 
+    /** True when the session wants --timeseries-out; points attach
+     * per-point samplers only then. */
+    bool wantTimeseries() const { return wantTimeseries_; }
+
+    /** The session's --sample-interval, as simulated ticks. */
+    Tick sampleInterval() const { return sampleInterval_; }
+
+    /**
+     * Publish a finished sampler's JSONL as this point's time-series
+     * segment. Segments from all points are appended to the session
+     * in submission order, so the --timeseries-out bytes are
+     * identical across --jobs values.
+     */
+    void
+    timeseries(const std::string &jsonl)
+    {
+        timeseries_ += jsonl;
+    }
+
     /** Append printf-formatted text to the point's ordered stdout
      * segment. */
     void
@@ -127,18 +146,24 @@ class PointContext
     friend class ParallelSweep;
 
     PointContext(std::string registry_name, bool want_stats,
-                 bool smoke, trace::Tracer *tracer)
+                 bool smoke, trace::Tracer *tracer,
+                 bool want_timeseries, Tick sample_interval)
         : registryName_(std::move(registry_name)),
-          wantStats_(want_stats), smoke_(smoke), tracer_(tracer)
+          wantStats_(want_stats), smoke_(smoke), tracer_(tracer),
+          wantTimeseries_(want_timeseries),
+          sampleInterval_(sample_interval)
     {}
 
     std::string registryName_;
     bool wantStats_;
     bool smoke_;
     trace::Tracer *tracer_;
+    bool wantTimeseries_ = false;
+    Tick sampleInterval_ = 0;
     std::optional<stats::Registry> registry_;
     std::string text_;
     std::string fragment_;
+    std::string timeseries_;
     bool fragmentFirst_ = true;
     bool captured_ = false;
 };
@@ -178,8 +203,10 @@ class ParallelSweep
         for (Point &p : points_) {
             p.context.reset(new PointContext(
                 session_.registry().name(), session_.wantStats(),
-                session_.smoke(), jobs == 1 ? session_.tracer()
-                                            : nullptr));
+                session_.smoke(),
+                jobs == 1 ? session_.tracer() : nullptr,
+                session_.wantTimeseries(),
+                session_.sampleInterval()));
         }
 
         if (jobs == 1) {
@@ -214,6 +241,7 @@ class ParallelSweep
             if (!ctx.captured_ && ctx.registry_)
                 ctx.capture();  // stats objects that outlived work()
             session_.appendStatsFragment(ctx.fragment_);
+            session_.appendTimeseries(ctx.timeseries_);
             if (p.after)
                 p.after();
         }

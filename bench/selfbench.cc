@@ -25,11 +25,17 @@
  * full version.
  *
  * Usage: selfbench [--smoke] [--jobs=N] [--out=PATH]
+ *                  [--profile-out=PATH]
+ *
+ * --profile-out dumps the host-side event-queue profiler's per-type
+ * cost map (requires configuring with -DMERCURY_PROFILE_EVENTS=ON;
+ * default builds write a stub recording that profiling is off).
  */
 
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,6 +43,7 @@
 #include "bench_util.hh"
 #include "server/server_model.hh"
 #include "sim/event_queue.hh"
+#include "sim/json.hh"
 #include "sim/model_event_queue.hh"
 #include "sim/thread_pool.hh"
 
@@ -46,6 +53,20 @@ namespace
 using namespace mercury;
 
 using Clock = std::chrono::steady_clock;
+
+/** Append "key":<value> with a caller-chosen numeric format. Keys go
+ * through the canonical writer (telemetry-json lint); the value
+ * format stays explicit because these are human-scaled host rates,
+ * not golden-pinned stats. */
+void
+field(std::ostream &os, bool &first, const char *key,
+      const char *fmt, double value)
+{
+    json::writeKey(os, first, key);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), fmt, value);
+    os << buf;
+}
 
 double
 secondsSince(Clock::time_point start)
@@ -136,6 +157,80 @@ arenaEventsPerSec(std::uint64_t total, unsigned batch)
     return static_cast<double>(total) / secondsSince(start);
 }
 
+/**
+ * --profile-out: drive a mixed-type event workload through one queue
+ * and dump the host-side profiler's per-type cost map. In default
+ * builds (MERCURY_PROFILE_EVENTS=OFF) the file records that
+ * profiling was compiled out, so consumers can always parse it.
+ */
+void
+writeProfile(const std::string &path, [[maybe_unused]] bool smoke)
+{
+    std::FILE *fp = std::fopen(path.c_str(), "w");
+    if (!fp) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     path.c_str());
+        return;
+    }
+#if MERCURY_EVENT_PROFILE
+    EventQueue queue;
+    // Three event types with distinct host costs, scheduled the way
+    // device models do (few distinct latencies live at once).
+    std::uint64_t sink = 0;
+    EventFunctionWrapper nic([&] { sink += 1; }, "nic completion");
+    EventFunctionWrapper dram(
+        [&] {
+            for (int i = 0; i < 32; ++i)
+                sink += static_cast<std::uint64_t>(i) * sink + 1;
+        },
+        "dram completion");
+    EventFunctionWrapper flash(
+        [&] {
+            for (int i = 0; i < 256; ++i)
+                sink += static_cast<std::uint64_t>(i) * sink + 1;
+        },
+        "flash completion");
+    EventFunctionWrapper *events[3] = {&nic, &dram, &flash};
+    constexpr Tick latencies[3] = {10, 50, 400};
+    const std::uint64_t total = smoke ? 30'000 : 300'000;
+    std::uint64_t lcg = 0x5eed;
+    for (std::uint64_t serviced = 0; serviced < total;) {
+        for (unsigned i = 0; i < 3; ++i) {
+            if (!events[i]->scheduled())
+                queue.schedule(events[i],
+                               queue.curTick() +
+                                   latencies[lcgNext(lcg) % 3]);
+        }
+        queue.serviceOne();
+        ++serviced;
+    }
+    while (queue.serviceOne() != nullptr) {
+    }
+    std::ostringstream os;
+    queue.profiler().writeJson(os);
+    std::fputs(os.str().c_str(), fp);
+    if (sink == 0)
+        std::fprintf(stderr, "profile workload elided\n");
+#else
+    std::ostringstream os;
+    bool first = true;
+    os << '{';
+    json::writeKey(os, first, "enabled");
+    os << "false";
+    json::writeField(os, first, "reason",
+                     std::string_view(
+                         "configure with -DMERCURY_PROFILE_EVENTS"
+                         "=ON"));
+    os << "}\n";
+    std::fputs(os.str().c_str(), fp);
+    std::fprintf(stderr,
+                 "selfbench: built without MERCURY_PROFILE_EVENTS; "
+                 "%s records profiling as disabled\n",
+                 path.c_str());
+#endif
+    std::fclose(fp);
+}
+
 double
 storeOpsPerSec(std::uint64_t total)
 {
@@ -201,11 +296,16 @@ main(int argc, char **argv)
     const bool smoke = session.smoke();
 
     std::string out = "BENCH_selfbench.json";
+    std::string profile_out;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--out=", 0) == 0)
             out = arg.substr(6);
+        else if (arg.rfind("--profile-out=", 0) == 0)
+            profile_out = arg.substr(14);
     }
+    if (!profile_out.empty())
+        writeProfile(profile_out, smoke);
 
     // --jobs defaults to 1 in Session; for the sweep section the
     // interesting default is "all hardware threads".
@@ -275,26 +375,53 @@ main(int argc, char **argv)
                      out.c_str());
         return 1;
     }
-    std::fprintf(
-        fp,
-        "{\"smoke\":%s,"
-        "\"queue\":{\"intrusive_events_per_sec\":%.0f,"
-        "\"reference_events_per_sec\":%.0f,"
-        "\"speedup\":%.3f,"
-        "\"scattered_intrusive_events_per_sec\":%.0f,"
-        "\"scattered_reference_events_per_sec\":%.0f,"
-        "\"scattered_speedup\":%.3f,"
-        "\"arena_events_per_sec\":%.0f},"
-        "\"store\":{\"ops_per_sec\":%.0f},"
-        "\"sweep\":{\"points\":%u,\"jobs\":%u,"
-        "\"hardware_threads\":%u,"
-        "\"serial_ms\":%.2f,\"parallel_ms\":%.2f,"
-        "\"speedup\":%.3f}}\n",
-        smoke ? "true" : "false", intrusive, reference,
-        queueSpeedup, intrusiveScattered, referenceScattered,
-        scatteredSpeedup, arena, storeOps, sweepPoints, jobs,
-        std::thread::hardware_concurrency(), serialS * 1e3,
-        parallelS * 1e3, sweepSpeedup);
+    std::ostringstream os;
+    bool first = true;
+    os << '{';
+    json::writeKey(os, first, "smoke");
+    os << (smoke ? "true" : "false");
+    json::writeKey(os, first, "queue");
+    {
+        bool qf = true;
+        os << '{';
+        field(os, qf, "intrusive_events_per_sec", "%.0f",
+              intrusive);
+        field(os, qf, "reference_events_per_sec", "%.0f",
+              reference);
+        field(os, qf, "speedup", "%.3f", queueSpeedup);
+        field(os, qf, "scattered_intrusive_events_per_sec", "%.0f",
+              intrusiveScattered);
+        field(os, qf, "scattered_reference_events_per_sec", "%.0f",
+              referenceScattered);
+        field(os, qf, "scattered_speedup", "%.3f",
+              scatteredSpeedup);
+        field(os, qf, "arena_events_per_sec", "%.0f", arena);
+        os << '}';
+    }
+    json::writeKey(os, first, "store");
+    {
+        bool sf = true;
+        os << '{';
+        field(os, sf, "ops_per_sec", "%.0f", storeOps);
+        os << '}';
+    }
+    json::writeKey(os, first, "sweep");
+    {
+        bool wf = true;
+        os << '{';
+        json::writeField(os, wf, "points",
+                         std::uint64_t{sweepPoints});
+        json::writeField(os, wf, "jobs", std::uint64_t{jobs});
+        json::writeField(
+            os, wf, "hardware_threads",
+            std::uint64_t{std::thread::hardware_concurrency()});
+        field(os, wf, "serial_ms", "%.2f", serialS * 1e3);
+        field(os, wf, "parallel_ms", "%.2f", parallelS * 1e3);
+        field(os, wf, "speedup", "%.3f", sweepSpeedup);
+        os << '}';
+    }
+    os << "}\n";
+    std::fputs(os.str().c_str(), fp);
     std::fclose(fp);
     std::printf("\nwrote %s\n", out.c_str());
     return 0;

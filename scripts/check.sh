@@ -8,12 +8,16 @@
 #   2. the tsan preset: golden + parallel-sweep determinism suites and
 #      the thread-pool unit tests under ThreadSanitizer (the `--jobs`
 #      machinery must be race-free, not just byte-stable);
-#   3. a perf smoke: the release selfbench --smoke must run and emit
+#   3. the timeseries label (windowed-JSONL golden, --timeseries-out
+#      jobs-invariance, Chrome-trace exporter) under both the release
+#      and asan-ubsan builds;
+#   4. a perf smoke: the release selfbench --smoke must run and emit
 #      well-formed JSON (numbers are host-dependent; only the shape
 #      is checked);
-#   4. clang-tidy over src/ (skipped with a warning when clang-tidy is
+#   5. clang-tidy over src/ (skipped with a warning when clang-tidy is
 #      not installed -- the CI image may not ship it);
-#   5. the project-specific lint rules in tools/lint/mercury_lint.py.
+#   6. the project-specific lint rules in tools/lint/mercury_lint.py
+#      over src/ and bench/.
 #
 # The golden observability suite (`ctest -L golden`) runs inside both
 # the asan-ubsan ctest pass and an explicit release-preset stage, so a
@@ -64,12 +68,28 @@ if [ "$skip_build" -eq 0 ]; then
     fi
     if ! cmake --build --preset release -j "$(nproc)" --target \
             fig4_request_breakdown fig5_mercury_latency \
-            fig6_iridium_latency; then
+            fig6_iridium_latency fault_sweep cluster_tail; then
         echo "check.sh: release bench build failed" >&2
         exit 1
     fi
     if ! ctest --test-dir build/release -L golden --output-on-failure; then
         echo "check.sh: golden suite failed under release" >&2
+        exit 1
+    fi
+
+    # Time-resolved telemetry: the windowed-JSONL golden, the
+    # --jobs invariance of --timeseries-out, and the Chrome-trace
+    # exporter, under both the release and sanitized builds (the
+    # sampler must be deterministic in either).
+    note "timeseries suite (release + asan-ubsan)"
+    if ! ctest --test-dir build/release -L timeseries \
+            --output-on-failure; then
+        echo "check.sh: timeseries suite failed under release" >&2
+        exit 1
+    fi
+    if ! ctest --test-dir build/asan-ubsan -L timeseries \
+            --output-on-failure; then
+        echo "check.sh: timeseries suite failed under asan-ubsan" >&2
         exit 1
     fi
 
@@ -173,7 +193,7 @@ else
 fi
 
 note "mercury lint"
-if ! python3 tools/lint/mercury_lint.py src; then
+if ! python3 tools/lint/mercury_lint.py src bench; then
     failures=$((failures + 1))
 fi
 

@@ -18,7 +18,8 @@ if [ ! -d "$build" ]; then
 fi
 
 cmake --build "$build" -j "$(nproc)" --target \
-    fig4_request_breakdown fig5_mercury_latency fig6_iridium_latency
+    fig4_request_breakdown fig5_mercury_latency fig6_iridium_latency \
+    fault_sweep
 
 declare -A benches=(
     [fig4_smoke]=fig4_request_breakdown
@@ -40,4 +41,18 @@ for golden in "${!benches[@]}"; do
     fi
 done
 
-echo "goldens updated; review and commit tests/golden/*.json"
+# Windowed-telemetry golden: the fault_sweep recovery curve's JSONL
+# (tests/golden/run_timeseries_golden.sh pins these bytes).
+ts_out=tests/golden/fault_recovery_smoke.jsonl
+if [ -f "$ts_out" ]; then
+    cp "$ts_out" "$ts_out.orig"
+fi
+"$build/bench/fault_sweep" --smoke --sample-interval=5000 \
+    --timeseries-out="$ts_out" > /dev/null
+echo "$(python3 tools/statdiff.py --digest "$ts_out")  $ts_out"
+if [ -f "$ts_out.orig" ]; then
+    python3 tools/tsplot.py diff -q "$ts_out.orig" "$ts_out" || true
+    rm -f "$ts_out.orig"
+fi
+
+echo "goldens updated; review and commit tests/golden/*.json(l)"

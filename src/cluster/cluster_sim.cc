@@ -21,6 +21,7 @@ ClusterSim::ClusterSim(const ClusterSimParams &params)
         server::ServerModelParams node_params = params_.node;
         node_params.name = name;
         node_params.seed = params_.seed + i + 1;
+        node_params.tracer = params_.tracer;
         if (params_.faults.enabled) {
             node_params.net.lossProbability =
                 params_.faults.packetLossProbability;
@@ -105,6 +106,31 @@ ClusterSim::run(double offered_tps)
     for (const auto &node : nodes_)
         node->advanceTo(origin);
 
+    // Recovery-curve channels. Registered (and begun) only when a
+    // sampler was attached; everything below that feeds them is
+    // guarded, so an unsampled run takes the identical path.
+    stats::Sampler *const sampler = params_.sampler;
+    trace::Tracer *const tracer = params_.tracer;
+    std::size_t ch_requests = 0, ch_ok = 0, ch_failed = 0;
+    std::size_t ch_timeouts = 0, ch_retries = 0;
+    std::size_t ch_crashes = 0, ch_restarts = 0;
+    std::size_t ch_gets = 0, ch_hits = 0, ch_lat = 0;
+    if (sampler) {
+        ch_requests = sampler->addCounter("requests");
+        ch_ok = sampler->addCounter("ok");
+        ch_failed = sampler->addCounter("failed");
+        ch_timeouts = sampler->addCounter("timeouts");
+        ch_retries = sampler->addCounter("retries");
+        ch_crashes = sampler->addCounter("crashes");
+        ch_restarts = sampler->addCounter("restarts");
+        ch_gets = sampler->addCounter("gets");
+        ch_hits = sampler->addCounter("hits");
+        sampler->addRatio("availability", ch_ok, ch_requests, 1.0);
+        sampler->addRatio("hit_rate", ch_hits, ch_gets, 1.0);
+        ch_lat = sampler->addLatency("lat_us");
+        sampler->begin(origin);
+    }
+
     std::vector<Tick> latencies;
     latencies.reserve(params_.requests);
     std::vector<std::vector<Tick>> per_node(nodes_.size());
@@ -139,6 +165,8 @@ ClusterSim::run(double offered_tps)
         injector_.record(at, fault::FaultKind::NodeCrash,
                          nodeNames_[victim]);
         ++result.crashes;
+        if (sampler)
+            sampler->count(ch_crashes);
     };
     auto restart = [&](std::size_t index, Tick at) {
         up[index] = true;
@@ -149,6 +177,8 @@ ClusterSim::run(double offered_tps)
         injector_.record(at, fault::FaultKind::NodeRestart,
                          nodeNames_[index]);
         ++result.restarts;
+        if (sampler)
+            sampler->count(ch_restarts);
     };
 
     Tick arrival = origin;
@@ -159,24 +189,65 @@ ClusterSim::run(double offered_tps)
         const std::string key = keyFor(request.keyId);
         const bool measured = i >= params_.warmup;
 
+        // The sampler sees every request, warmup included: recovery
+        // curves want the full trajectory, not just the measured
+        // tail. Windows close strictly on arrival ticks, so the
+        // emitted series is a pure function of the simulated
+        // timeline.
+        if (sampler) {
+            sampler->advanceTo(arrival);
+            sampler->count(ch_requests);
+        }
+        const std::uint32_t client_req =
+            tracer ? tracer->beginRequest() : 0;
+
         if (!fp.enabled) {
             const std::size_t index = nodeIndexFor(key);
             server::ServerModel &node = *nodes_[index];
 
             node.advanceTo(arrival);
-            if (request.op == workload::Request::Op::Get) {
-                const server::RequestTiming timing = node.get(key);
-                if (measured) {
-                    ++gets;
-                    hits += timing.hit ? 1 : 0;
+            {
+                // Node-side spans carry the serving node's identity
+                // and the client envelope as causal parent.
+                trace::ScopedTraceContext span_ctx(
+                    tracer, static_cast<std::uint16_t>(index),
+                    client_req);
+                if (request.op == workload::Request::Op::Get) {
+                    const server::RequestTiming timing =
+                        node.get(key);
+                    if (measured) {
+                        ++gets;
+                        hits += timing.hit ? 1 : 0;
+                    }
+                    if (sampler) {
+                        sampler->count(ch_gets);
+                        if (timing.hit)
+                            sampler->count(ch_hits);
+                    }
+                } else {
+                    node.put(key, params_.valueBytes);
                 }
-            } else {
-                node.put(key, params_.valueBytes);
+                MERCURY_TRACE_SPAN(tracer, client_req,
+                                   trace::Stage::Attempt, arrival,
+                                   node.now(), 0);
+            }
+            if (tracer) {
+                trace::ScopedTraceContext span_ctx(
+                    tracer, trace::clientNode);
+                MERCURY_TRACE_SPAN(tracer, client_req,
+                                   trace::Stage::Client, arrival,
+                                   node.now(), 1);
             }
 
+            const Tick latency = node.now() - arrival;
+            if (sampler) {
+                sampler->count(ch_ok);
+                sampler->recordLatency(
+                    ch_lat, static_cast<std::uint64_t>(
+                                latency / tickUs));
+            }
             if (!measured)
                 continue;
-            const Tick latency = node.now() - arrival;
             latencies.push_back(latency);
             per_node[index].push_back(latency);
             ++counts[index];
@@ -226,15 +297,31 @@ ClusterSim::run(double offered_tps)
             ring_.nodesFor(key, fp.maxRetries + 1);
         Tick penalty = 0;
         bool served = false;
+        Tick answered_at = arrival;
         for (unsigned attempt = 0; attempt <= fp.maxRetries;
              ++attempt) {
             const std::size_t index =
                 indexOfName(order[attempt % order.size()]);
+            const Tick attempt_begin = arrival + penalty;
             if (!up[index]) {
                 penalty += fp.requestTimeout;
                 if (measured)
                     ++result.timeouts;
+                if (sampler)
+                    sampler->count(ch_timeouts);
+                {
+                    // A timed-out attempt still names the node the
+                    // client was waiting on.
+                    trace::ScopedTraceContext span_ctx(
+                        tracer, static_cast<std::uint16_t>(index),
+                        client_req);
+                    MERCURY_TRACE_SPAN(tracer, client_req,
+                                       trace::Stage::Attempt,
+                                       attempt_begin,
+                                       arrival + penalty, attempt);
+                }
                 if (attempt < fp.maxRetries) {
+                    const Tick backoff_begin = arrival + penalty;
                     const Tick backoff = fp.backoffBase << attempt;
                     // Scaling a Tick by a unitless jitter factor,
                     // not converting seconds.
@@ -244,6 +331,17 @@ ClusterSim::run(double offered_tps)
                         injector_.jitter(fp.backoffJitter));
                     if (measured)
                         ++result.retries;
+                    if (sampler)
+                        sampler->count(ch_retries);
+                    {
+                        trace::ScopedTraceContext span_ctx(
+                            tracer, trace::clientNode, client_req);
+                        MERCURY_TRACE_SPAN(tracer, client_req,
+                                           trace::Stage::Backoff,
+                                           backoff_begin,
+                                           arrival + penalty,
+                                           attempt);
+                    }
                 }
                 continue;
             }
@@ -251,24 +349,46 @@ ClusterSim::run(double offered_tps)
             server::ServerModel &node = *nodes_[index];
             node.advanceTo(arrival + penalty);
             bool refill = false;
-            if (request.op == workload::Request::Op::Get) {
-                const server::RequestTiming timing = node.get(key);
-                if (measured) {
-                    ++gets;
-                    hits += timing.hit ? 1 : 0;
+            {
+                trace::ScopedTraceContext span_ctx(
+                    tracer, static_cast<std::uint16_t>(index),
+                    client_req);
+                if (request.op == workload::Request::Op::Get) {
+                    const server::RequestTiming timing =
+                        node.get(key);
+                    if (measured) {
+                        ++gets;
+                        hits += timing.hit ? 1 : 0;
+                    }
+                    if (sampler) {
+                        sampler->count(ch_gets);
+                        if (timing.hit)
+                            sampler->count(ch_hits);
+                    }
+                    if (recovering[index] > 0) {
+                        --recovering[index];
+                        ++recovery_gets;
+                        recovery_hits += timing.hit ? 1 : 0;
+                    }
+                    refill = !timing.hit;
+                } else {
+                    node.put(key, params_.valueBytes);
                 }
-                if (recovering[index] > 0) {
-                    --recovering[index];
-                    ++recovery_gets;
-                    recovery_hits += timing.hit ? 1 : 0;
-                }
-                refill = !timing.hit;
-            } else {
-                node.put(key, params_.valueBytes);
+                MERCURY_TRACE_SPAN(tracer, client_req,
+                                   trace::Stage::Attempt,
+                                   attempt_begin, node.now(),
+                                   attempt);
             }
 
+            answered_at = node.now();
+            const Tick latency = node.now() - arrival;
+            if (sampler) {
+                sampler->count(ch_ok);
+                sampler->recordLatency(
+                    ch_lat, static_cast<std::uint64_t>(
+                                latency / tickUs));
+            }
             if (measured) {
-                const Tick latency = node.now() - arrival;
                 latencies.push_back(latency);
                 per_node[index].push_back(latency);
                 ++counts[index];
@@ -281,8 +401,20 @@ ClusterSim::run(double offered_tps)
             served = true;
             break;
         }
-        if (!served && measured)
-            ++result.failedRequests;
+        if (!served) {
+            if (measured)
+                ++result.failedRequests;
+            if (sampler)
+                sampler->count(ch_failed);
+            answered_at = arrival + penalty;
+        }
+        if (tracer) {
+            trace::ScopedTraceContext span_ctx(tracer,
+                                               trace::clientNode);
+            MERCURY_TRACE_SPAN(tracer, client_req,
+                               trace::Stage::Client, arrival,
+                               answered_at, served ? 1 : 0);
+        }
     }
 
     if (!latencies.empty()) {
@@ -349,6 +481,8 @@ ClusterSim::run(double offered_tps)
         result.netRetransmits += node->netRetransmits();
     }
     result.faultTimelineDigest = injector_.timelineDigest();
+    if (sampler)
+        sampler->finish(arrival);
     return result;
 }
 

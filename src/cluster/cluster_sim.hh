@@ -19,6 +19,8 @@
 #include "cluster/ring.hh"
 #include "server/server_model.hh"
 #include "sim/fault.hh"
+#include "sim/sampler.hh"
+#include "sim/trace.hh"
 #include "workload/workload.hh"
 
 namespace mercury::cluster
@@ -83,6 +85,30 @@ struct ClusterSimParams
     std::uint64_t seed = 17;
 
     ClusterFaultParams faults{};
+
+    /**
+     * Optional windowed time-series sampler. When non-null, run()
+     * registers its recovery-curve channels (requests, availability,
+     * hit rate, windowed latency percentiles, fault counters) on it,
+     * begins it at the run's time origin, and feeds it every request
+     * -- warmup included, so the emitted trajectory covers the full
+     * timeline. The sampler must be freshly constructed (channels
+     * not yet frozen); ClusterSim finishes it before run() returns.
+     * Null (the default) skips all of it: sampling is pure
+     * observation and a sampled run computes the exact same result.
+     */
+    stats::Sampler *sampler = nullptr;
+
+    /**
+     * Optional request tracer for cross-node spans: a Client
+     * envelope per request (node id trace::clientNode), an Attempt
+     * span per client attempt (carrying the serving node's id and
+     * the client request as causal parent), Backoff spans between
+     * failed attempts, and the per-node ServerModel stage spans
+     * recorded under the attempt's context. Null (the default)
+     * records nothing.
+     */
+    trace::Tracer *tracer = nullptr;
 };
 
 /** Outcome of one cluster run. */

@@ -45,6 +45,21 @@ LoadSimulation::run(double offered_tps)
     latencies.reserve(params_.requests);
 
     Tick arrival = node_.now();
+
+    // Optional windowed time series. Everything below that feeds the
+    // sampler is guarded, so an unsampled run takes the identical
+    // path; sampling is pure observation of the same timeline.
+    stats::Sampler *const sampler = params_.sampler;
+    std::size_t ch_requests = 0, ch_gets = 0, ch_hits = 0;
+    std::size_t ch_lat = 0;
+    if (sampler) {
+        ch_requests = sampler->addCounter("requests");
+        ch_gets = sampler->addCounter("gets");
+        ch_hits = sampler->addCounter("hits");
+        sampler->addRatio("hit_rate", ch_hits, ch_gets, 1.0);
+        ch_lat = sampler->addLatency("lat_us");
+        sampler->begin(arrival);
+    }
     Tick first_measured_arrival = 0;
     for (unsigned i = 0; i < params_.warmup + params_.requests; ++i) {
         const Tick prev_arrival = arrival;
@@ -64,16 +79,32 @@ LoadSimulation::run(double offered_tps)
         const std::string key =
             "v" + std::to_string(params_.valueBytes) + ":" +
             std::to_string(rng.nextInt(keys_));
-        if (rng.nextBool(params_.getFraction))
-            node_.get(key);
-        else
+        if (sampler) {
+            sampler->advanceTo(arrival);
+            sampler->count(ch_requests);
+        }
+        if (rng.nextBool(params_.getFraction)) {
+            const RequestTiming timing = node_.get(key);
+            if (sampler) {
+                sampler->count(ch_gets);
+                if (timing.hit)
+                    sampler->count(ch_hits);
+            }
+        } else {
             node_.put(key, params_.valueBytes);
+        }
 
         MERCURY_ASSERT(node_.now() >= arrival,
                        "request completed before it arrived");
+        if (sampler)
+            sampler->recordLatency(
+                ch_lat, static_cast<std::uint64_t>(
+                            (node_.now() - arrival) / tickUs));
         if (i >= params_.warmup)
             latencies.push_back(node_.now() - arrival);
     }
+    if (sampler)
+        sampler->finish(arrival);
 
     std::sort(latencies.begin(), latencies.end());
     auto at = [&](double q) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "server/server_model.hh"
+#include "sim/sampler.hh"
 #include "workload/workload.hh"
 
 namespace mercury::server
@@ -31,6 +32,16 @@ struct LoadSimParams
     unsigned requests = 400;
     unsigned warmup = 40;
     std::uint64_t seed = 3;
+
+    /**
+     * Optional windowed time-series sampler for run(): requests,
+     * hit rate and windowed latency percentiles per sample window,
+     * warmup included. Must be freshly constructed; run() registers
+     * the channels, begins it at the first arrival and finishes it
+     * before returning, so attach a new sampler per run(). Null (the
+     * default) changes nothing.
+     */
+    stats::Sampler *sampler = nullptr;
 };
 
 /** One point of the latency-vs-load curve. */
@@ -55,6 +66,13 @@ class LoadSimulation
 
     /** Run one open-loop experiment at an offered rate. */
     LoadPoint run(double offered_tps);
+
+    /** Attach (or detach with null) the sampler the next run() will
+     * feed; see LoadSimParams::sampler for the contract. */
+    void setSampler(stats::Sampler *sampler)
+    {
+        params_.sampler = sampler;
+    }
 
     /** Latency curve at the given fractions of capacity. */
     std::vector<LoadPoint>

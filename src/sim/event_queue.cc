@@ -2,10 +2,58 @@
 
 #include <vector>
 
+#if MERCURY_EVENT_PROFILE
+#include <chrono>
+#endif
+
 #include "sim/contract.hh"
+#include "sim/json.hh"
 
 namespace mercury
 {
+
+void
+EventProfiler::writeJson(std::ostream &os) const
+{
+    bool first = true;
+    os << "{";
+    json::writeField(os, first, "serviced", serviced_);
+    json::writeField(os, first, "host_ns", hostNs_);
+    json::writeField(os, first, "shape_samples", shapeSamples_);
+    json::writeField(os, first, "mean_depth", meanDepth());
+    json::writeField(os, first, "max_depth", depthMax_);
+    json::writeField(os, first, "mean_bins", meanBins());
+    json::writeField(os, first, "max_bins", binMax_);
+    json::writeKey(os, first, "types");
+    os << "{";
+    bool first_type = true;
+    for (const auto &[type, cost] : costs_) {
+        json::writeKey(os, first_type, type);
+        os << "{";
+        bool first_field = true;
+        json::writeField(os, first_field, "serviced", cost.serviced);
+        json::writeField(os, first_field, "host_ns", cost.hostNs);
+        json::writeField(os, first_field, "share",
+                         hostNs_ ? static_cast<double>(cost.hostNs) /
+                                       static_cast<double>(hostNs_)
+                                 : 0.0);
+        os << "}";
+    }
+    os << "}}\n";
+}
+
+void
+EventProfiler::clear()
+{
+    costs_.clear();
+    serviced_ = 0;
+    hostNs_ = 0;
+    shapeSamples_ = 0;
+    depthSum_ = 0;
+    depthMax_ = 0;
+    binSum_ = 0;
+    binMax_ = 0;
+}
 
 Event::~Event()
 {
@@ -47,8 +95,10 @@ EventQueue::checkInvariants() const
     // scheduled, and link back consistently; the member count must
     // match size().
     std::size_t counted = 0;
+    std::size_t countedBins = 0;
     const Event *prevBin = nullptr;
     for (const Event *bin = head_; bin; bin = bin->_nextBin) {
+        ++countedBins;
         if (!bin->_binHead)
             return false;
         if (bin->_prevBin != prevBin)
@@ -76,6 +126,8 @@ EventQueue::checkInvariants() const
     }
     if (tail_ != prevBin)
         return false;
+    if (countedBins != binCount_)
+        return false;
     return counted == size_;
 }
 
@@ -95,6 +147,7 @@ EventQueue::link(Event *event)
     if (!head_) {
         event->_binHead = true;
         head_ = tail_ = event;
+        ++binCount_;
         return;
     }
 
@@ -119,6 +172,7 @@ EventQueue::link(Event *event)
             else
                 head_ = event;
             bin->_prevBin = event;
+            ++binCount_;
             return;
         }
     }
@@ -129,6 +183,7 @@ EventQueue::link(Event *event)
         event->_prevBin = tail_;
         tail_->_nextBin = event;
         tail_ = event;
+        ++binCount_;
         return;
     }
 
@@ -160,6 +215,7 @@ EventQueue::unlink(Event *event)
             event->_nextBin->_prevBin = event->_prevBin;
         else
             tail_ = event->_prevBin;
+        --binCount_;
     } else {
         // Promote the next-oldest member to bin head.
         Event *next = event->_nextInBin;
@@ -261,6 +317,11 @@ EventQueue::serviceOne()
     Event *event = head_;
     MERCURY_ASSERT(event->_when >= _curTick, "event queue time warp: ",
                    "head when=", event->_when, " curTick=", _curTick);
+#if MERCURY_EVENT_PROFILE
+    // Shape before the unlink: the depth/occupancy this service saw.
+    profiler_.noteQueueShape(size_, binCount_);
+    const std::string profiledType = event->description();
+#endif
     unlink(event);
     --size_;
     _curTick = event->_when;
@@ -268,7 +329,18 @@ EventQueue::serviceOne()
 
     event->_scheduled = false;
     ++_numServiced;
+#if MERCURY_EVENT_PROFILE
+    const auto hostBegin = std::chrono::steady_clock::now();
     event->process();
+    profiler_.noteService(
+        profiledType,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - hostBegin)
+                .count()));
+#else
+    event->process();
+#endif
     MERCURY_ASSERT_SLOW(checkInvariants(),
                         "event queue ", _name,
                         " inconsistent after servicing ",

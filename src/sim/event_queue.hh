@@ -32,15 +32,123 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <ostream>
 #include <string>
+#include <vector>
 
 #include "sim/event_arena.hh"
 #include "sim/types.hh"
+
+#ifndef MERCURY_EVENT_PROFILE
+#define MERCURY_EVENT_PROFILE 0
+#endif
 
 namespace mercury
 {
 
 class EventQueue;
+
+/**
+ * Host-side cost map of an event queue's activity: where host cycles
+ * go per event type, plus queue depth / first-level bin occupancy at
+ * every service. This is the measurement the conservative-PDES
+ * sharding work is designed against ("which subsystems dominate host
+ * time, and how contended is the queue").
+ *
+ * The class itself is always compiled (it is directly unit-tested);
+ * the EventQueue hooks that feed it with steady_clock measurements
+ * around process() exist only when configured with
+ * -DMERCURY_PROFILE_EVENTS=ON. The default build's serviceOne is
+ * hook-free, so the zero-overhead-off contract holds at the
+ * instruction level, and the simulated timeline is identical either
+ * way (profiling is pure host-side observation).
+ *
+ * Host times are inherently machine-dependent; nothing emitted here
+ * is golden-pinned. Aggregation by type is a std::map, so writeJson
+ * emits types in sorted order -- the *structure* is deterministic
+ * even though the numbers are not.
+ */
+class EventProfiler
+{
+  public:
+    struct TypeCost
+    {
+        std::uint64_t serviced = 0;
+        std::uint64_t hostNs = 0;
+    };
+
+    /** Account one serviced event of @p type costing @p host_ns. */
+    void
+    noteService(const std::string &type, std::uint64_t host_ns)
+    {
+        TypeCost &cost = costs_[type];
+        ++cost.serviced;
+        cost.hostNs += host_ns;
+        ++serviced_;
+        hostNs_ += host_ns;
+    }
+
+    /** Sample the queue shape (events pending, first-level bins)
+     * observed at one service. */
+    void
+    noteQueueShape(std::size_t depth, std::size_t bins)
+    {
+        ++shapeSamples_;
+        depthSum_ += depth;
+        binSum_ += bins;
+        if (depth > depthMax_)
+            depthMax_ = depth;
+        if (bins > binMax_)
+            binMax_ = bins;
+    }
+
+    std::uint64_t serviced() const { return serviced_; }
+    std::uint64_t hostNs() const { return hostNs_; }
+    std::uint64_t shapeSamples() const { return shapeSamples_; }
+    std::uint64_t maxDepth() const { return depthMax_; }
+    std::uint64_t maxBins() const { return binMax_; }
+
+    double
+    meanDepth() const
+    {
+        return shapeSamples_ ? static_cast<double>(depthSum_) /
+                                   static_cast<double>(shapeSamples_)
+                             : 0.0;
+    }
+
+    double
+    meanBins() const
+    {
+        return shapeSamples_ ? static_cast<double>(binSum_) /
+                                   static_cast<double>(shapeSamples_)
+                             : 0.0;
+    }
+
+    /** Per-type costs, keyed and iterated in sorted type order. */
+    const std::map<std::string, TypeCost> &costs() const
+    {
+        return costs_;
+    }
+
+    /**
+     * One JSON object: totals, queue-shape summary, and a "types"
+     * map of {serviced, host_ns, share} sorted by type name.
+     */
+    void writeJson(std::ostream &os) const;
+
+    void clear();
+
+  private:
+    std::map<std::string, TypeCost> costs_;
+    std::uint64_t serviced_ = 0;
+    std::uint64_t hostNs_ = 0;
+    std::uint64_t shapeSamples_ = 0;
+    std::uint64_t depthSum_ = 0;
+    std::uint64_t depthMax_ = 0;
+    std::uint64_t binSum_ = 0;
+    std::uint64_t binMax_ = 0;
+};
 
 /**
  * An occurrence scheduled to happen at a future tick.
@@ -153,6 +261,10 @@ class EventQueue
 
     bool empty() const { return size_ == 0; }
 
+    /** Number of first-level (tick, priority) bins currently live;
+     * size()/bins() is the mean bin occupancy. */
+    std::size_t bins() const { return binCount_; }
+
     /** Total events serviced since construction. */
     Counter numServiced() const { return _numServiced; }
 
@@ -219,6 +331,13 @@ class EventQueue
     /** The queue's event arena (exposed for capacity probes). */
     const EventArena &arena() const { return arena_; }
 
+#if MERCURY_EVENT_PROFILE
+    /** Host-side profiler fed by serviceOne (profiling builds only;
+     * guard call sites with `#if MERCURY_EVENT_PROFILE`). */
+    EventProfiler &profiler() { return profiler_; }
+    const EventProfiler &profiler() const { return profiler_; }
+#endif
+
   private:
     /** Tick of the next event to service; queue must be non-empty. */
     Tick headWhen() const { return head_->_when; }
@@ -258,11 +377,16 @@ class EventQueue
     std::uint64_t _nextSequence = 0;
     Counter _numServiced = 0;
     std::size_t size_ = 0;
+    /** Live first-level bins (maintained by link/unlink). */
+    std::size_t binCount_ = 0;
     /** Head of the first-level bin list (earliest bin), or nullptr. */
     Event *head_ = nullptr;
     /** Last bin, for O(1) append-beyond-the-end scheduling. */
     Event *tail_ = nullptr;
     EventArena arena_;
+#if MERCURY_EVENT_PROFILE
+    EventProfiler profiler_;
+#endif
 };
 
 } // namespace mercury

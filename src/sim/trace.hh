@@ -49,10 +49,19 @@ enum class Stage : std::uint8_t
     Memory,    ///< explicit DRAM/flash persistence (PUT programs)
     NicOut,    ///< server -> client wire
     Request,   ///< whole-request envelope span
+    Client,    ///< cluster client-side envelope (arrival -> answer)
+    Attempt,   ///< one client attempt against one node (or timeout)
+    Backoff,   ///< client retry backoff between attempts
 };
 
 /** Stable printable name ("nic-in", "store-walk", ...). */
 const char *stageName(Stage stage);
+
+/** Node id of client-side spans in a cluster trace. */
+constexpr std::uint16_t clientNode = 0xffff;
+
+/** Span::parent value meaning "no causal parent". */
+constexpr std::uint32_t noParent = 0xffffffff;
 
 /** One recorded stage span. */
 struct Span
@@ -61,6 +70,12 @@ struct Span
     Tick end = 0;
     std::uint64_t arg = 0;   ///< stage-specific (bytes, hit flag...)
     std::uint32_t request = 0;
+    /** Request id this span's request was issued on behalf of
+     * (client -> ring -> failover hops), or noParent. */
+    std::uint32_t parent = noParent;
+    /** Node/shard the span executed on (clientNode for the
+     * cluster client side; 0 for single-node runs). */
+    std::uint16_t node = 0;
     Stage stage{};
 };
 
@@ -80,6 +95,24 @@ class Tracer
         return nextRequest_++;
     }
 
+    /**
+     * Recording context: spans stamped until the next set. A cluster
+     * harness sets (node, parentRequest) around each per-node model
+     * invocation, so the model's unchanged record() calls produce
+     * cross-node causally-linked spans. ScopedTraceContext restores
+     * the previous context on scope exit and tolerates a null
+     * tracer.
+     */
+    void
+    setContext(std::uint16_t node, std::uint32_t parent = noParent)
+    {
+        node_ = node;
+        parent_ = parent;
+    }
+
+    std::uint16_t contextNode() const { return node_; }
+    std::uint32_t contextParent() const { return parent_; }
+
     /** Record one stage span. No-op while disabled. */
     void
     record(std::uint32_t request, Stage stage, Tick begin, Tick end,
@@ -92,6 +125,8 @@ class Tracer
         span.end = end;
         span.arg = arg;
         span.request = request;
+        span.parent = parent_;
+        span.node = node_;
         span.stage = stage;
         ++written_;
     }
@@ -122,6 +157,16 @@ class Tracer
     /** One JSON object per line, oldest retained span first. */
     void writeJsonl(std::ostream &os) const;
 
+    /**
+     * Chrome trace-event JSON (loadable in Perfetto or
+     * chrome://tracing): one complete ("X") event per span with
+     * pid = node, tid = request and timestamps in microseconds,
+     * process-name metadata per node, and flow arrows from each
+     * cluster Client envelope to its Attempt spans so the
+     * client -> node -> failover causality renders as arrows.
+     */
+    void writeChromeJson(std::ostream &os) const;
+
     /** FNV-1a fold of the retained spans, for drift tests. */
     std::uint64_t digest() const;
 
@@ -131,7 +176,43 @@ class Tracer
     bool enabled_ = true;
     std::uint32_t nextRequest_ = 0;
     std::uint64_t written_ = 0;
+    std::uint16_t node_ = 0;
+    std::uint32_t parent_ = noParent;
     std::vector<Span> ring_;
+};
+
+/**
+ * RAII context guard: installs (node, parent) on construction,
+ * restores the previous context on destruction. Null tracer is a
+ * no-op, so harness code can guard unconditionally.
+ */
+class ScopedTraceContext
+{
+  public:
+    ScopedTraceContext(Tracer *tracer, std::uint16_t node,
+                       std::uint32_t parent = noParent)
+        : tracer_(tracer)
+    {
+        if (tracer_) {
+            prevNode_ = tracer_->contextNode();
+            prevParent_ = tracer_->contextParent();
+            tracer_->setContext(node, parent);
+        }
+    }
+
+    ~ScopedTraceContext()
+    {
+        if (tracer_)
+            tracer_->setContext(prevNode_, prevParent_);
+    }
+
+    ScopedTraceContext(const ScopedTraceContext &) = delete;
+    ScopedTraceContext &operator=(const ScopedTraceContext &) = delete;
+
+  private:
+    Tracer *tracer_;
+    std::uint16_t prevNode_ = 0;
+    std::uint32_t prevParent_ = noParent;
 };
 
 } // namespace mercury::trace

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Cluster-level telemetry tests: the recovery-curve sampler and the
+ * cross-node trace spans emitted by ClusterSim::run.
+ *
+ * The sampler/tracer must be pure observation (a sampled run computes
+ * the identical timeline), deterministic byte for byte, and causally
+ * consistent: every Attempt span points back at the client envelope
+ * it was issued for.
+ */
+
+#include <cctype>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_sim.hh"
+
+namespace
+{
+
+using namespace mercury;
+using namespace mercury::cluster;
+
+ClusterSimParams
+crashyCluster()
+{
+    ClusterSimParams p;
+    p.node.core = cpu::cortexA7Params();
+    p.node.withL2 = false;
+    p.node.storeMemLimit = 32 * miB;
+    p.nodes = 4;
+    p.numKeys = 800;
+    p.zipfTheta = 0.9;
+    p.requests = 500;
+    p.warmup = 50;
+    p.faults.enabled = true;
+    p.faults.nodeCrashesPerSecond = 400.0;
+    p.faults.nodeDowntime = 3 * tickMs;
+    p.faults.requestTimeout = 500 * tickUs;
+    p.faults.maxRetries = 2;
+    p.faults.backoffBase = 100 * tickUs;
+    p.faults.seed = 0xfa17;
+    return p;
+}
+
+/** Sum every occurrence of "key":<uint> across the JSONL lines. */
+std::uint64_t
+sumField(const std::string &jsonl, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":";
+    std::uint64_t total = 0;
+    std::size_t pos = 0;
+    while ((pos = jsonl.find(needle, pos)) != std::string::npos) {
+        pos += needle.size();
+        std::uint64_t value = 0;
+        while (pos < jsonl.size() &&
+               std::isdigit(static_cast<unsigned char>(jsonl[pos])))
+            value = value * 10 + (jsonl[pos++] - '0');
+        total += value;
+    }
+    return total;
+}
+
+TEST(ClusterTelemetry, SamplerWindowsSumToTheWholeRun)
+{
+    const ClusterSimParams params = crashyCluster();
+    stats::Sampler sampler(2 * tickMs, "test");
+    ClusterSim sim(params);
+
+    ClusterSimParams with = params;
+    with.sampler = &sampler;
+    ClusterSim sampled(with);
+    const ClusterSimResult r =
+        sampled.run(0.3 * sim.aggregateCapacity());
+
+    EXPECT_GT(sampler.windowsClosed(), 1u);
+    const std::string &out = sampler.jsonl();
+    // Every request lands in exactly one window, warmup included.
+    EXPECT_EQ(sumField(out, "requests"),
+              params.warmup + params.requests);
+    EXPECT_EQ(sumField(out, "lat_us_count"),
+              sumField(out, "ok"));
+    // Crash/restart episodes are ungated by warmup on both sides.
+    EXPECT_EQ(sumField(out, "crashes"), r.crashes);
+    EXPECT_EQ(sumField(out, "restarts"), r.restarts);
+    // The sampler sees warmup timeouts the measured result skips.
+    EXPECT_GE(sumField(out, "timeouts"), r.timeouts);
+}
+
+TEST(ClusterTelemetry, SamplingIsPureObservation)
+{
+    const ClusterSimParams params = crashyCluster();
+    ClusterSim plain(params);
+
+    ClusterSimParams with = params;
+    stats::Sampler sampler(2 * tickMs);
+    with.sampler = &sampler;
+    ClusterSim sampled(with);
+
+    const double offered = 0.3 * plain.aggregateCapacity();
+    const ClusterSimResult a = plain.run(offered);
+    const ClusterSimResult b = sampled.run(offered);
+
+    EXPECT_EQ(a.faultTimelineDigest, b.faultTimelineDigest);
+    EXPECT_EQ(a.timeouts, b.timeouts);
+    EXPECT_EQ(a.availability, b.availability);
+    EXPECT_EQ(a.hitRate, b.hitRate);
+    EXPECT_EQ(a.avgLatencyUs, b.avgLatencyUs);
+    EXPECT_EQ(a.p99LatencyUs, b.p99LatencyUs);
+    EXPECT_EQ(a.p999LatencyUs, b.p999LatencyUs);
+}
+
+TEST(ClusterTelemetry, SamplerBytesAreDeterministic)
+{
+    auto run = [] {
+        ClusterSimParams params = crashyCluster();
+        stats::Sampler sampler(2 * tickMs, "det");
+        params.sampler = &sampler;
+        ClusterSim sim(params);
+        sim.run(0.3 * sim.aggregateCapacity());
+        return sampler.jsonl();
+    };
+    const std::string a = run();
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, run());
+}
+
+TEST(ClusterTelemetry, AttemptSpansCarryCausalParents)
+{
+    ClusterSimParams params = crashyCluster();
+    trace::Tracer tracer(1 << 17);
+    params.tracer = &tracer;
+    ClusterSim sim(params);
+    const ClusterSimResult r =
+        sim.run(0.3 * sim.aggregateCapacity());
+    ASSERT_GT(r.crashes, 0u);
+    ASSERT_EQ(tracer.droppedSpans(), 0u)
+        << "grow the test ring: causality check needs every span";
+
+    std::set<std::uint32_t> client_reqs;
+    std::size_t attempts = 0, backoffs = 0;
+    for (std::size_t i = 0; i < tracer.size(); ++i) {
+        const trace::Span &s = tracer.span(i);
+        if (s.stage == trace::Stage::Client) {
+            EXPECT_EQ(s.node, trace::clientNode);
+            EXPECT_EQ(s.parent, trace::noParent);
+            client_reqs.insert(s.request);
+        }
+    }
+    EXPECT_EQ(client_reqs.size(), params.warmup + params.requests);
+
+    for (std::size_t i = 0; i < tracer.size(); ++i) {
+        const trace::Span &s = tracer.span(i);
+        switch (s.stage) {
+          case trace::Stage::Attempt:
+            ++attempts;
+            // Executed on a real node, on behalf of a client
+            // envelope that exists in the trace.
+            EXPECT_LT(s.node, params.nodes);
+            ASSERT_NE(s.parent, trace::noParent);
+            EXPECT_EQ(client_reqs.count(s.parent), 1u);
+            // Failover hops share the envelope's request id, which
+            // is what pairs the Chrome flow arrows.
+            EXPECT_EQ(s.request, s.parent);
+            break;
+          case trace::Stage::Backoff:
+            ++backoffs;
+            // Backoff is client-side waiting.
+            EXPECT_EQ(s.node, trace::clientNode);
+            EXPECT_EQ(client_reqs.count(s.parent), 1u);
+            break;
+          default:
+            break;
+        }
+    }
+    // Every request got at least one attempt; crashes forced some
+    // retries, so there are more attempts than requests plus at
+    // least one backoff.
+    EXPECT_GE(attempts, params.warmup + params.requests);
+    EXPECT_GT(backoffs, 0u);
+}
+
+} // anonymous namespace

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Parallel-sweep determinism check: run one bench's smoke config at
-# --jobs 1, 2, and 8 and require stdout AND the --stats-json dump to
-# be byte-identical across all three. This is the contract that lets
-# `--jobs N` be a pure wall-clock knob: per-point state isolation
-# plus submission-order merging make worker count unobservable.
+# --jobs 1, 2, and 8 and require stdout, the --stats-json dump AND
+# the --timeseries-out windowed JSONL to be byte-identical across all
+# three. This is the contract that lets `--jobs N` be a pure
+# wall-clock knob: per-point state isolation plus submission-order
+# merging make worker count unobservable.
 #
 # The stats digest printed on success is the same FNV-1a the golden
 # suite uses (tools/statdiff.py), so a drift here can be compared
@@ -29,7 +30,9 @@ trap 'rm -rf "$tmpdir"' EXIT
 
 for jobs in 1 2 8; do
     "$bin" --smoke --jobs="$jobs" \
-        --stats-json="$tmpdir/stats_$jobs.json" "$@" \
+        --stats-json="$tmpdir/stats_$jobs.json" \
+        --timeseries-out="$tmpdir/ts_$jobs.jsonl" \
+        --sample-interval=5000 "$@" \
         > "$tmpdir/stdout_$jobs.txt"
 done
 
@@ -44,6 +47,12 @@ for jobs in 2 8; do
         echo "$name: stats JSON differs between --jobs 1 and --jobs $jobs:" >&2
         python3 "$statdiff" "$tmpdir/stats_1.json" \
             "$tmpdir/stats_$jobs.json" >&2 || true
+        status=1
+    fi
+    if ! cmp -s "$tmpdir/ts_1.jsonl" "$tmpdir/ts_$jobs.jsonl"; then
+        echo "$name: timeseries JSONL differs between --jobs 1 and --jobs $jobs:" >&2
+        python3 "$script_dir/../../tools/tsplot.py" diff \
+            "$tmpdir/ts_1.jsonl" "$tmpdir/ts_$jobs.jsonl" >&2 || true
         status=1
     fi
 done

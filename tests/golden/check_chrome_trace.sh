@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Chrome-trace exporter check: run a cluster bench's smoke config
+# with --trace-chrome and validate the output the way Perfetto would
+# load it -- the JSON must parse, every event must carry the trace-
+# event-format required fields, flow arrows must pair up, and every
+# attempt span's causal parent must resolve to a client envelope
+# that exists in the trace.
+#
+# Usage: check_chrome_trace.sh BENCH_BINARY
+set -euo pipefail
+
+if [ $# -lt 1 ]; then
+    echo "usage: $0 BENCH_BINARY" >&2
+    exit 2
+fi
+
+bin=$1
+name=$(basename "$bin")
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+"$bin" --smoke --trace-chrome="$tmpdir/trace.json" > /dev/null
+
+python3 - "$tmpdir/trace.json" "$name" <<'PYEOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+name = sys.argv[2]
+
+assert data["displayTimeUnit"] == "ns", "bad displayTimeUnit"
+events = data["traceEvents"]
+
+spans = flows_out = flows_in = processes = 0
+clients = set()
+attempts = []
+for e in events:
+    ph = e["ph"]
+    if ph == "M":
+        processes += 1
+        assert e["name"] == "process_name", e
+        assert "name" in e["args"], e
+    elif ph == "X":
+        spans += 1
+        for key in ("name", "cat", "pid", "tid", "ts", "dur",
+                    "args"):
+            assert key in e, (key, e)
+        assert e["dur"] >= 0, e
+        if e["name"] == "client":
+            clients.add(e["args"]["req"])
+        elif e["name"] == "attempt":
+            attempts.append(e)
+    elif ph == "s":
+        flows_out += 1
+    elif ph == "f":
+        flows_in += 1
+        assert e.get("bp") == "e", e
+    else:
+        raise AssertionError("unexpected phase %r" % ph)
+
+assert spans > 0, "no spans recorded"
+assert processes >= 2, "expected client + node processes"
+assert flows_out > 0 and flows_in > 0, "no flow arrows"
+assert clients, "no client envelopes"
+assert attempts, "no attempt spans"
+
+unparented = [e for e in attempts
+              if e["args"].get("parent") not in clients]
+assert not unparented, (
+    "%d attempt span(s) whose causal parent is not a client "
+    "envelope, e.g. %r" % (len(unparented), unparented[0]))
+
+print("%s chrome trace OK: %d spans, %d/%d flows, %d processes, "
+      "%d attempts all causally parented"
+      % (name, spans, flows_out, flows_in, processes,
+         len(attempts)))
+PYEOF

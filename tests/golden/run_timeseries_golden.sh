@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Windowed-telemetry golden: run one bench's smoke config with
+# --timeseries-out and require the JSONL recovery curve to match the
+# checked-in golden byte for byte (the sampler's determinism contract
+# makes this pinnable). Regenerate intentional changes with
+# scripts/update_goldens.sh; inspect drift with tools/tsplot.py.
+#
+# Usage: run_timeseries_golden.sh BENCH_BINARY GOLDEN_JSONL INTERVAL_US
+set -euo pipefail
+
+if [ $# -lt 3 ]; then
+    echo "usage: $0 BENCH_BINARY GOLDEN_JSONL INTERVAL_US" >&2
+    exit 2
+fi
+
+bin=$1
+golden=$2
+interval=$3
+
+script_dir=$(cd "$(dirname "$0")" && pwd)
+tsplot=$script_dir/../../tools/tsplot.py
+statdiff=$script_dir/../../tools/statdiff.py
+name=$(basename "$bin")
+
+if [ ! -f "$golden" ]; then
+    echo "missing golden file $golden" >&2
+    echo "generate it with scripts/update_goldens.sh" >&2
+    exit 1
+fi
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+"$bin" --smoke --sample-interval="$interval" \
+    --timeseries-out="$tmpdir/actual.jsonl" > /dev/null
+
+if cmp -s "$golden" "$tmpdir/actual.jsonl"; then
+    echo "timeseries golden OK:" \
+        "$(python3 "$statdiff" --digest "$golden") $golden"
+    exit 0
+fi
+
+echo "$name: timeseries drift against $golden:" >&2
+python3 "$tsplot" diff "$golden" "$tmpdir/actual.jsonl" >&2 || true
+echo "if intentional, run scripts/update_goldens.sh" >&2
+exit 1

@@ -91,10 +91,23 @@ TEST(Tracer, WriteJsonlEmitsOneObjectPerSpan)
     std::ostringstream os;
     tracer.writeJsonl(os);
     EXPECT_EQ(os.str(),
-              "{\"req\":3,\"stage\":\"store-walk\",\"begin\":100,"
-              "\"end\":250,\"arg\":2}\n"
-              "{\"req\":3,\"stage\":\"nic-out\",\"begin\":250,"
-              "\"end\":300,\"arg\":64}\n");
+              "{\"req\":3,\"stage\":\"store-walk\",\"node\":0,"
+              "\"begin\":100,\"end\":250,\"arg\":2}\n"
+              "{\"req\":3,\"stage\":\"nic-out\",\"node\":0,"
+              "\"begin\":250,\"end\":300,\"arg\":64}\n");
+}
+
+TEST(Tracer, WriteJsonlEmitsParentOnlyWhenSet)
+{
+    Tracer tracer(8);
+    tracer.setContext(2, 7);
+    tracer.record(9, Stage::Attempt, 10, 20, 0);
+
+    std::ostringstream os;
+    tracer.writeJsonl(os);
+    EXPECT_EQ(os.str(),
+              "{\"req\":9,\"stage\":\"attempt\",\"node\":2,"
+              "\"parent\":7,\"begin\":10,\"end\":20,\"arg\":0}\n");
 }
 
 TEST(Tracer, StageNamesAreStable)
@@ -106,6 +119,94 @@ TEST(Tracer, StageNamesAreStable)
     EXPECT_STREQ(trace::stageName(Stage::Memory), "memory");
     EXPECT_STREQ(trace::stageName(Stage::NicOut), "nic-out");
     EXPECT_STREQ(trace::stageName(Stage::Request), "request");
+    EXPECT_STREQ(trace::stageName(Stage::Client), "client");
+    EXPECT_STREQ(trace::stageName(Stage::Attempt), "attempt");
+    EXPECT_STREQ(trace::stageName(Stage::Backoff), "backoff");
+}
+
+TEST(Tracer, ContextStampsNodeAndParentOntoSpans)
+{
+    Tracer tracer(8);
+    tracer.record(0, Stage::NicIn, 0, 10);
+    tracer.setContext(5, 42);
+    tracer.record(1, Stage::Request, 10, 20);
+
+    EXPECT_EQ(tracer.span(0).node, 0u);
+    EXPECT_EQ(tracer.span(0).parent, trace::noParent);
+    EXPECT_EQ(tracer.span(1).node, 5u);
+    EXPECT_EQ(tracer.span(1).parent, 42u);
+}
+
+TEST(Tracer, ScopedContextRestoresOnExitAndToleratesNull)
+{
+    Tracer tracer(8);
+    tracer.setContext(1, 11);
+    {
+        trace::ScopedTraceContext guard(&tracer, 9, 99);
+        EXPECT_EQ(tracer.contextNode(), 9u);
+        EXPECT_EQ(tracer.contextParent(), 99u);
+        {
+            trace::ScopedTraceContext inner(&tracer,
+                                            trace::clientNode);
+            EXPECT_EQ(tracer.contextNode(), trace::clientNode);
+            EXPECT_EQ(tracer.contextParent(), trace::noParent);
+        }
+        EXPECT_EQ(tracer.contextNode(), 9u);
+        EXPECT_EQ(tracer.contextParent(), 99u);
+    }
+    EXPECT_EQ(tracer.contextNode(), 1u);
+    EXPECT_EQ(tracer.contextParent(), 11u);
+
+    // A null tracer must be a no-op, like MERCURY_TRACE_SPAN.
+    trace::ScopedTraceContext none(nullptr, 3, 4);
+    SUCCEED();
+}
+
+TEST(Tracer, ChromeJsonLinksClientAndAttemptSpans)
+{
+    Tracer tracer(8);
+    const std::uint32_t req = tracer.beginRequest();
+    tracer.setContext(trace::clientNode);
+    tracer.record(req, Stage::Client, 0, 3 * tickUs, 1);
+    tracer.setContext(3, req);
+    tracer.record(req, Stage::Attempt, tickUs / 2, 2 * tickUs, 0);
+
+    std::ostringstream os;
+    tracer.writeChromeJson(os);
+    const std::string out = os.str();
+
+    // Envelope and process-name metadata for both endpoints.
+    EXPECT_NE(out.find("\"displayTimeUnit\":\"ns\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"name\":\"client\""), std::string::npos);
+    EXPECT_NE(out.find("\"name\":\"node3\""), std::string::npos);
+
+    // Complete events with exact-microsecond timestamps and the
+    // causal parent surfaced in args.
+    EXPECT_NE(out.find("\"ph\":\"X\",\"name\":\"client\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"ts\":0.500000"), std::string::npos);
+    EXPECT_NE(out.find("\"parent\":0"), std::string::npos);
+
+    // One flow start on the client envelope, one landing on the
+    // attempt, joined by the shared request id.
+    EXPECT_NE(out.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"f\",\"bp\":\"e\""),
+              std::string::npos);
+}
+
+TEST(Tracer, DigestCoversNodeAndParent)
+{
+    Tracer a(8), b(8), c(8);
+    a.record(0, Stage::Attempt, 0, 10);
+    b.setContext(1);
+    b.record(0, Stage::Attempt, 0, 10);
+    c.setContext(0, 5);
+    c.record(0, Stage::Attempt, 0, 10);
+
+    EXPECT_NE(a.digest(), b.digest());
+    EXPECT_NE(a.digest(), c.digest());
+    EXPECT_NE(b.digest(), c.digest());
 }
 
 TEST(Tracer, DigestDetectsAnySpanChange)
@@ -132,12 +233,15 @@ TEST(Tracer, ClearResetsRetentionAndRequestIds)
 {
     Tracer tracer(8);
     tracer.beginRequest();
+    tracer.setContext(4, 9);
     tracer.record(0, Stage::NicIn, 0, 10);
     tracer.clear();
 
     EXPECT_EQ(tracer.size(), 0u);
     EXPECT_EQ(tracer.droppedSpans(), 0u);
     EXPECT_EQ(tracer.beginRequest(), 0u);
+    EXPECT_EQ(tracer.contextNode(), 0u);
+    EXPECT_EQ(tracer.contextParent(), trace::noParent);
 }
 
 TEST(Tracer, RecordHotPathNeverAllocates)

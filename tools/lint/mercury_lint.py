@@ -28,6 +28,13 @@ line or the line above):
                    and recycles those automatically after service or
                    deschedule; deleting one by hand is a double free.
 
+  telemetry-json   A printf-family call emits a JSON-key-shaped format
+                   string (`\"name\":`) outside the designated JSONL
+                   writers (sim/json.hh, sim/sampler.cc, sim/trace.cc).
+                   Hand-rolled JSON bypasses the canonical escaping and
+                   number formats the golden digests pin; route
+                   telemetry through the sim/json.hh helpers instead.
+
 Usage: mercury_lint.py <dir-or-file> [...]
 Exits 1 if any unsuppressed finding is reported.
 """
@@ -61,6 +68,16 @@ DELETE_RE = re.compile(r"\bdelete\s+(\w+)\s*;")
 
 # Files that define the conversion helpers themselves.
 TICK_CAST_EXEMPT = {"src/sim/types.hh"}
+
+# An escaped JSON key inside a C string literal: \"name\":
+JSON_KEY_LITERAL_RE = re.compile(r'\\"[A-Za-z_][A-Za-z0-9_]*\\":')
+TELEMETRY_CALL_RE = re.compile(
+    r"\b(?:fprintf|printf|sprintf|snprintf|vfprintf|vsnprintf|"
+    r"fputs|fputc|fwrite|puts)\s*\(")
+# The canonical JSONL writers, the only places allowed to spell JSON
+# keys into raw output calls.
+TELEMETRY_EXEMPT = ("src/sim/json.hh", "src/sim/sampler.cc",
+                    "src/sim/trace.cc")
 
 
 def allowed(lines, idx, rule):
@@ -135,6 +152,22 @@ def lint_file(path, findings):
                      f"'{m.group(1)}' came from the event arena "
                      f"(makeEvent/make); the queue releases it -- "
                      f"manual delete is a double free"))
+
+        # --- telemetry-json: JSON keys in raw output calls ---------
+        if not any(rel.endswith(e) for e in TELEMETRY_EXEMPT):
+            if JSON_KEY_LITERAL_RE.search(line):
+                # The key may sit on a continuation line of a wrapped
+                # printf; look back a few lines for the call.
+                context = " ".join(
+                    lines[max(0, idx - 3):idx + 1])
+                if TELEMETRY_CALL_RE.search(context) and \
+                        not allowed(lines, idx, "telemetry-json"):
+                    findings.append(
+                        (rel, lineno, "telemetry-json",
+                         "JSON telemetry emitted through a raw "
+                         "printf-family call; use the sim/json.hh "
+                         "writers so escaping and number formats "
+                         "stay canonical"))
 
         # --- event-ownership: new ...Event without ownership note ---
         for m in NEW_EVENT_RE.finditer(line):

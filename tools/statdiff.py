@@ -11,6 +11,12 @@ human side of the golden suite:
 The digest matches the golden files under tests/golden/ (and the
 convention of src/sim/fault.hh): FNV-1a 64-bit over the exact bytes,
 so any formatting or ordering change counts as drift too.
+
+--tolerance REL loosens the float comparison: float values within
+REL relative difference (or REL absolute difference when the old
+value is zero) count as equal in the key-level diff. Integers stay
+exact, and the identical-bytes fast path (digest equality) still
+requires exact bytes.
 """
 
 import argparse
@@ -39,7 +45,24 @@ def fmt(value):
     return repr(value) if isinstance(value, float) else str(value)
 
 
-def diff(old_path, new_path, quiet=False):
+def values_equal(old, new, tolerance):
+    """Exact equality, loosened for floats under --tolerance."""
+    if old == new:
+        return True
+    if tolerance <= 0.0:
+        return False
+    if not (isinstance(old, float) or isinstance(new, float)):
+        return False
+    if not (
+        isinstance(old, (int, float)) and isinstance(new, (int, float))
+    ):
+        return False
+    if old == 0:
+        return abs(new) <= tolerance
+    return abs(new - old) <= tolerance * abs(old)
+
+
+def diff(old_path, new_path, quiet=False, tolerance=0.0):
     old_raw, old = load(old_path)
     new_raw, new = load(new_path)
     if old_raw == new_raw:
@@ -57,7 +80,8 @@ def diff(old_path, new_path, quiet=False):
             drift += 1
             print("+ %s = %s" % (key, fmt(new[key])))
     for key in old:
-        if key in new and old[key] != new[key]:
+        if key in new and not values_equal(old[key], new[key],
+                                           tolerance):
             drift += 1
             rel = ""
             if isinstance(old[key], (int, float)) and old[key]:
@@ -70,6 +94,15 @@ def diff(old_path, new_path, quiet=False):
             )
 
     if drift == 0:
+        if tolerance > 0.0:
+            # Under an explicit tolerance a within-tolerance file
+            # passes even though its bytes differ.
+            if not quiet:
+                print(
+                    "within tolerance %g (digests 0x%016x -> 0x%016x)"
+                    % (tolerance, fnv1a(old_raw), fnv1a(new_raw))
+                )
+            return 0
         # Same values, different bytes: formatting/ordering drift,
         # which the golden digests still reject.
         print("values equal but bytes differ "
@@ -97,6 +130,14 @@ def main():
         "-q", "--quiet", action="store_true",
         help="suppress the identical-files message",
     )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.0,
+        metavar="REL",
+        help="relative tolerance for float fields in diff mode "
+        "(default 0: exact)",
+    )
     args = parser.parse_args()
 
     if args.digest:
@@ -108,7 +149,8 @@ def main():
 
     if len(args.files) != 2:
         parser.error("diff mode takes exactly two files: old new")
-    return diff(args.files[0], args.files[1], quiet=args.quiet)
+    return diff(args.files[0], args.files[1], quiet=args.quiet,
+                tolerance=args.tolerance)
 
 
 if __name__ == "__main__":

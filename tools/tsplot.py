@@ -1,0 +1,278 @@
+#!/usr/bin/env python3
+"""Summarize, plot, and diff --timeseries-out JSONL files.
+
+The benches' --timeseries-out flag (see bench/bench_util.hh and
+src/sim/sampler.hh) emits one JSON object per sample window:
+
+    {"label":"loss=0.0000,crash=400","window":3,"t0":...,"t1":...,
+     "requests":412,"ok":371,...,"lat_us_p99":912,...}
+
+This tool is the human side of those files -- dependency-free, so it
+runs anywhere the repo builds (no matplotlib, terminal plots only):
+
+    tsplot.py summarize FILE              per-series key ranges
+    tsplot.py plot FILE --key K           ASCII time-series plot
+    tsplot.py diff OLD NEW                window-aligned key diff
+
+diff aligns windows on (label, window index) and compares key by key,
+exiting 1 on drift, like statdiff.py does for --stats-json dumps.
+--tolerance REL loosens float comparisons (relative, or absolute when
+the old value is zero); integers stay exact.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Window bookkeeping fields; everything else in a line is a channel.
+META_KEYS = ("label", "window", "t0", "t1")
+
+
+def load(path):
+    """Parse a JSONL file into {label: [window dict, ...]}, keeping
+    label order of first appearance and window order per label."""
+    series = {}
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                row = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                sys.exit("%s:%d: bad JSON: %s" % (path, lineno, exc))
+            if not isinstance(row, dict) or "window" not in row:
+                sys.exit("%s:%d: not a sample window object"
+                         % (path, lineno))
+            series.setdefault(row.get("label", ""), []).append(row)
+    return series
+
+
+def channel_keys(rows):
+    """Channel keys across rows, in first-seen emission order."""
+    keys = []
+    seen = set()
+    for row in rows:
+        for key in row:
+            if key not in seen and key not in META_KEYS:
+                seen.add(key)
+                keys.append(key)
+    return keys
+
+
+def fmt(value):
+    if isinstance(value, float):
+        return "%g" % value
+    return str(value)
+
+
+# --- summarize -------------------------------------------------------
+
+
+def summarize(path):
+    series = load(path)
+    if not series:
+        print("%s: no sample windows" % path)
+        return 0
+    for label, rows in series.items():
+        name = label if label else "(unlabelled)"
+        span_us = (rows[-1]["t1"] - rows[0]["t0"]) / 1e6
+        print("%s: %d windows, %.0f us of simulated time"
+              % (name, len(rows), span_us))
+        for key in channel_keys(rows):
+            values = [row[key] for row in rows if key in row]
+            if not values:
+                continue
+            lo, hi = min(values), max(values)
+            mean = sum(values) / len(values)
+            print("  %-20s min %-12s mean %-12s max %s"
+                  % (key, fmt(lo), fmt(mean), fmt(hi)))
+    return 0
+
+
+# --- plot ------------------------------------------------------------
+
+# Eight sub-row glyphs give a denser plot than one char per row.
+BARS = " ▁▂▃▄▅▆▇█"
+
+
+def render(values, width):
+    """One-line unicode bar chart of values, scaled to [min, max]."""
+    if len(values) > width:
+        # Downsample by taking the max of each bucket: recovery-curve
+        # plots care about the worst window, not the average one.
+        bucketed = []
+        for i in range(width):
+            lo = i * len(values) // width
+            hi = max(lo + 1, (i + 1) * len(values) // width)
+            bucketed.append(max(values[lo:hi]))
+        values = bucketed
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    out = []
+    for value in values:
+        frac = (value - lo) / span if span else 1.0
+        out.append(BARS[min(8, int(frac * 8 + 0.5))])
+    return "".join(out), lo, hi
+
+
+def plot(path, key, label, width):
+    series = load(path)
+    if label is not None:
+        if label not in series:
+            sys.exit("%s: no series labelled %r (have: %s)"
+                     % (path, label,
+                        ", ".join(repr(k) for k in series)))
+        series = {label: series[label]}
+    plotted = 0
+    for name, rows in series.items():
+        values = [row[key] for row in rows if key in row]
+        if not values:
+            continue
+        plotted += 1
+        bar, lo, hi = render(values, width)
+        shown = name if name else "(unlabelled)"
+        print("%s  %s" % (shown, key))
+        print("  [%s]  min %s  max %s  (%d windows)"
+              % (bar, fmt(lo), fmt(hi), len(values)))
+    if not plotted:
+        keys = sorted({k for rows in series.values()
+                       for k in channel_keys(rows)})
+        sys.exit("%s: no series has key %r (have: %s)"
+                 % (path, key, ", ".join(keys)))
+    return 0
+
+
+# --- diff ------------------------------------------------------------
+
+
+def values_equal(old, new, tolerance):
+    """Exact equality, loosened for floats under --tolerance."""
+    if old == new:
+        return True
+    if tolerance <= 0.0:
+        return False
+    if not (isinstance(old, float) or isinstance(new, float)):
+        return False
+    if not (
+        isinstance(old, (int, float)) and isinstance(new, (int, float))
+    ):
+        return False
+    if old == 0:
+        return abs(new) <= tolerance
+    return abs(new - old) <= tolerance * abs(old)
+
+
+def diff(old_path, new_path, tolerance=0.0, quiet=False):
+    old, new = load(old_path), load(new_path)
+    drift = 0
+
+    for label in old:
+        if label not in new:
+            drift += 1
+            print("- series %r (%d windows)"
+                  % (label, len(old[label])))
+    for label in new:
+        if label not in old:
+            drift += 1
+            print("+ series %r (%d windows)"
+                  % (label, len(new[label])))
+
+    for label in old:
+        if label not in new:
+            continue
+        old_rows = {row["window"]: row for row in old[label]}
+        new_rows = {row["window"]: row for row in new[label]}
+        shown = label if label else "(unlabelled)"
+        for window in sorted(set(old_rows) | set(new_rows)):
+            if window not in new_rows:
+                drift += 1
+                print("- %s window %d" % (shown, window))
+                continue
+            if window not in old_rows:
+                drift += 1
+                print("+ %s window %d" % (shown, window))
+                continue
+            a, b = old_rows[window], new_rows[window]
+            for key in sorted(set(a) | set(b)):
+                if key == "label":
+                    continue
+                if key not in b:
+                    drift += 1
+                    print("- %s window %d %s = %s"
+                          % (shown, window, key, fmt(a[key])))
+                elif key not in a:
+                    drift += 1
+                    print("+ %s window %d %s = %s"
+                          % (shown, window, key, fmt(b[key])))
+                elif not values_equal(a[key], b[key], tolerance):
+                    drift += 1
+                    print("~ %s window %d %s: %s -> %s"
+                          % (shown, window, key, fmt(a[key]),
+                             fmt(b[key])))
+
+    if drift:
+        print("%d drift(s) between %s and %s"
+              % (drift, old_path, new_path))
+        return 1
+    if not quiet:
+        if tolerance > 0.0:
+            print("within tolerance %g" % tolerance)
+        else:
+            print("identical window for window")
+    return 0
+
+
+# --- main ------------------------------------------------------------
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("summarize",
+                           help="per-series key ranges")
+    p_sum.add_argument("file")
+
+    p_plot = sub.add_parser("plot", help="ASCII time-series plot")
+    p_plot.add_argument("file")
+    p_plot.add_argument("--key", required=True,
+                        help="channel key to plot (e.g. lat_us_p99)")
+    p_plot.add_argument("--label", default=None,
+                        help="plot only this series label")
+    p_plot.add_argument("--width", type=int, default=72,
+                        help="plot width in characters (default 72)")
+
+    p_diff = sub.add_parser(
+        "diff", help="window-aligned key-level compare")
+    p_diff.add_argument("files", nargs=2, metavar=("OLD", "NEW"))
+    p_diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.0,
+        metavar="REL",
+        help="relative tolerance for float fields (default 0: exact)",
+    )
+    p_diff.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress the no-drift message")
+
+    args = parser.parse_args()
+    if args.command == "summarize":
+        return summarize(args.file)
+    if args.command == "plot":
+        return plot(args.file, args.key, args.label, args.width)
+    return diff(args.files[0], args.files[1],
+                tolerance=args.tolerance, quiet=args.quiet)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Piped into head/less that exited early; not an error.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)
