@@ -47,6 +47,8 @@
 #include "bench_util.hh"
 
 #include "sim/stats.hh"
+#include "sim/sync.hh"
+#include "sim/thread_annotations.hh"
 #include "sim/thread_pool.hh"
 #include "sim/trace.hh"
 
@@ -98,15 +100,16 @@ class PointContext
      * identical across --jobs values.
      */
     void
-    timeseries(const std::string &jsonl)
+    timeseries(const std::string &jsonl) EXCLUDES(mutex_)
     {
+        sim::ScopedLock lock(mutex_);
         timeseries_ += jsonl;
     }
 
     /** Append printf-formatted text to the point's ordered stdout
      * segment. */
     void
-    printf(const char *fmt, ...)
+    printf(const char *fmt, ...) EXCLUDES(mutex_)
     {
         char stack[512];
         std::va_list args;
@@ -117,6 +120,7 @@ class PointContext
         if (needed < 0)
             return;
         if (static_cast<std::size_t>(needed) < sizeof(stack)) {
+            sim::ScopedLock lock(mutex_);
             text_.append(stack, static_cast<std::size_t>(needed));
             return;
         }
@@ -124,6 +128,7 @@ class PointContext
         va_start(args, fmt);
         std::vsnprintf(heap.data(), heap.size(), fmt, args);
         va_end(args);
+        sim::ScopedLock lock(mutex_);
         text_.append(heap.data(), static_cast<std::size_t>(needed));
     }
 
@@ -134,12 +139,10 @@ class PointContext
      * for --stats-json.
      */
     void
-    capture()
+    capture() EXCLUDES(mutex_)
     {
-        if (!wantStats_ || !registry_)
-            return;
-        registry_->formatJson(fragment_, "", fragmentFirst_);
-        captured_ = true;
+        sim::ScopedLock lock(mutex_);
+        captureLocked();
     }
 
   private:
@@ -154,18 +157,52 @@ class PointContext
           sampleInterval_(sample_interval)
     {}
 
+    void
+    captureLocked() REQUIRES(mutex_)
+    {
+        if (!wantStats_ || !registry_)
+            return;
+        registry_->formatJson(fragment_, "", fragmentFirst_);
+        captured_ = true;
+    }
+
+    /**
+     * Emit the point's accumulated outputs on the calling thread --
+     * the submission-order merge step that makes --jobs N
+     * byte-identical to serial. ParallelSweep calls this after
+     * pool.wait(), so the worker that filled the buffers is done.
+     */
+    void
+    publish(Session &session) EXCLUDES(mutex_)
+    {
+        sim::ScopedLock lock(mutex_);
+        if (!text_.empty())
+            std::fwrite(text_.data(), 1, text_.size(), stdout);
+        if (!captured_ && registry_)
+            captureLocked();  // stats objects that outlived work()
+        session.appendStatsFragment(fragment_);
+        session.appendTimeseries(timeseries_);
+    }
+
     std::string registryName_;
     bool wantStats_;
     bool smoke_;
     trace::Tracer *tracer_;
     bool wantTimeseries_ = false;
     Tick sampleInterval_ = 0;
+    /** Worker-confined until pool.wait(), then emitter-confined; the
+     * handoff happens-before via the pool's idle barrier, which the
+     * analysis cannot express -- hence deliberately unguarded. */
     std::optional<stats::Registry> registry_;
-    std::string text_;
-    std::string fragment_;
-    std::string timeseries_;
-    bool fragmentFirst_ = true;
-    bool captured_ = false;
+    /** The per-point merge state: filled by the owning worker,
+     * drained by publish() on the calling thread. GUARDED_BY makes
+     * any future cross-point sharing a compile error under Clang. */
+    mutable sim::Mutex mutex_;
+    std::string text_ GUARDED_BY(mutex_);
+    std::string fragment_ GUARDED_BY(mutex_);
+    std::string timeseries_ GUARDED_BY(mutex_);
+    bool fragmentFirst_ GUARDED_BY(mutex_) = true;
+    bool captured_ GUARDED_BY(mutex_) = false;
 };
 
 class ParallelSweep
@@ -234,14 +271,7 @@ class ParallelSweep
         }
 
         for (Point &p : points_) {
-            PointContext &ctx = *p.context;
-            if (!ctx.text_.empty())
-                std::fwrite(ctx.text_.data(), 1, ctx.text_.size(),
-                            stdout);
-            if (!ctx.captured_ && ctx.registry_)
-                ctx.capture();  // stats objects that outlived work()
-            session_.appendStatsFragment(ctx.fragment_);
-            session_.appendTimeseries(ctx.timeseries_);
+            p.context->publish(session_);
             if (p.after)
                 p.after();
         }

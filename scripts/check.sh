@@ -14,10 +14,19 @@
 #   4. a perf smoke: the release selfbench --smoke must run and emit
 #      well-formed JSON (numbers are host-dependent; only the shape
 #      is checked);
-#   5. clang-tidy over src/ (skipped with a warning when clang-tidy is
-#      not installed -- the CI image may not ship it);
-#   6. the project-specific lint rules in tools/lint/mercury_lint.py
-#      over src/ and bench/.
+#   5. the static-analysis label (`ctest -L lint`): the mercury_lint
+#      fixture goldens for both engines, the repo-clean check, the
+#      suppression budget, and the clang thread-safety negative
+#      compile (clang-only checks report as skipped without clang);
+#   6. a clang -Wthread-safety -Werror build of the whole tree via
+#      the clang-tsa preset (skipped when clang++ is not installed);
+#   7. clang-tidy over src/ against the asan-ubsan compile database
+#      (a hard failure when installed; skipped with a warning when
+#      not -- the CI image may not ship it);
+#   8. the project-specific lint rules in tools/lint/mercury_lint.py
+#      over src/ and bench/ (AST engine against the asan-ubsan
+#      compile database when libclang is importable, the regex
+#      fallback otherwise), plus the waiver-budget ratchet.
 #
 # The golden observability suite (`ctest -L golden`) runs inside both
 # the asan-ubsan ctest pass and an explicit release-preset stage, so a
@@ -165,18 +174,49 @@ else
     note "asan-ubsan build + tests (skipped)"
 fi
 
+note "static-analysis suite (ctest -L lint)"
+if [ -d build/release ]; then
+    if ! ctest --test-dir build/release -L lint --output-on-failure; then
+        echo "check.sh: lint suite failed" >&2
+        exit 1
+    fi
+else
+    echo "build/release missing; running the fixture harness directly"
+    if ! python3 tests/lint/run_lint_fixtures.py regex; then
+        echo "check.sh: lint fixture goldens failed" >&2
+        exit 1
+    fi
+fi
+
+note "clang thread-safety build (-Wthread-safety -Werror)"
+if command -v clang++ >/dev/null 2>&1; then
+    if ! cmake --preset clang-tsa; then
+        echo "check.sh: clang-tsa configure failed" >&2
+        exit 1
+    fi
+    if ! cmake --build --preset clang-tsa -j "$(nproc)"; then
+        echo "check.sh: clang-tsa build failed (thread-safety" \
+             "analysis findings are errors)" >&2
+        exit 1
+    fi
+    echo "clang-tsa: whole tree clean under -Wthread-safety -Werror"
+else
+    echo "clang++ not installed; skipping (preset is clang-tsa)"
+fi
+
 note "clang-tidy"
 if command -v run-clang-tidy >/dev/null 2>&1; then
-    # The asan-ubsan preset exports compile_commands.json.
+    # The asan-ubsan preset exports compile_commands.json. Findings
+    # are a hard failure: the config's WarningsAsErrors covers the
+    # bugprone-, performance-, and concurrency- families.
     if ! run-clang-tidy -quiet -p build/asan-ubsan \
             "$(pwd)/src/.*" > /tmp/mercury-clang-tidy.log 2>&1; then
         echo "check.sh: clang-tidy reported findings:" >&2
         grep -E "(warning|error):" /tmp/mercury-clang-tidy.log >&2 || \
             tail -50 /tmp/mercury-clang-tidy.log >&2
-        failures=$((failures + 1))
-    else
-        echo "clang-tidy: clean"
+        exit 1
     fi
+    echo "clang-tidy: clean"
 elif command -v clang-tidy >/dev/null 2>&1; then
     tidy_rc=0
     while IFS= read -r src; do
@@ -184,16 +224,22 @@ elif command -v clang-tidy >/dev/null 2>&1; then
     done < <(find src -name '*.cc')
     if [ "$tidy_rc" -ne 0 ]; then
         echo "check.sh: clang-tidy reported findings" >&2
-        failures=$((failures + 1))
-    else
-        echo "clang-tidy: clean"
+        exit 1
     fi
+    echo "clang-tidy: clean"
 else
     echo "clang-tidy not installed; skipping (config is .clang-tidy)"
 fi
 
 note "mercury lint"
-if ! python3 tools/lint/mercury_lint.py src bench; then
+# The AST engine picks up per-file flags from the asan-ubsan compile
+# database; without libclang the driver falls back to the regex
+# engine and ignores -p.
+if ! python3 tools/lint/mercury_lint.py -p build/asan-ubsan \
+        src bench; then
+    failures=$((failures + 1))
+fi
+if ! python3 tools/lint/mercury_lint.py --budget; then
     failures=$((failures + 1))
 fi
 

@@ -1,11 +1,41 @@
 #include "config/perf_oracle.hh"
 
 #include <map>
-#include <mutex>
 #include <tuple>
+
+#include "sim/sync.hh"
+#include "sim/thread_annotations.hh"
 
 namespace mercury::config
 {
+
+namespace
+{
+
+using MemoKey = std::tuple<int, int, int, bool, Tick, Tick>;
+
+/**
+ * Memoization shared by all sweep points; parallel sweeps (fig7/
+ * fig8/table3 under --jobs N) probe it concurrently, so the entry
+ * map is GUARDED_BY its mutex and the thread-safety analysis rejects
+ * any unlocked access. The measurement itself runs outside the lock:
+ * two points racing on the same key both compute the same
+ * deterministic value, and the first insert wins.
+ */
+struct MemoCache
+{
+    sim::Mutex mutex;
+    std::map<MemoKey, PerCorePerf> entries GUARDED_BY(mutex);
+};
+
+MemoCache &
+memoCache()
+{
+    static MemoCache cache;
+    return cache;
+}
+
+} // namespace
 
 server::ServerModelParams
 serverParamsFor(const physical::StackConfig &stack,
@@ -27,23 +57,15 @@ PerCorePerf
 measurePerCorePerf(const physical::StackConfig &stack,
                    const OracleOptions &options)
 {
-    using Key = std::tuple<int, int, int, bool, Tick, Tick>;
-    // Memoization shared by all sweep points; guarded so parallel
-    // sweeps (fig7/fig8/table3 under --jobs N) may probe it
-    // concurrently. The measurement itself runs outside the lock --
-    // two points racing on the same key both compute the same
-    // deterministic value, and the first insert wins.
-    static std::map<Key, PerCorePerf> cache;
-    static std::mutex cacheMutex;
-
-    const Key key{static_cast<int>(stack.core.type),
-                  static_cast<int>(stack.core.freqGHz * 100),
-                  static_cast<int>(stack.memory), stack.withL2,
-                  options.dramLatency, options.flashReadLatency};
+    MemoCache &cache = memoCache();
+    const MemoKey key{static_cast<int>(stack.core.type),
+                      static_cast<int>(stack.core.freqGHz * 100),
+                      static_cast<int>(stack.memory), stack.withL2,
+                      options.dramLatency, options.flashReadLatency};
     {
-        std::lock_guard<std::mutex> lock(cacheMutex);
-        auto it = cache.find(key);
-        if (it != cache.end())
+        sim::ScopedLock lock(cache.mutex);
+        auto it = cache.entries.find(key);
+        if (it != cache.entries.end())
             return it->second;
     }
 
@@ -63,8 +85,8 @@ measurePerCorePerf(const physical::StackConfig &stack,
     }
 
     {
-        std::lock_guard<std::mutex> lock(cacheMutex);
-        cache.emplace(key, perf);
+        sim::ScopedLock lock(cache.mutex);
+        cache.entries.emplace(key, perf);
     }
     return perf;
 }

@@ -43,6 +43,25 @@ EventProfiler::writeJson(std::ostream &os) const
 }
 
 void
+EventProfiler::mergeFrom(const EventProfiler &other)
+{
+    for (const auto &[type, cost] : other.costs_) {
+        TypeCost &mine = costs_[type];
+        mine.serviced += cost.serviced;
+        mine.hostNs += cost.hostNs;
+    }
+    serviced_ += other.serviced_;
+    hostNs_ += other.hostNs_;
+    shapeSamples_ += other.shapeSamples_;
+    depthSum_ += other.depthSum_;
+    binSum_ += other.binSum_;
+    if (other.depthMax_ > depthMax_)
+        depthMax_ = other.depthMax_;
+    if (other.binMax_ > binMax_)
+        binMax_ = other.binMax_;
+}
+
+void
 EventProfiler::clear()
 {
     costs_.clear();

@@ -68,6 +68,12 @@ class EventQueue;
  * is golden-pinned. Aggregation by type is a std::map, so writeJson
  * emits types in sorted order -- the *structure* is deterministic
  * even though the numbers are not.
+ *
+ * Threading: a profiler is confined to its owning EventQueue's
+ * thread and carries no lock (the hot noteService path must stay
+ * cheap even in profiling builds). Aggregation across queues --
+ * e.g. parallel-sweep workers, or future PDES shards -- happens on
+ * the emitter thread after the pool's idle barrier, via mergeFrom().
  */
 class EventProfiler
 {
@@ -136,6 +142,14 @@ class EventProfiler
      * map of {serviced, host_ns, share} sorted by type name.
      */
     void writeJson(std::ostream &os) const;
+
+    /**
+     * Fold another profiler's counters into this one: per-type
+     * costs add, totals add, shape maxima take the max. The merge
+     * is the single-threaded aggregation step for per-worker
+     * profilers; call it after the owning workers have quiesced.
+     */
+    void mergeFrom(const EventProfiler &other);
 
     void clear();
 

@@ -27,6 +27,8 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/sync.hh"
+#include "sim/thread_annotations.hh"
 #include "sim/types.hh"
 
 namespace mercury::stats
@@ -411,14 +413,20 @@ class Registry : public StatGroup
      * text is built in a pre-sized buffer that the registry keeps
      * and reuses, so repeated --stats-json dumps in a sweep loop
      * stop paying reallocation-per-append. */
-    void writeJson(std::ostream &os) const;
+    void writeJson(std::ostream &os) const EXCLUDES(jsonMutex_);
 
     /** Append the flat {"path":value,...} object plus newline. */
     void writeJson(std::string &out) const;
 
   private:
+    /** Serializes dumps through the shared buffer. The stats tree
+     * itself is single-writer by design (each sweep point owns its
+     * own Registry); the buffer is the one piece of state a shared
+     * root registry mutates on a *read* path, so it gets a real
+     * capability rather than a convention. */
+    mutable sim::Mutex jsonMutex_;
     /** Reused across dumps; capacity persists, contents do not. */
-    mutable std::string jsonBuffer_;
+    mutable std::string jsonBuffer_ GUARDED_BY(jsonMutex_);
 };
 
 } // namespace mercury::stats

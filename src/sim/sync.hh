@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Annotated synchronization primitives.
+ *
+ * std::mutex and std::condition_variable carry no thread-safety
+ * attributes, so Clang's analysis cannot see through them. These
+ * thin wrappers restore visibility: Mutex is a CAPABILITY,
+ * ScopedLock is a SCOPED_CAPABILITY, and ConditionVariable::wait
+ * REQUIRES the mutex it atomically releases. All wrappers are
+ * zero-cost forwarding shims around the std primitives (the
+ * condition variable is a condition_variable_any so it can wait on
+ * the annotated Mutex directly).
+ *
+ * Every lock in the simulator's host-concurrency surface
+ * (sim::ThreadPool, the perf-oracle memo cache, Registry's shared
+ * JSON buffer) goes through these types; new concurrent code must
+ * too, or `-Wthread-safety -Werror` (MERCURY_THREAD_SAFETY, on by
+ * default under Clang) cannot vouch for it.
+ */
+
+#ifndef MERCURY_SIM_SYNC_HH
+#define MERCURY_SIM_SYNC_HH
+
+#include <condition_variable>
+#include <mutex>
+
+#include "sim/thread_annotations.hh"
+
+namespace mercury::sim
+{
+
+/** A std::mutex the thread-safety analysis can reason about. */
+class CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() ACQUIRE() { mutex_.lock(); }
+    void unlock() RELEASE() { mutex_.unlock(); }
+    bool try_lock() TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+    /** For negative-capability assertions (`!mutex`). */
+    const Mutex &operator!() const { return *this; }
+
+  private:
+    std::mutex mutex_;
+};
+
+/** RAII lock over Mutex (std::lock_guard with annotations). */
+class SCOPED_CAPABILITY ScopedLock
+{
+  public:
+    explicit ScopedLock(Mutex &mutex) ACQUIRE(mutex) : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+
+    ~ScopedLock() RELEASE() { mutex_.unlock(); }
+
+    ScopedLock(const ScopedLock &) = delete;
+    ScopedLock &operator=(const ScopedLock &) = delete;
+
+  private:
+    Mutex &mutex_;
+};
+
+/**
+ * Condition variable waiting on the annotated Mutex. Callers hold
+ * the mutex across wait() (it is released atomically while blocked
+ * and re-acquired before return) and re-check their predicate in a
+ * while loop, spurious-wakeup style.
+ */
+class ConditionVariable
+{
+  public:
+    ConditionVariable() = default;
+    ConditionVariable(const ConditionVariable &) = delete;
+    ConditionVariable &operator=(const ConditionVariable &) = delete;
+
+    /** Block until notified; @p mutex must be held. */
+    void
+    wait(Mutex &mutex) REQUIRES(mutex)
+    {
+        cv_.wait(mutex);
+    }
+
+    void notifyOne() { cv_.notify_one(); }
+    void notifyAll() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable_any cv_;
+};
+
+} // namespace mercury::sim
+
+#endif // MERCURY_SIM_SYNC_HH

@@ -19,10 +19,10 @@ ThreadPool::~ThreadPool()
 {
     wait();
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        ScopedLock lock(mutex_);
         stopping_ = true;
     }
-    workAvailable_.notify_all();
+    workAvailable_.notifyAll();
     for (std::thread &worker : workers_)
         worker.join();
 }
@@ -32,19 +32,20 @@ ThreadPool::submit(std::function<void()> task)
 {
     MERCURY_EXPECTS(task != nullptr, "null task submitted to pool");
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        ScopedLock lock(mutex_);
         MERCURY_EXPECTS(!stopping_, "task submitted to stopping pool");
         tasks_.push_back(std::move(task));
         ++inFlight_;
     }
-    workAvailable_.notify_one();
+    workAvailable_.notifyOne();
 }
 
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    allIdle_.wait(lock, [this] { return inFlight_ == 0; });
+    ScopedLock lock(mutex_);
+    while (inFlight_ != 0)
+        allIdle_.wait(mutex_);
 }
 
 void
@@ -53,10 +54,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            workAvailable_.wait(lock, [this] {
-                return stopping_ || !tasks_.empty();
-            });
+            ScopedLock lock(mutex_);
+            while (!stopping_ && tasks_.empty())
+                workAvailable_.wait(mutex_);
             if (tasks_.empty())
                 return;  // stopping, queue drained
             task = std::move(tasks_.front());
@@ -64,10 +64,10 @@ ThreadPool::workerLoop()
         }
         task();
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            ScopedLock lock(mutex_);
             --inFlight_;
             if (inFlight_ == 0)
-                allIdle_.notify_all();
+                allIdle_.notifyAll();
         }
     }
 }

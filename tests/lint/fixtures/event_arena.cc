@@ -1,0 +1,51 @@
+/**
+ * @file
+ * mercury_lint fixture: the arena-delete and event-ownership rules.
+ *
+ * Arena-managed events (EventQueue::makeEvent) are released by the
+ * queue; deleting one manually is a double free. Plain heap events
+ * need an ownership comment, because EventQueue never owns events.
+ * Expected diagnostics are pinned in event_arena.expected; keep line
+ * numbers stable when editing.
+ */
+
+class Event
+{
+  public:
+    virtual ~Event() = default;
+};
+
+class TimeoutEvent : public Event
+{
+};
+
+class EventQueue
+{
+  public:
+    template <typename T>
+    T *
+    makeEvent()
+    {
+        return new T();  // stand-in for the slab arena; fixture only
+    }
+};
+
+void
+arenaDoubleFree(EventQueue &queue)
+{
+    auto *ev = queue.makeEvent<TimeoutEvent>();
+    delete ev;  // finding: arena-delete
+}
+
+Event *
+undocumentedHeapEvent()
+{
+    return new TimeoutEvent;  // finding: no lifetime note
+}
+
+Event *
+documentedHeapEvent()
+{
+    // Clean: the caller owns the event and deletes it after service.
+    return new TimeoutEvent;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * mercury_lint fixture: the host-rng rule.
+ *
+ * Host entropy (rand, std::random_device, unseeded engines) makes
+ * runs irreproducible; every stream must come from the seeded
+ * sim/random.hh generators. Expected diagnostics are pinned in
+ * host_rng.expected; keep line numbers stable when editing.
+ */
+
+#include <cstdlib>
+#include <random>
+
+int
+hostDraw()
+{
+    return rand();  // finding
+}
+
+void
+hostSeed()
+{
+    srand(42);  // finding
+}
+
+unsigned
+hardwareEntropy()
+{
+    std::random_device device;  // finding
+    return device();
+}
+
+int
+unseededEngine()
+{
+    std::mt19937 gen;  // finding: default-seeded
+    return static_cast<int>(gen());
+}
+
+int
+seededEngine()
+{
+    // Clean: explicitly seeded (sim/random.hh is still preferred).
+    std::mt19937 gen(0x5eed);
+    return static_cast<int>(gen());
+}
+
+// A comment saying rand() or std::random_device must not trip the
+// rule, and neither must an identifier like operand(x).
+int operand(int x) { return x; }
+int
+callsOperand()
+{
+    return operand(3);
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * mercury_lint fixture: the pointer-order rule.
+ *
+ * Containers keyed on raw pointer values iterate in host-address
+ * order, which differs run to run -- the AddressMap bug class. Key
+ * on a stable id instead. Expected diagnostics are pinned in
+ * pointer_order.expected; keep line numbers stable when editing.
+ */
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <set>
+
+class Event;
+
+std::map<Event *, int> byEventAddress;  // finding
+
+std::set<const Event *> liveEvents;  // finding
+
+std::map<int, Event *> byStableId;  // clean: pointer is the value
+
+std::map<Event *,
+         int>
+    wrappedDeclaration;  // finding reported at the map<... line
+
+struct EventPtrHasher
+{
+    std::size_t
+    operator()(const Event *event) const
+    {
+        return std::hash<const Event *>{}(  // finding
+            event);
+    }
+};

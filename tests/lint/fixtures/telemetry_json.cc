@@ -1,0 +1,33 @@
+/**
+ * @file
+ * mercury_lint fixture: the telemetry-json rule.
+ *
+ * JSON telemetry must go through the sim/json.hh writers so escaping
+ * and number formatting stay canonical across emitters; hand-rolled
+ * printf JSON drifts. Expected diagnostics are pinned in
+ * telemetry_json.expected; keep line numbers stable when editing.
+ */
+
+#include <cstdio>
+#include <ostream>
+
+void
+emitHandRolledJson(int tps)
+{
+    std::printf("{\"tps\": %d}\n", tps);  // finding
+}
+
+void
+emitPlainText(int tps)
+{
+    // Clean: not JSON, just ordinary human-readable output.
+    std::printf("tps = %d\n", tps);
+}
+
+void
+emitViaStream(std::ostream &os, int tps)
+{
+    // Clean for this rule: stream output is the json.hh writers'
+    // own mechanism (those writers are exempt by path).
+    os << "{\"tps\": " << tps << "}\n";
+}

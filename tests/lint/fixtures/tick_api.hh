@@ -1,0 +1,29 @@
+/**
+ * @file
+ * mercury_lint fixture: the tick-api rule (headers only).
+ *
+ * Time-valued API surface must say Tick, not raw uint64_t, so the
+ * unit is visible at every call site. Expected diagnostics are
+ * pinned in tick_api.hh.expected; keep line numbers stable when
+ * editing.
+ */
+
+#ifndef MERCURY_TESTS_LINT_FIXTURES_TICK_API_HH
+#define MERCURY_TESTS_LINT_FIXTURES_TICK_API_HH
+
+#include <cstdint>
+
+using Tick = std::uint64_t;
+
+struct NicTimingFixture
+{
+    std::uint64_t deadlineTick = 0;  // finding: raw uint64_t time
+
+    std::uint64_t now() const;  // finding: time-valued return
+
+    Tick sendWhen = 0;  // clean: declared as Tick
+
+    std::uint64_t byteCount = 0;  // clean: not a time value
+};
+
+#endif  // MERCURY_TESTS_LINT_FIXTURES_TICK_API_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * mercury_lint fixture: the tick-cast rule.
+ *
+ * Casting floating-point arithmetic straight to Tick bypasses the
+ * sim/types.hh conversion helpers and their rounding contract.
+ * Expected diagnostics are pinned in tick_cast.expected; keep line
+ * numbers stable when editing.
+ */
+
+#include <cstdint>
+
+using Tick = std::uint64_t;
+
+Tick secondsToTicks(double seconds);
+
+Tick
+scaledDirectly(Tick base, double factor)
+{
+    return static_cast<Tick>(base * factor);  // finding
+}
+
+Tick
+viaHelper(double seconds)
+{
+    return secondsToTicks(seconds);  // clean: the blessed path
+}
+
+Tick
+integralNarrowing(long long count)
+{
+    return static_cast<Tick>(count);  // clean: no floating operand
+}
+
+Tick
+waivedScale(Tick base, double ratio)
+{
+    // lint: allow(tick-cast) -- fixture for the waiver syntax
+    return static_cast<Tick>(base * ratio);
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * mercury_lint fixture: the unordered-iter rule.
+ *
+ * Iterating an unordered container visits buckets in a
+ * seed/address-dependent order; anything that reaches output must be
+ * sorted first (or carry an explicit waiver at the sort site).
+ * Expected diagnostics are pinned in unordered_iter.expected; keep
+ * line numbers stable when editing.
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+void
+dumpLoadsUnsorted()
+{
+    std::unordered_map<std::string, int> loads;
+    loads["shard0"] = 3;
+    for (const auto &entry : loads)  // finding
+        std::printf("%d\n", entry.second);
+}
+
+void
+firstBucketEntry()
+{
+    std::unordered_map<std::string, int> index;
+    auto it = index.begin();  // finding
+    (void)it;
+}
+
+void
+dumpLoadsSorted()
+{
+    std::unordered_map<std::string, int> loads;
+    // The supported idiom: drain into an ordered map at the waiver
+    // site, then emit from the ordered copy.
+    std::map<std::string, int> sorted(
+        loads.begin(), loads.end());  // lint: allow(unordered-iter)
+    for (const auto &entry : sorted)  // clean: ordered container
+        std::printf("%d\n", entry.second);
+}

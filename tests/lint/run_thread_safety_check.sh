@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Thread-safety annotation compile check (clang only).
+#
+# Two halves, both required:
+#   1. tsa_positive.cc (correctly locked) compiles clean under
+#      -Wthread-safety -Werror.
+#   2. tsa_negative.cc (unlocked GUARDED_BY write) is REJECTED, and
+#      the diagnostic is a thread-safety one -- proving the macros
+#      still expand to real attributes rather than no-ops.
+#
+# Exits 77 (the ctest skip code) when clang++ is not installed, so
+# the lint label stays green on gcc-only hosts.
+
+set -u
+
+CXX="${CLANGXX:-clang++}"
+if ! command -v "$CXX" >/dev/null 2>&1; then
+    echo "clang++ not found; skipping thread-safety compile check"
+    exit 77
+fi
+
+HERE="$(cd "$(dirname "$0")" && pwd)"
+SRC="$HERE/../../src"
+FLAGS=(-std=c++20 -fsyntax-only -Wthread-safety -Werror -I "$SRC")
+
+errlog="$(mktemp)"
+trap 'rm -f "$errlog"' EXIT
+
+if ! "$CXX" "${FLAGS[@]}" "$HERE/thread_safety/tsa_positive.cc" \
+        2>"$errlog"; then
+    echo "FAIL: the correctly-locked fixture did not compile clean:"
+    cat "$errlog"
+    exit 1
+fi
+echo "ok   tsa_positive.cc compiles clean under -Wthread-safety"
+
+if "$CXX" "${FLAGS[@]}" "$HERE/thread_safety/tsa_negative.cc" \
+        2>"$errlog"; then
+    echo "FAIL: the unlocked GUARDED_BY write compiled -- the"
+    echo "      annotations are no longer being analyzed"
+    exit 1
+fi
+if ! grep -q "thread-safety" "$errlog"; then
+    echo "FAIL: tsa_negative.cc was rejected, but not by the"
+    echo "      thread-safety analysis:"
+    cat "$errlog"
+    exit 1
+fi
+echo "ok   tsa_negative.cc rejected by the thread-safety analysis"

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Thread-safety analysis fixture: the negative-compile check.
+ *
+ * Writes a GUARDED_BY field without holding its mutex. This file
+ * MUST fail to compile under `clang++ -Wthread-safety -Werror`;
+ * run_thread_safety_check.sh fails the lint suite if clang accepts
+ * it, which would mean the annotations have silently stopped
+ * analyzing (e.g. a macro definition regressed to a no-op).
+ */
+
+#include "sim/sync.hh"
+#include "sim/thread_annotations.hh"
+
+namespace
+{
+
+class Counter
+{
+  public:
+    void
+    incrementUnlocked()
+    {
+        ++value_;  // BAD: guarded write without mutex_ held
+    }
+
+  private:
+    mercury::sim::Mutex mutex_;
+    int value_ GUARDED_BY(mutex_) = 0;
+};
+
+} // anonymous namespace
+
+int
+main()
+{
+    Counter counter;
+    counter.incrementUnlocked();
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Thread-safety analysis fixture: correctly locked code.
+ *
+ * Must compile clean under `clang++ -Wthread-safety -Werror`; the
+ * run_thread_safety_check.sh harness fails if it does not. This pins
+ * the annotation macros and the sim::Mutex capability wrappers as
+ * actually analyzable, not just syntactically accepted.
+ */
+
+#include "sim/sync.hh"
+#include "sim/thread_annotations.hh"
+
+namespace
+{
+
+class Counter
+{
+  public:
+    void
+    increment() EXCLUDES(mutex_)
+    {
+        mercury::sim::ScopedLock lock(mutex_);
+        ++value_;
+        changed_.notifyAll();
+    }
+
+    int
+    read() const EXCLUDES(mutex_)
+    {
+        mercury::sim::ScopedLock lock(mutex_);
+        return value_;
+    }
+
+    void
+    waitForNonzero() EXCLUDES(mutex_)
+    {
+        mercury::sim::ScopedLock lock(mutex_);
+        while (value_ == 0)
+            changed_.wait(mutex_);
+    }
+
+  private:
+    mutable mercury::sim::Mutex mutex_;
+    mercury::sim::ConditionVariable changed_;
+    int value_ GUARDED_BY(mutex_) = 0;
+};
+
+} // anonymous namespace
+
+int
+main()
+{
+    Counter counter;
+    counter.increment();
+    counter.waitForNonzero();
+    return counter.read() == 1 ? 0 : 1;
+}

@@ -93,6 +93,37 @@ TEST(EventProfiler, ClearForgetsEverything)
     EXPECT_EQ(profiler.meanDepth(), 0.0);
 }
 
+TEST(EventProfiler, MergeFromAddsCountsAndTakesShapeMaxima)
+{
+    EventProfiler a;
+    a.noteService("nic completion", 100);
+    a.noteService("dram completion", 50);
+    a.noteQueueShape(4, 2);
+
+    EventProfiler b;
+    b.noteService("nic completion", 40);
+    b.noteService("flash completion", 10);
+    b.noteQueueShape(10, 1);
+
+    a.mergeFrom(b);
+
+    EXPECT_EQ(a.serviced(), 4u);
+    EXPECT_EQ(a.hostNs(), 200u);
+    ASSERT_EQ(a.costs().size(), 3u);
+    EXPECT_EQ(a.costs().at("nic completion").serviced, 2u);
+    EXPECT_EQ(a.costs().at("nic completion").hostNs, 140u);
+    EXPECT_EQ(a.costs().at("flash completion").serviced, 1u);
+    EXPECT_EQ(a.shapeSamples(), 2u);
+    EXPECT_EQ(a.maxDepth(), 10u);
+    EXPECT_EQ(a.maxBins(), 2u);
+    EXPECT_DOUBLE_EQ(a.meanDepth(), 7.0);
+
+    // Merging an empty profiler is the identity.
+    a.mergeFrom(EventProfiler{});
+    EXPECT_EQ(a.serviced(), 4u);
+    EXPECT_EQ(a.maxDepth(), 10u);
+}
+
 TEST(EventQueue, BinCountTracksDistinctTickPriorityBins)
 {
     EventQueue queue;

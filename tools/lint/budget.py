@@ -1,0 +1,82 @@
+"""Suppression budget for mercury_lint.
+
+Every `// lint: allow(<rule>)` waiver in src/ and bench/ is counted
+against a per-rule budget pinned in tools/lint/budget.json, the same
+ratchet discipline update_goldens.sh applies to the golden stats
+dumps: the count may only go *down* silently; adding a waiver fails
+the gate until the budget is explicitly re-pinned (and the re-pin
+reviewed alongside the waiver it admits).
+"""
+
+import json
+import os
+
+import rules
+
+BUDGET_FILE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "budget.json")
+
+
+def count_allow_waivers(files):
+    """Per-rule counts of allow() waivers across (rel, SourceText)
+    pairs. Waivers naming unknown rules are returned separately so
+    typos fail loudly instead of silently waiving nothing."""
+    counts = {}
+    unknown = []
+    for rel, src in files:
+        for lineno, rule in rules.count_waivers(src.raw_lines):
+            if rule in rules.RULES:
+                counts[rule] = counts.get(rule, 0) + 1
+            else:
+                unknown.append((rel, lineno, rule))
+    return counts, unknown
+
+
+def load():
+    if not os.path.exists(BUDGET_FILE):
+        return {}
+    with open(BUDGET_FILE, encoding="utf-8") as fh:
+        data = json.load(fh)
+    return {k: int(v) for k, v in data.get("waivers", {}).items()}
+
+
+def pin(counts):
+    data = {
+        "_comment": (
+            "Repo-wide budget of `// lint: allow(<rule>)` waivers in "
+            "src/ and bench/, enforced by `mercury_lint.py --budget`. "
+            "The count per rule may only decrease; re-pin an increase "
+            "deliberately with `mercury_lint.py --pin-budget` and "
+            "commit the new budget next to the waiver it admits."),
+        "waivers": {rule: counts.get(rule, 0)
+                    for rule in sorted(counts)},
+    }
+    with open(BUDGET_FILE, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def check(files):
+    """Exit-code style: (ok, report_lines)."""
+    counts, unknown = count_allow_waivers(files)
+    pinned = load()
+    lines = []
+    ok = True
+    for rel, lineno, rule in unknown:
+        ok = False
+        lines.append(f"{rel}:{lineno}: allow() names unknown rule "
+                     f"'{rule}' (known: {', '.join(sorted(rules.RULES))})")
+    for rule in sorted(set(counts) | set(pinned)):
+        have = counts.get(rule, 0)
+        allow = pinned.get(rule, 0)
+        if have > allow:
+            ok = False
+            lines.append(
+                f"budget exceeded for [{rule}]: {have} waiver(s) vs "
+                f"{allow} pinned -- fix the finding or re-pin with "
+                f"--pin-budget")
+        elif have < allow:
+            lines.append(
+                f"budget slack for [{rule}]: {have} waiver(s) vs "
+                f"{allow} pinned -- ratchet down with --pin-budget")
+    return ok, lines

@@ -1,216 +1,246 @@
 #!/usr/bin/env python3
-"""Project-specific lint rules for the Mercury simulator.
+"""mercury_lint v2 -- project-specific static analysis for the
+Mercury simulator.
 
-Rules (suppress a finding with `// lint: allow(<rule>)` on the same
-line or the line above):
+Two engines evaluate the same rule set:
 
-  tick-api         A public header declares a time-valued parameter or
-                   return (named *when*, *tick*, *latency*, *deadline*,
-                   *now*) as raw std::uint64_t instead of Tick. Raw
-                   integers defeat the one piece of type documentation
-                   the simulator has for its time base.
+  ast    clang.cindex over the preset-generated compile_commands.json
+         (real cursors and canonical types; see engine_ast.py)
+  regex  masked-text patterns, no dependencies (engine_regex.py)
 
-  tick-cast        A double-typed expression is cast straight to Tick
-                   (static_cast<Tick>(...)), bypassing secondsToTicks.
-                   Hand-rolled conversions have already caused
-                   unit-confusion bugs; route through the helpers in
-                   sim/types.hh.
+`--engine auto` (the default) uses the AST engine when libclang is
+loadable and falls back to the regex engine otherwise, so the gate
+runs everywhere and merely sharpens where clang is installed.
 
-  event-ownership  `new <T>Event` without an ownership note. EventQueue
-                   does not own scheduled events, so every allocation
-                   must say who deletes it (a comment containing
-                   "own", "deletes", "delete", "freed", or "leak"
-                   within two lines, or a smart-pointer assignment).
+Rules (suppress one finding with `// lint: allow(<rule>)` on the same
+line or the line above; every waiver is counted against
+tools/lint/budget.json, checked by --budget):
 
-  arena-delete     Manual `delete` of an arena-owned event: a variable
-                   initialized from EventQueue::makeEvent<...>() or
-                   EventArena::make<...>(). The queue's arena destroys
-                   and recycles those automatically after service or
-                   deschedule; deleting one by hand is a double free.
+  API discipline      tick-api, tick-cast, event-ownership,
+                      arena-delete, telemetry-json
+  determinism family  wall-clock, host-rng, pointer-order,
+                      unordered-iter
 
-  telemetry-json   A printf-family call emits a JSON-key-shaped format
-                   string (`\"name\":`) outside the designated JSONL
-                   writers (sim/json.hh, sim/sampler.cc, sim/trace.cc).
-                   Hand-rolled JSON bypasses the canonical escaping and
-                   number formats the golden digests pin; route
-                   telemetry through the sim/json.hh helpers instead.
+The determinism family is the static half of the reproducibility
+contract: goldens and timeline digests catch nondeterminism after the
+fact, these rules ban its sources (host clocks, host RNG, pointer-
+keyed ordering, unordered iteration) before the parallel-PDES work
+shards the simulator across threads.
 
-Usage: mercury_lint.py <dir-or-file> [...]
-Exits 1 if any unsuppressed finding is reported.
+Usage:
+  mercury_lint.py [options] <dir-or-file> [...]
+  mercury_lint.py --budget [<dirs>]       # waiver-budget gate
+  mercury_lint.py --pin-budget [<dirs>]   # re-pin after review
+  mercury_lint.py --list-rules
+
+Options:
+  --engine {auto,ast,regex}   engine selection (default: auto)
+  -p, --compile-commands DIR  build dir with compile_commands.json
+                              (used by the AST engine)
+  --rules r1,r2               restrict to a rule subset
+  --extra-arg FLAG            extra compiler arg for the AST engine
+                              (repeatable; fixtures use it)
+
+Exits 1 on any unsuppressed finding (or budget violation), 2 on
+usage errors.
 """
 
-import re
+import argparse
+import os
 import sys
-from pathlib import Path
 
-ALLOW_RE = re.compile(r"//\s*lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-TIME_NAME_RE = re.compile(
-    r"\b(?:std::)?uint64_t\s+(\w*(?:when|tick|deadline|latency)\w*|now)\b",
-    re.IGNORECASE)
-TIME_RETURN_RE = re.compile(
-    r"^\s*(?:std::)?uint64_t\s+(\w*(?:When|Tick|Deadline|Latency)\w*|now)\s*\(")
+import budget as budget_mod   # noqa: E402
+import engine_ast             # noqa: E402
+import engine_regex           # noqa: E402
+import rules                  # noqa: E402
 
-TICK_CAST_RE = re.compile(r"static_cast<\s*Tick\s*>\s*\(")
-DOUBLEISH_RE = re.compile(
-    r"(\bdouble\b|\bfloat\b|\d\.\d|\bticksTo|Seconds\b|Fraction\b|"
-    r"\bratio\b|\bscale\b|\bfreq|Hz\b|\*\s*1e\d|\b\w*[Ff]actor\w*\b)")
-
-NEW_EVENT_RE = re.compile(r"\bnew\s+[\w:]*Event\b")
-OWNERSHIP_RE = re.compile(r"own|delete[sd]?|freed|leak|unique_ptr|shared_ptr",
-                          re.IGNORECASE)
-
-# A variable bound to an arena allocation: `x = queue.makeEvent<...`
-# or `x = arena.make<...` (any object expression before the call).
-ARENA_BIND_RE = re.compile(
-    r"\b(\w+)\s*=\s*[\w.\->]*\b(?:makeEvent|make)\s*<")
-DELETE_RE = re.compile(r"\bdelete\s+(\w+)\s*;")
-
-# Files that define the conversion helpers themselves.
-TICK_CAST_EXEMPT = {"src/sim/types.hh"}
-
-# An escaped JSON key inside a C string literal: \"name\":
-JSON_KEY_LITERAL_RE = re.compile(r'\\"[A-Za-z_][A-Za-z0-9_]*\\":')
-TELEMETRY_CALL_RE = re.compile(
-    r"\b(?:fprintf|printf|sprintf|snprintf|vfprintf|vsnprintf|"
-    r"fputs|fputc|fwrite|puts)\s*\(")
-# The canonical JSONL writers, the only places allowed to spell JSON
-# keys into raw output calls.
-TELEMETRY_EXEMPT = ("src/sim/json.hh", "src/sim/sampler.cc",
-                    "src/sim/trace.cc")
+SOURCE_SUFFIXES = (".hh", ".h", ".hpp", ".cc", ".cpp")
 
 
-def allowed(lines, idx, rule):
-    """True if line idx (0-based) carries or follows an allow comment
-    for rule."""
-    for probe in (idx, idx - 1):
-        if 0 <= probe < len(lines):
-            m = ALLOW_RE.search(lines[probe])
-            if m and rule in [r.strip() for r in m.group(1).split(",")]:
-                return True
-    return False
+def collect_files(args_paths, repo_root):
+    """(rel, abs) pairs for every source file under the given paths,
+    sorted for stable output."""
+    found = []
+    for arg in args_paths:
+        p = os.path.abspath(arg)
+        if os.path.isdir(p):
+            for dirpath, dirnames, filenames in os.walk(p):
+                dirnames.sort()
+                for name in sorted(filenames):
+                    if name.endswith(SOURCE_SUFFIXES):
+                        found.append(os.path.join(dirpath, name))
+        elif os.path.isfile(p):
+            found.append(p)
+        else:
+            print(f"warning: no such path {arg}", file=sys.stderr)
+    pairs = []
+    for path in found:
+        rel = os.path.relpath(path, repo_root)
+        if rel.startswith(".."):
+            rel = path
+        pairs.append((rel.replace(os.sep, "/"), path))
+    return pairs
 
 
-def lint_file(path, findings):
-    rel = path.as_posix()
-    try:
-        text = path.read_text(encoding="utf-8", errors="replace")
-    except OSError as err:
-        print(f"warning: cannot read {rel}: {err}", file=sys.stderr)
-        return
-    lines = text.splitlines()
-
-    is_header = path.suffix in (".hh", ".h")
-
-    # First pass: every variable ever bound to an arena allocation in
-    # this file (scope-insensitive by design -- a false positive is an
-    # invitation to rename, and `// lint: allow(arena-delete)` exists).
-    arena_vars = set()
-    for line in lines:
-        stripped = line.strip()
-        if stripped.startswith("//") or stripped.startswith("*"):
+def load_sources(pairs):
+    loaded = []
+    for rel, path in pairs:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as fh:
+                raw = fh.read()
+        except OSError as err:
+            print(f"warning: cannot read {rel}: {err}",
+                  file=sys.stderr)
             continue
-        for m in ARENA_BIND_RE.finditer(line):
-            arena_vars.add(m.group(1))
+        loaded.append((rel, path, rules.SourceText(raw)))
+    return loaded
 
-    for idx, line in enumerate(lines):
-        lineno = idx + 1
-        stripped = line.strip()
-        if stripped.startswith("//") or stripped.startswith("*"):
+
+def run_lint(opts, sources, selected):
+    """Lint all sources; returns (findings, engine_used)."""
+    engine_used = opts.engine
+    compile_db = None
+    if opts.engine in ("auto", "ast"):
+        if engine_ast.available():
+            engine_used = "ast"
+            if opts.compile_commands:
+                compile_db = engine_ast.open_compile_db(
+                    opts.compile_commands)
+                if compile_db is None:
+                    print(f"warning: no compile_commands.json under "
+                          f"{opts.compile_commands}; parsing with "
+                          f"default flags", file=sys.stderr)
+        elif opts.engine == "ast":
+            print("mercury_lint: AST engine requested but libclang "
+                  "is not loadable (pip module 'clang' + libclang.so"
+                  ", or set MERCURY_LIBCLANG)", file=sys.stderr)
+            return None, None
+        else:
+            engine_used = "regex"
+            print("mercury_lint: libclang unavailable; using the "
+                  "regex fallback engine", file=sys.stderr)
+
+    findings = []
+    for rel, path, src in sources:
+        if engine_used == "ast":
+            try:
+                engine_ast.lint_file(rel, path, src, findings,
+                                     selected, compile_db,
+                                     opts.extra_arg)
+                continue
+            except engine_ast.FileParseError as err:
+                print(f"warning: AST parse failed, regex-linting "
+                      f"this file ({err})", file=sys.stderr)
+        engine_regex.lint_file(rel, src, findings, selected)
+    return findings, engine_used
+
+
+def apply_suppressions(findings, sources):
+    raw_by_rel = {rel: src.raw_lines for rel, _, src in sources}
+    kept = []
+    for f in findings:
+        raw_lines = raw_by_rel.get(f.path)
+        if raw_lines is not None and \
+                f.rule in rules.allowed_rules_at(raw_lines, f.line):
             continue
-
-        # --- tick-api: raw uint64_t in time-valued public API ---
-        if is_header:
-            m = TIME_NAME_RE.search(line) or TIME_RETURN_RE.search(line)
-            if m and not allowed(lines, idx, "tick-api"):
-                findings.append(
-                    (rel, lineno, "tick-api",
-                     f"time-valued API '{m.group(1)}' uses raw "
-                     f"uint64_t; declare it as Tick"))
-
-        # --- tick-cast: double -> Tick without secondsToTicks ---
-        if rel not in TICK_CAST_EXEMPT:
-            for m in TICK_CAST_RE.finditer(line):
-                # Look at the cast operand (rest of the line plus the
-                # next one, for wrapped expressions).
-                operand = line[m.end():]
-                if idx + 1 < len(lines):
-                    operand += " " + lines[idx + 1].strip()
-                if DOUBLEISH_RE.search(operand) and \
-                        not allowed(lines, idx, "tick-cast"):
-                    findings.append(
-                        (rel, lineno, "tick-cast",
-                         "double-to-Tick cast bypasses secondsToTicks; "
-                         "use the sim/types.hh conversion helpers"))
-
-        # --- arena-delete: manual delete of an arena-owned event ---
-        for m in DELETE_RE.finditer(line):
-            if m.group(1) in arena_vars and \
-                    not allowed(lines, idx, "arena-delete"):
-                findings.append(
-                    (rel, lineno, "arena-delete",
-                     f"'{m.group(1)}' came from the event arena "
-                     f"(makeEvent/make); the queue releases it -- "
-                     f"manual delete is a double free"))
-
-        # --- telemetry-json: JSON keys in raw output calls ---------
-        if not any(rel.endswith(e) for e in TELEMETRY_EXEMPT):
-            if JSON_KEY_LITERAL_RE.search(line):
-                # The key may sit on a continuation line of a wrapped
-                # printf; look back a few lines for the call.
-                context = " ".join(
-                    lines[max(0, idx - 3):idx + 1])
-                if TELEMETRY_CALL_RE.search(context) and \
-                        not allowed(lines, idx, "telemetry-json"):
-                    findings.append(
-                        (rel, lineno, "telemetry-json",
-                         "JSON telemetry emitted through a raw "
-                         "printf-family call; use the sim/json.hh "
-                         "writers so escaping and number formats "
-                         "stay canonical"))
-
-        # --- event-ownership: new ...Event without ownership note ---
-        for m in NEW_EVENT_RE.finditer(line):
-            context = " ".join(
-                lines[max(0, idx - 2):min(len(lines), idx + 2)])
-            if not OWNERSHIP_RE.search(context) and \
-                    not allowed(lines, idx, "event-ownership"):
-                findings.append(
-                    (rel, lineno, "event-ownership",
-                     "heap-allocated Event without an ownership "
-                     "comment; EventQueue does not own events"))
+        kept.append(f)
+    return kept
 
 
 def main(argv):
-    if len(argv) < 2:
-        print(__doc__)
+    parser = argparse.ArgumentParser(
+        prog="mercury_lint.py", add_help=True,
+        description="Project-specific lint rules for the Mercury "
+                    "simulator (see module docstring).")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint")
+    parser.add_argument("--engine", choices=("auto", "ast", "regex"),
+                        default="auto")
+    parser.add_argument("-p", "--compile-commands", metavar="DIR",
+                        help="build directory containing "
+                             "compile_commands.json")
+    parser.add_argument("--rules", metavar="r1,r2",
+                        help="comma-separated rule subset")
+    parser.add_argument("--extra-arg", action="append", default=[],
+                        metavar="FLAG",
+                        help="extra compiler arg for the AST engine")
+    parser.add_argument("--budget", action="store_true",
+                        help="check allow() waivers against "
+                             "tools/lint/budget.json")
+    parser.add_argument("--pin-budget", action="store_true",
+                        help="rewrite budget.json with the current "
+                             "waiver counts")
+    parser.add_argument("--list-rules", action="store_true")
+    opts = parser.parse_args(argv[1:])
+
+    if opts.list_rules:
+        for name in sorted(rules.RULES):
+            print(f"{name:16s} {rules.RULES[name]}")
+        return 0
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+
+    if opts.budget or opts.pin_budget:
+        paths = opts.paths or \
+            [os.path.join(repo_root, "src"),
+             os.path.join(repo_root, "bench")]
+        sources = load_sources(collect_files(paths, repo_root))
+        files = [(rel, src) for rel, _, src in sources]
+        if opts.pin_budget:
+            counts, unknown = budget_mod.count_allow_waivers(files)
+            for rel, lineno, rule in unknown:
+                print(f"{rel}:{lineno}: allow() names unknown rule "
+                      f"'{rule}'", file=sys.stderr)
+            if unknown:
+                return 1
+            budget_mod.pin(counts)
+            total = sum(counts.values())
+            print(f"budget pinned: {total} waiver(s) across "
+                  f"{len(counts)} rule(s) -> {budget_mod.BUDGET_FILE}")
+            return 0
+        ok, lines = budget_mod.check(files)
+        for line in lines:
+            print(line)
+        if not ok:
+            print("\nmercury_lint: waiver budget violated",
+                  file=sys.stderr)
+            return 1
+        print("mercury_lint: waiver budget ok "
+              f"({len(files)} files)")
+        return 0
+
+    if not opts.paths:
+        parser.print_usage(sys.stderr)
         return 2
 
-    paths = []
-    for arg in argv[1:]:
-        p = Path(arg)
-        if p.is_dir():
-            paths.extend(sorted(p.rglob("*.hh")))
-            paths.extend(sorted(p.rglob("*.h")))
-            paths.extend(sorted(p.rglob("*.cc")))
-            paths.extend(sorted(p.rglob("*.cpp")))
-        elif p.is_file():
-            paths.append(p)
-        else:
-            print(f"warning: no such path {arg}", file=sys.stderr)
+    selected = set(rules.RULES)
+    if opts.rules:
+        selected = {r.strip() for r in opts.rules.split(",")}
+        unknown = selected - set(rules.RULES)
+        if unknown:
+            print(f"unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
 
-    findings = []
-    for path in paths:
-        lint_file(path, findings)
+    sources = load_sources(collect_files(opts.paths, repo_root))
+    findings, engine_used = run_lint(opts, sources, selected)
+    if findings is None:
+        return 2
+    findings = apply_suppressions(findings, sources)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
 
-    for rel, lineno, rule, msg in findings:
-        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    for f in findings:
+        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
 
     if findings:
-        print(f"\nmercury_lint: {len(findings)} finding(s)",
-              file=sys.stderr)
+        print(f"\nmercury_lint[{engine_used}]: "
+              f"{len(findings)} finding(s)", file=sys.stderr)
         return 1
-    print(f"mercury_lint: clean ({len(paths)} files)")
+    print(f"mercury_lint[{engine_used}]: clean "
+          f"({len(sources)} files)")
     return 0
 
 

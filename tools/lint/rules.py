@@ -1,0 +1,334 @@
+"""Rule catalog and shared source-text machinery for mercury_lint.
+
+Both engines (engine_ast on libclang, engine_regex on masked text)
+emit the same Finding tuples against the same rule names, and the
+driver applies `// lint: allow(<rule>)` suppression uniformly, so a
+fixture's expected diagnostics are engine-independent.
+
+The SourceText class is the part that kills the v1 regex engine's
+known false-positive classes even without libclang: it builds masked
+views of a translation unit in which comments and string literals are
+blanked (so `// returns the current tick as uint64_t` or a log string
+mentioning rand() can never trigger a rule), tracks preprocessor
+regions guarded by the event-profiler macros (the one place host
+clocks are legitimate inside src/), and resolves byte offsets back to
+line numbers so rules may match across physical lines.
+"""
+
+import bisect
+import re
+from collections import namedtuple
+
+Finding = namedtuple("Finding", "path line rule message")
+
+# ---------------------------------------------------------------------------
+# Rule catalog
+# ---------------------------------------------------------------------------
+
+RULES = {
+    "tick-api": (
+        "A public header declares a time-valued parameter or return "
+        "(named *when*, *tick*, *latency*, *deadline*, *now*) as raw "
+        "std::uint64_t instead of Tick."),
+    "tick-cast": (
+        "A double-typed expression is cast straight to Tick, "
+        "bypassing the secondsToTicks helpers in sim/types.hh."),
+    "event-ownership": (
+        "`new <T>Event` without an ownership note. EventQueue does "
+        "not own scheduled events, so every allocation must say who "
+        "deletes it."),
+    "arena-delete": (
+        "Manual `delete` of an arena-owned event (a variable "
+        "initialized from EventQueue::makeEvent<> or "
+        "EventArena::make<>); the queue releases those itself, so a "
+        "manual delete is a double free."),
+    "telemetry-json": (
+        "A printf-family call emits a JSON-key-shaped format string "
+        "outside the designated JSONL writers; hand-rolled JSON "
+        "bypasses the canonical escaping the golden digests pin."),
+    "wall-clock": (
+        "Host wall-clock access (std::chrono clocks, time(), "
+        "clock_gettime(), gettimeofday()) outside the "
+        "MERCURY_EVENT_PROFILE blocks and the whitelisted bench "
+        "host-timing files. Host time leaking into simulated state "
+        "breaks byte-reproducibility and --jobs invariance."),
+    "host-rng": (
+        "Host randomness (rand(), std::random_device, unseeded "
+        "std::mt19937) outside sim/random.*. All simulated "
+        "randomness must come from the seeded xoshiro streams."),
+    "pointer-order": (
+        "A container ordered or hashed on raw pointer values "
+        "(std::map/set/unordered_* keyed on T*). Host allocator "
+        "addresses differ run to run, so any iteration order that "
+        "feeds simulated state or output is nondeterministic -- the "
+        "AddressMap bug class fixed in PR 3."),
+    "unordered-iter": (
+        "Iteration over a std::unordered_map/set. Bucket order is "
+        "implementation- and seed-dependent; sort the keys (or "
+        "switch to std::map) before the results can reach emitted "
+        "output or simulated state."),
+}
+
+# ---------------------------------------------------------------------------
+# Per-rule configuration shared by both engines
+# ---------------------------------------------------------------------------
+
+# Files allowed to touch host clocks: the self-benchmark measures
+# host throughput by definition. (The event-queue profiler hooks in
+# src/sim/event_queue.cc are whitelisted structurally instead: they
+# sit inside `#if MERCURY_EVENT_PROFILE` regions, which SourceText
+# tracks.)
+WALL_CLOCK_EXEMPT = (
+    "bench/selfbench.cc",
+)
+
+# Preprocessor symbols whose guarded regions may use host clocks.
+PROFILE_GUARDS = ("MERCURY_EVENT_PROFILE", "MERCURY_PROFILE_EVENTS")
+
+# The deterministic RNG implementation itself.
+HOST_RNG_EXEMPT = (
+    "src/sim/random.hh",
+    "src/sim/random.cc",
+)
+
+# Files that define the Tick conversion helpers.
+TICK_CAST_EXEMPT = ("src/sim/types.hh",)
+
+# The canonical JSONL writers, the only places allowed to spell JSON
+# keys into raw output calls.
+TELEMETRY_EXEMPT = (
+    "src/sim/json.hh",
+    "src/sim/sampler.cc",
+    "src/sim/trace.cc",
+)
+
+# Time-valued identifier shapes for the tick-api rule.
+TIME_NAME_RE = re.compile(
+    r"(?:^|_)(?:when|tick|deadline|latency)(?:_|$)|"
+    r"(?:[a-z0-9])(?:When|Tick|Deadline|Latency)|"
+    r"^(?:when|tick|deadline|latency|now)", re.IGNORECASE)
+
+PRINTF_FAMILY = (
+    "fprintf", "printf", "sprintf", "snprintf", "vfprintf",
+    "vsnprintf", "fputs", "fputc", "fwrite", "puts")
+
+ALLOW_RE = re.compile(
+    r"//\s*lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+
+def time_valued_name(name):
+    """True when an identifier looks like it carries simulated time."""
+    return bool(name) and bool(TIME_NAME_RE.search(name))
+
+
+def exempt(rel_path, exempt_list):
+    """True when rel_path matches one of the exemption suffixes."""
+    norm = rel_path.replace("\\", "/")
+    return any(norm.endswith(e) for e in exempt_list)
+
+
+# ---------------------------------------------------------------------------
+# Suppression handling (driver-level, engine-independent)
+# ---------------------------------------------------------------------------
+
+def allowed_rules_at(raw_lines, lineno):
+    """Rules waived at 1-based lineno: an allow comment on the same
+    line or the line above."""
+    rules = set()
+    for probe in (lineno - 1, lineno - 2):
+        if 0 <= probe < len(raw_lines):
+            m = ALLOW_RE.search(raw_lines[probe])
+            if m:
+                rules.update(r.strip() for r in m.group(1).split(","))
+    return rules
+
+
+def count_waivers(raw_lines):
+    """All (lineno, rule) allow-waivers present in a file."""
+    waivers = []
+    for idx, line in enumerate(raw_lines):
+        m = ALLOW_RE.search(line)
+        if m:
+            for rule in m.group(1).split(","):
+                waivers.append((idx + 1, rule.strip()))
+    return waivers
+
+
+# ---------------------------------------------------------------------------
+# Masked source views
+# ---------------------------------------------------------------------------
+
+class SourceText:
+    """A translation unit's text plus masked views and region maps.
+
+    raw          : the file exactly as read
+    raw_lines    : raw split into lines
+    no_comments  : comments blanked (same length/offsets as raw);
+                   string literals intact
+    code         : comments AND string/char literal *contents* blanked
+                   (delimiters kept), so structural rules never match
+                   inside prose
+    """
+
+    def __init__(self, raw):
+        self.raw = raw
+        self.raw_lines = raw.splitlines()
+        self.no_comments, self.code = _mask(raw)
+        self._line_starts = [0]
+        for i, ch in enumerate(raw):
+            if ch == "\n":
+                self._line_starts.append(i + 1)
+        self._profiled = _guarded_regions(self.raw_lines,
+                                          PROFILE_GUARDS)
+
+    def line_of(self, offset):
+        """1-based line containing byte offset."""
+        return bisect.bisect_right(self._line_starts, offset)
+
+    def in_profile_guard(self, lineno):
+        """True when the 1-based line sits inside a preprocessor
+        region guarded by one of the event-profiler symbols."""
+        return any(lo <= lineno <= hi for lo, hi in self._profiled)
+
+
+def _mask(raw):
+    """Blank comments (both views) and string/char contents (code
+    view), preserving offsets and newlines."""
+    no_comments = list(raw)
+    code = list(raw)
+    i, n = 0, len(raw)
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR, RAW_STRING = \
+        range(6)
+    state = NORMAL
+    raw_delim = ""
+    while i < n:
+        ch = raw[i]
+        nxt = raw[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if ch == "/" and nxt == "/":
+                state = LINE_COMMENT
+                no_comments[i] = no_comments[i + 1] = " "
+                code[i] = code[i + 1] = " "
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                state = BLOCK_COMMENT
+                no_comments[i] = no_comments[i + 1] = " "
+                code[i] = code[i + 1] = " "
+                i += 2
+                continue
+            if ch == '"':
+                if i > 0 and raw[i - 1] == "R":
+                    m = re.match(r'R"([^()\s\\]{0,16})\(',
+                                 raw[i - 1:i + 20])
+                    if m:
+                        state = RAW_STRING
+                        raw_delim = ")" + m.group(1) + '"'
+                        i += 1 + len(m.group(1)) + 1
+                        continue
+                state = STRING
+                i += 1
+                continue
+            if ch == "'":
+                state = CHAR
+                i += 1
+                continue
+            i += 1
+            continue
+        if state == LINE_COMMENT:
+            if ch == "\n":
+                state = NORMAL
+            else:
+                no_comments[i] = " "
+                code[i] = " "
+            i += 1
+            continue
+        if state == BLOCK_COMMENT:
+            if ch == "*" and nxt == "/":
+                no_comments[i] = no_comments[i + 1] = " "
+                code[i] = code[i + 1] = " "
+                state = NORMAL
+                i += 2
+                continue
+            if ch != "\n":
+                no_comments[i] = " "
+                code[i] = " "
+            i += 1
+            continue
+        if state == STRING:
+            if ch == "\\" and nxt:
+                code[i] = " "
+                if nxt != "\n":
+                    code[i + 1] = " "
+                i += 2
+                continue
+            if ch == '"':
+                state = NORMAL
+            elif ch != "\n":
+                code[i] = " "
+            i += 1
+            continue
+        if state == CHAR:
+            if ch == "\\" and nxt:
+                code[i] = " "
+                if nxt != "\n":
+                    code[i + 1] = " "
+                i += 2
+                continue
+            if ch == "'":
+                state = NORMAL
+            elif ch != "\n":
+                code[i] = " "
+            i += 1
+            continue
+        if state == RAW_STRING:
+            if raw.startswith(raw_delim, i):
+                state = NORMAL
+                i += len(raw_delim)
+                continue
+            if ch != "\n":
+                code[i] = " "
+            i += 1
+            continue
+    return "".join(no_comments), "".join(code)
+
+
+_IF_RE = re.compile(r"^\s*#\s*(if|ifdef|ifndef)\b(.*)")
+_ELSE_RE = re.compile(r"^\s*#\s*(else|elif)\b")
+_ENDIF_RE = re.compile(r"^\s*#\s*endif\b")
+
+
+def _guarded_regions(lines, guards):
+    """Line ranges (1-based, inclusive) whose enclosing #if mentions
+    one of the guard symbols positively (#if GUARD / #ifdef GUARD;
+    an #else of such a block is NOT guarded, and `#ifndef GUARD` /
+    `#if !GUARD` guard the #else branch instead)."""
+    regions = []
+    # Stack of [guard_active_in_current_branch, guard_symbol_present]
+    stack = []
+    for idx, line in enumerate(lines):
+        lineno = idx + 1
+        m = _IF_RE.match(line)
+        if m:
+            kind, cond = m.group(1), m.group(2)
+            mentions = any(g in cond for g in guards)
+            negated = kind == "ifndef" or "!" in cond.split("//")[0]
+            active = mentions and not negated
+            stack.append([active, mentions, negated])
+            continue
+        if _ELSE_RE.match(line) and stack:
+            top = stack[-1]
+            if top[1]:
+                # Branch flip: #ifndef GUARD's #else is guarded.
+                top[0] = top[2]
+                top[2] = not top[2]
+            continue
+        if _ENDIF_RE.match(line) and stack:
+            stack.pop()
+            continue
+        if any(frame[0] for frame in stack):
+            if regions and regions[-1][1] == lineno - 1:
+                regions[-1][1] = lineno
+            else:
+                regions.append([lineno, lineno])
+    return [(lo, hi) for lo, hi in regions]
