@@ -148,6 +148,23 @@ class Session
         return specs;
     }
 
+    /** One aligned help line for a flag spec. */
+    static std::string
+    helpLine(const FlagSpec &spec)
+    {
+        std::string head = "  ";
+        head += spec.flag;
+        if (spec.arg) {
+            head += '=';
+            head += spec.arg;
+        }
+        if (head.size() < 28)
+            head.resize(28, ' ');
+        else
+            head += ' ';
+        return head + spec.help + '\n';
+    }
+
     /** The generated --help block, one line per uniform flag. */
     static std::string
     helpText(const std::string &name)
@@ -156,26 +173,21 @@ class Session
                           "uniform bench flags:\n";
         std::size_t count = 0;
         const FlagSpec *specs = flagTable(count);
-        for (std::size_t i = 0; i < count; ++i) {
-            std::string head = "  ";
-            head += specs[i].flag;
-            if (specs[i].arg) {
-                head += '=';
-                head += specs[i].arg;
-            }
-            if (head.size() < 28)
-                head.resize(28, ' ');
-            else
-                head += ' ';
-            out += head;
-            out += specs[i].help;
-            out += '\n';
-        }
+        for (std::size_t i = 0; i < count; ++i)
+            out += helpLine(specs[i]);
         return out;
     }
 
-    Session(int &argc, char **argv, std::string name)
-        : registry_(std::move(name))
+    /**
+     * @param extra_flags flags the bench parses itself from the
+     *        leftover argv (e.g. selfbench's --out=PATH). Declaring
+     *        them here whitelists them past the unknown-flag check
+     *        and adds them to --help.
+     */
+    Session(int &argc, char **argv, std::string name,
+            std::vector<FlagSpec> extra_flags = {})
+        : registry_(std::move(name)),
+          extraFlags_(std::move(extra_flags))
     {
         int out = 1;
         for (int i = 1; i < argc; ++i) {
@@ -202,7 +214,12 @@ class Session
             } else if (arg == "--help") {
                 std::fputs(helpText(registry_.name()).c_str(),
                            stdout);
+                for (const FlagSpec &spec : extraFlags_)
+                    std::fputs(helpLine(spec).c_str(), stdout);
                 std::exit(0);
+            } else if (arg.rfind("--", 0) == 0 &&
+                       !isExtraFlag(arg)) {
+                rejectUnknownFlag(arg);
             } else {
                 argv[out++] = argv[i];
             }
@@ -385,6 +402,79 @@ class Session
         return static_cast<unsigned>(parsed);
     }
 
+    /** The "--flag" part of "--flag=value" (or the whole token). */
+    static std::string
+    flagName(const std::string &arg)
+    {
+        const std::size_t eq = arg.find('=');
+        return eq == std::string::npos ? arg : arg.substr(0, eq);
+    }
+
+    /** True when @p arg names a bench-declared extra flag; such
+     * tokens pass the unknown-flag check and stay in argv for the
+     * bench's own parser. */
+    bool
+    isExtraFlag(const std::string &arg) const
+    {
+        const std::string name = flagName(arg);
+        for (const FlagSpec &spec : extraFlags_) {
+            if (name == spec.flag)
+                return true;
+        }
+        return false;
+    }
+
+    /** Classic Levenshtein distance, for the did-you-mean hint. */
+    static std::size_t
+    editDistance(const std::string &a, const std::string &b)
+    {
+        std::vector<std::size_t> row(b.size() + 1);
+        for (std::size_t j = 0; j <= b.size(); ++j)
+            row[j] = j;
+        for (std::size_t i = 1; i <= a.size(); ++i) {
+            std::size_t diag = row[0];
+            row[0] = i;
+            for (std::size_t j = 1; j <= b.size(); ++j) {
+                const std::size_t subst =
+                    diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+                diag = row[j];
+                row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                                   subst});
+            }
+        }
+        return row[b.size()];
+    }
+
+    /** Misspelled flags fail fast (exit 2) with the closest known
+     * flag as a hint, instead of being silently ignored. */
+    [[noreturn]] void
+    rejectUnknownFlag(const std::string &arg) const
+    {
+        const std::string name = flagName(arg);
+        std::string closest;
+        std::size_t best = name.size();  // hint only if clearly close
+        std::size_t count = 0;
+        const FlagSpec *specs = flagTable(count);
+        auto consider = [&](const char *flag) {
+            const std::size_t d = editDistance(name, flag);
+            if (d < best) {
+                best = d;
+                closest = flag;
+            }
+        };
+        for (std::size_t i = 0; i < count; ++i)
+            consider(specs[i].flag);
+        for (const FlagSpec &spec : extraFlags_)
+            consider(spec.flag);
+        std::fprintf(stderr, "%s: unknown flag '%s'",
+                     registry_.name().c_str(), name.c_str());
+        if (!closest.empty() && best <= 3)
+            std::fprintf(stderr, " (did you mean '%s'?)",
+                         closest.c_str());
+        std::fprintf(stderr, "; see --help\n");
+        std::exit(2);
+    }
+
     /** Accepts --flag=VALUE and --flag VALUE; advances @p i for the
      * two-token form. */
     static bool
@@ -422,6 +512,7 @@ class Session
     }
 
     stats::Registry registry_;
+    std::vector<FlagSpec> extraFlags_;
     std::unique_ptr<trace::Tracer> tracer_;
     std::string statsPath_;
     std::string tracePath_;

@@ -48,17 +48,37 @@ using namespace mercury::cluster;
 struct SweepStats
 {
     stats::StatGroup cluster;
-    stats::Counter points, timeouts, retries, failed, crashes;
+    stats::Counter points, requests, ok, timeouts, retries, failed,
+        shed, crashes;
+    /** The accounting contract as a registry formula: 0 iff every
+     * measured request landed in exactly one outcome class. */
+    stats::Formula unaccounted;
     stats::StatGroup flash;
     stats::Counter flashPoints, retired, programFailures;
 
     explicit SweepStats(stats::StatGroup *parent)
         : cluster("cluster", parent),
           points(&cluster, "points", "sweep points simulated"),
-          timeouts(&cluster, "timeouts", "requests that timed out"),
+          requests(&cluster, "requests", "measured requests"),
+          ok(&cluster, "ok", "requests answered"),
+          timeouts(&cluster, "timeouts",
+                   "requests with every attempt timed out"),
           retries(&cluster, "retries", "request retries issued"),
-          failed(&cluster, "failed", "requests failed permanently"),
+          failed(&cluster, "failed",
+                 "requests that gave up (retry budget)"),
+          shed(&cluster, "shed",
+               "requests refused by admission control"),
           crashes(&cluster, "crashes", "node crashes injected"),
+          unaccounted(
+              &cluster, "unaccounted",
+              "requests - (ok + timeouts + failed + shed); 0 by "
+              "contract",
+              [this] {
+                  return static_cast<double>(requests.value()) -
+                         static_cast<double>(
+                             ok.value() + timeouts.value() +
+                             failed.value() + shed.value());
+              }),
           flash("flash", parent),
           flashPoints(&flash, "points", "FTL sweep points"),
           retired(&flash, "retired", "blocks retired across points"),
@@ -130,9 +150,12 @@ clusterPoint(bench::PointContext &ctx,
         .number("p999Us", "%.1f", r.p999LatencyUs)
         .number("hitRate", "%.4f", r.hitRate)
         .number("postRestartHitRate", "%.4f", r.postRestartHitRate)
+        .uint("ok", r.ok)
         .uint("timeouts", r.timeouts)
+        .uint("attemptTimeouts", r.attemptTimeouts)
         .uint("retries", r.retries)
         .uint("failed", r.failedRequests)
+        .uint("shed", r.shed)
         .uint("crashes", r.crashes)
         .uint("restarts", r.restarts)
         .uint("netDrops", r.netDrops)
@@ -231,9 +254,12 @@ main(int argc, char **argv)
                 },
                 [&stats, &slot] {
                     ++stats.points;
+                    stats.requests += slot.requests;
+                    stats.ok += slot.ok;
                     stats.timeouts += slot.timeouts;
                     stats.retries += slot.retries;
                     stats.failed += slot.failedRequests;
+                    stats.shed += slot.shed;
                     stats.crashes += slot.crashes;
                 });
         }

@@ -292,7 +292,12 @@ sweepParallelSeconds(unsigned points, unsigned samples,
 int
 main(int argc, char **argv)
 {
-    bench::Session session(argc, argv, "selfbench");
+    bench::Session session(
+        argc, argv, "selfbench",
+        {{"--out", "PATH",
+          "results JSON path (default BENCH_selfbench.json)"},
+         {"--profile-out", "PATH",
+          "event-queue profiler JSON path"}});
     const bool smoke = session.smoke();
 
     std::string out = "BENCH_selfbench.json";

@@ -11,19 +11,23 @@
 #   3. the timeseries label (windowed-JSONL golden, --timeseries-out
 #      jobs-invariance, Chrome-trace exporter) under both the release
 #      and asan-ubsan builds;
-#   4. a perf smoke: the release selfbench --smoke must run and emit
+#   4. smoke reproducibility of the fault_sweep and bad_day benches
+#      (two runs byte-identical) and the fault/resilience label
+#      (`ctest -L fault`): replication, hedging, shedding and the
+#      bad-day recovery-curve golden under asan-ubsan;
+#   5. a perf smoke: the release selfbench --smoke must run and emit
 #      well-formed JSON (numbers are host-dependent; only the shape
 #      is checked);
-#   5. the static-analysis label (`ctest -L lint`): the mercury_lint
+#   6. the static-analysis label (`ctest -L lint`): the mercury_lint
 #      fixture goldens for both engines, the repo-clean check, the
 #      suppression budget, and the clang thread-safety negative
 #      compile (clang-only checks report as skipped without clang);
-#   6. a clang -Wthread-safety -Werror build of the whole tree via
+#   7. a clang -Wthread-safety -Werror build of the whole tree via
 #      the clang-tsa preset (skipped when clang++ is not installed);
-#   7. clang-tidy over src/ against the asan-ubsan compile database
+#   8. clang-tidy over src/ against the asan-ubsan compile database
 #      (a hard failure when installed; skipped with a warning when
 #      not -- the CI image may not ship it);
-#   8. the project-specific lint rules in tools/lint/mercury_lint.py
+#   9. the project-specific lint rules in tools/lint/mercury_lint.py
 #      over src/ and bench/ (AST engine against the asan-ubsan
 #      compile database when libclang is importable, the regex
 #      fallback otherwise), plus the waiver-budget ratchet.
@@ -77,7 +81,7 @@ if [ "$skip_build" -eq 0 ]; then
     fi
     if ! cmake --build --preset release -j "$(nproc)" --target \
             fig4_request_breakdown fig5_mercury_latency \
-            fig6_iridium_latency fault_sweep cluster_tail; then
+            fig6_iridium_latency fault_sweep cluster_tail bad_day; then
         echo "check.sh: release bench build failed" >&2
         exit 1
     fi
@@ -115,6 +119,30 @@ if [ "$skip_build" -eq 0 ]; then
         exit 1
     fi
     echo "fault_sweep: two runs byte-identical"
+
+    note "bad_day smoke (runs + is deterministic)"
+    bad_day=build/asan-ubsan/bench/bad_day
+    if ! "$bad_day" --smoke > /tmp/mercury-bad-day-1.txt || \
+       ! "$bad_day" --smoke > /tmp/mercury-bad-day-2.txt; then
+        echo "check.sh: bad_day --smoke failed" >&2
+        exit 1
+    fi
+    if ! diff /tmp/mercury-bad-day-1.txt /tmp/mercury-bad-day-2.txt
+    then
+        echo "check.sh: bad_day output not reproducible" >&2
+        exit 1
+    fi
+    echo "bad_day: two runs byte-identical"
+
+    # The fault/resilience label: injector, crash/restart and
+    # replication semantics, hedging, shedding, backoff properties,
+    # plus the bad-day golden and determinism runs.
+    note "fault suite (ctest -L fault)"
+    if ! ctest --test-dir build/asan-ubsan -L fault \
+            --output-on-failure; then
+        echo "check.sh: fault suite failed under asan-ubsan" >&2
+        exit 1
+    fi
 
     note "tsan: determinism + golden suites + thread-pool tests"
     if ! cmake --preset tsan; then

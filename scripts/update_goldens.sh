@@ -19,7 +19,7 @@ fi
 
 cmake --build "$build" -j "$(nproc)" --target \
     fig4_request_breakdown fig5_mercury_latency fig6_iridium_latency \
-    fault_sweep
+    fault_sweep bad_day
 
 declare -A benches=(
     [fig4_smoke]=fig4_request_breakdown
@@ -53,6 +53,19 @@ echo "$(python3 tools/statdiff.py --digest "$ts_out")  $ts_out"
 if [ -f "$ts_out.orig" ]; then
     python3 tools/tsplot.py diff -q "$ts_out.orig" "$ts_out" || true
     rm -f "$ts_out.orig"
+fi
+
+# The bad-day availability/latency recovery curves (per scenario).
+bd_out=tests/golden/bad_day_smoke.jsonl
+if [ -f "$bd_out" ]; then
+    cp "$bd_out" "$bd_out.orig"
+fi
+"$build/bench/bad_day" --smoke --sample-interval=5000 \
+    --timeseries-out="$bd_out" > /dev/null
+echo "$(python3 tools/statdiff.py --digest "$bd_out")  $bd_out"
+if [ -f "$bd_out.orig" ]; then
+    python3 tools/tsplot.py diff -q "$bd_out.orig" "$bd_out" || true
+    rm -f "$bd_out.orig"
 fi
 
 echo "goldens updated; review and commit tests/golden/*.json(l)"

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Client retry backoff policy, shared by the cluster simulation and
+ * its property tests.
+ */
+
+#ifndef MERCURY_CLUSTER_BACKOFF_HH
+#define MERCURY_CLUSTER_BACKOFF_HH
+
+#include "sim/fault.hh"
+#include "sim/types.hh"
+
+namespace mercury::cluster
+{
+
+/**
+ * Jittered exponential client backoff: base * 2^attempt scaled by a
+ * uniform factor in [1-jitter, 1+jitter] drawn from the injector's
+ * RNG stream, so concurrent clients decorrelate instead of
+ * retry-storming in lockstep. Deterministic: identical injector
+ * state and arguments produce identical waits, hence identical
+ * retry timelines for identical seeds.
+ */
+inline Tick
+jitteredBackoff(Tick base, unsigned attempt, double jitter,
+                fault::FaultInjector &injector)
+{
+    const Tick nominal = base << attempt;
+    // Scaling a Tick by a unitless jitter factor, not converting
+    // seconds.
+    // lint: allow(tick-cast)
+    return static_cast<Tick>(static_cast<double>(nominal) *
+                             injector.jitter(jitter));
+}
+
+} // namespace mercury::cluster
+
+#endif // MERCURY_CLUSTER_BACKOFF_HH

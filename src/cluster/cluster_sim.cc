@@ -1,7 +1,10 @@
 #include "cluster/cluster_sim.hh"
 
 #include <algorithm>
+#include <deque>
 
+#include "cluster/backoff.hh"
+#include "sim/contract.hh"
 #include "sim/logging.hh"
 
 namespace mercury::cluster
@@ -16,7 +19,9 @@ ClusterSim::ClusterSim(const ClusterSimParams &params)
     for (unsigned i = 0; i < params_.nodes; ++i) {
         const std::string name = "node" + std::to_string(i);
         nodeNames_.push_back(name);
-        ring_.addNode(name);
+        // Stripe nodes across racks (failure domains) when asked.
+        ring_.addNode(name,
+                      params_.racks >= 2 ? i % params_.racks : 0);
 
         server::ServerModelParams node_params = params_.node;
         node_params.name = name;
@@ -55,16 +60,52 @@ ClusterSim::nodeIndexFor(std::string_view key) const
     return indexOfName(ring_.nodeFor(key));
 }
 
+unsigned
+ClusterSim::effectiveReplication() const
+{
+    return std::min(
+        std::max(1u, params_.resilience.replicationFactor),
+        static_cast<unsigned>(nodes_.size()));
+}
+
+std::vector<std::string>
+ClusterSim::replicaOrder(std::string_view key,
+                         std::size_t count) const
+{
+    if (params_.resilience.rackAwareReplicas && params_.racks >= 2)
+        return ring_.replicasFor(key, count, true);
+    return ring_.nodesFor(key, count);
+}
+
 void
 ClusterSim::populate()
 {
     if (populated_)
         return;
+    const unsigned replication = effectiveReplication();
     for (std::uint64_t id = 0; id < params_.numKeys; ++id) {
         const std::string key = keyFor(id);
-        nodes_[nodeIndexFor(key)]->put(key, params_.valueBytes);
+        if (replication == 1) {
+            nodes_[nodeIndexFor(key)]->put(key, params_.valueBytes);
+        } else {
+            for (const std::string &name :
+                 replicaOrder(key, replication)) {
+                nodes_[indexOfName(name)]->put(key,
+                                               params_.valueBytes);
+            }
+        }
     }
     populated_ = true;
+}
+
+Tick
+ClusterSim::timeOrigin()
+{
+    populate();
+    Tick origin = 0;
+    for (const auto &node : nodes_)
+        origin = std::max(origin, node->now());
+    return origin;
 }
 
 double
@@ -112,7 +153,9 @@ ClusterSim::run(double offered_tps)
     stats::Sampler *const sampler = params_.sampler;
     trace::Tracer *const tracer = params_.tracer;
     std::size_t ch_requests = 0, ch_ok = 0, ch_failed = 0;
-    std::size_t ch_timeouts = 0, ch_retries = 0;
+    std::size_t ch_timeouts = 0, ch_shed = 0;
+    std::size_t ch_attempt_timeouts = 0, ch_retries = 0;
+    std::size_t ch_hedges = 0;
     std::size_t ch_crashes = 0, ch_restarts = 0;
     std::size_t ch_gets = 0, ch_hits = 0, ch_lat = 0;
     if (sampler) {
@@ -120,7 +163,10 @@ ClusterSim::run(double offered_tps)
         ch_ok = sampler->addCounter("ok");
         ch_failed = sampler->addCounter("failed");
         ch_timeouts = sampler->addCounter("timeouts");
+        ch_shed = sampler->addCounter("shed");
+        ch_attempt_timeouts = sampler->addCounter("attempt_timeouts");
         ch_retries = sampler->addCounter("retries");
+        ch_hedges = sampler->addCounter("hedges");
         ch_crashes = sampler->addCounter("crashes");
         ch_restarts = sampler->addCounter("restarts");
         ch_gets = sampler->addCounter("gets");
@@ -143,6 +189,10 @@ ClusterSim::run(double offered_tps)
     // never draws) when faults are disabled, keeping such runs
     // bit-identical to a pre-fault build.
     const ClusterFaultParams &fp = params_.faults;
+    const ClusterResilienceParams &res = params_.resilience;
+    const unsigned replication = effectiveReplication();
+    const bool hedging =
+        fp.enabled && res.hedgedReads && replication >= 2;
     std::vector<bool> up(nodes_.size(), true);
     std::vector<Tick> restart_at(nodes_.size(), 0);
     /** GETs left in each node's post-restart recovery window. */
@@ -159,6 +209,66 @@ ClusterSim::run(double offered_tps)
     std::uint64_t gets = 0, hits = 0;
     std::uint64_t recovery_gets = 0, recovery_hits = 0;
 
+    // Hinted handoff: writes aimed at a down replica wait here (in
+    // write order) and are replayed when the node restarts.
+    std::vector<std::vector<std::uint64_t>> hints(nodes_.size());
+
+    // Per-node outstanding-request accounting: completion times of
+    // requests in flight on each node, pruned as time passes.
+    std::vector<std::deque<Tick>> inflight(nodes_.size());
+    auto note_inflight = [&](std::size_t n, Tick begin, Tick end) {
+        std::deque<Tick> &q = inflight[n];
+        while (!q.empty() && q.front() <= begin)
+            q.pop_front();
+        q.push_back(end);
+        result.maxOutstanding = std::max<std::uint64_t>(
+            result.maxOutstanding, q.size());
+    };
+
+    // Observed attempt service times drive the hedge delay: hedge
+    // when the primary is slower than the configured quantile of
+    // what the cluster has been delivering.
+    stats::StatGroup hedge_stats("hedge");
+    stats::LatencyHistogram attempt_service(
+        &hedge_stats, "attempt_us", "attempt service time");
+    auto hedge_delay = [&]() -> Tick {
+        if (attempt_service.count() < res.hedgeWarmup)
+            return res.hedgeFloor;
+        const Tick quantile =
+            static_cast<Tick>(
+                attempt_service.percentile(res.hedgeQuantile)) *
+            tickUs;
+        return std::max(quantile, res.hedgeFloor);
+    };
+
+    // Retry budget: retries so far may not exceed the configured
+    // fraction of requests issued so far (warmup included -- the
+    // budget is a client-lifetime property, not a measurement one).
+    const bool budgeted = fp.enabled && res.retryBudgetFraction > 0.0;
+    std::uint64_t issued = 0;
+    std::uint64_t retries_spent = 0;
+    auto retry_allowed = [&]() {
+        if (!budgeted)
+            return true;
+        return static_cast<double>(retries_spent) <
+               res.retryBudgetFraction * static_cast<double>(issued);
+    };
+
+    // Worst-window availability over the full run.
+    const Tick avail_window = params_.availabilityWindow;
+    Tick win_end = avail_window > 0 ? origin + avail_window : maxTick;
+    std::uint64_t win_requests = 0, win_ok = 0;
+    auto close_window = [&]() {
+        if (win_requests > 0) {
+            result.minWindowAvailability = std::min(
+                result.minWindowAvailability,
+                static_cast<double>(win_ok) /
+                    static_cast<double>(win_requests));
+        }
+        win_requests = 0;
+        win_ok = 0;
+    };
+
     auto crash = [&](std::size_t victim, Tick at) {
         up[victim] = false;
         restart_at[victim] = at + fp.nodeDowntime;
@@ -173,6 +283,14 @@ ClusterSim::run(double offered_tps)
         // The process lost its in-memory store: it comes back cold
         // and clients re-fill it on misses.
         nodes_[index]->store().flushAll();
+        // Replay the hinted writes it missed while down, in arrival
+        // order, so it comes back warm for everything written during
+        // the outage.
+        for (const std::uint64_t key_id : hints[index]) {
+            nodes_[index]->put(keyFor(key_id), params_.valueBytes);
+            ++result.hintsReplayed;
+        }
+        hints[index].clear();
         recovering[index] = recovery_window;
         injector_.record(at, fault::FaultKind::NodeRestart,
                          nodeNames_[index]);
@@ -198,6 +316,14 @@ ClusterSim::run(double offered_tps)
             sampler->advanceTo(arrival);
             sampler->count(ch_requests);
         }
+        // Availability windows close strictly on arrival ticks, so
+        // minWindowAvailability is a pure function of the simulated
+        // timeline too.
+        while (avail_window > 0 && arrival >= win_end) {
+            close_window();
+            win_end += avail_window;
+        }
+        ++win_requests;
         const std::uint32_t client_req =
             tracer ? tracer->beginRequest() : 0;
 
@@ -240,6 +366,7 @@ ClusterSim::run(double offered_tps)
             }
 
             const Tick latency = node.now() - arrival;
+            ++win_ok;
             if (sampler) {
                 sampler->count(ch_ok);
                 sampler->recordLatency(
@@ -248,6 +375,7 @@ ClusterSim::run(double offered_tps)
             }
             if (!measured)
                 continue;
+            ++result.ok;
             latencies.push_back(latency);
             per_node[index].push_back(latency);
             ++counts[index];
@@ -261,19 +389,65 @@ ClusterSim::run(double offered_tps)
             if (!up[n] && restart_at[n] <= arrival)
                 restart(n, restart_at[n]);
         }
-        // Explicitly scheduled crash/restart plans. A plan due
-        // before the run's time origin fires at the first arrival
-        // (plans are expressed in simulated time, which populate()
-        // has already advanced).
+        // Explicitly scheduled fault plans. A plan due before the
+        // run's time origin fires at the first arrival (plans are
+        // expressed in simulated time, which populate() has already
+        // advanced).
         while (auto due = injector_.popDue(arrival)) {
-            const std::size_t target = indexOfName(due->target);
             const Tick at = std::max(due->at, arrival);
-            if (due->kind == fault::FaultKind::NodeCrash &&
-                up[target]) {
-                crash(target, at);
-            } else if (due->kind == fault::FaultKind::NodeRestart &&
-                       !up[target]) {
-                restart(target, at);
+            switch (due->kind) {
+            case fault::FaultKind::NodeCrash: {
+                const std::size_t target = indexOfName(due->target);
+                if (up[target])
+                    crash(target, at);
+                break;
+            }
+            case fault::FaultKind::NodeRestart: {
+                const std::size_t target = indexOfName(due->target);
+                if (!up[target])
+                    restart(target, at);
+                break;
+            }
+            case fault::FaultKind::NetDegrade:
+            case fault::FaultKind::NetRestore: {
+                // A degradation burst retunes wire loss; the restore
+                // event snaps it back to the configured baseline.
+                const double loss =
+                    due->kind == fault::FaultKind::NetDegrade
+                        ? fault::ppbToProbability(due->detail)
+                        : fp.packetLossProbability;
+                injector_.record(at, due->kind, due->target,
+                                 due->detail);
+                if (due->target == fault::allNodes) {
+                    for (const auto &node : nodes_)
+                        node->setPacketLoss(loss);
+                } else {
+                    nodes_[indexOfName(due->target)]->setPacketLoss(
+                        loss);
+                }
+                break;
+            }
+            case fault::FaultKind::FlashWear: {
+                // Elevated program-fail probability while a wear
+                // burst is active; detail 0 marks its end.
+                const double wear =
+                    fault::ppbToProbability(due->detail);
+                injector_.record(at, due->kind, due->target,
+                                 due->detail);
+                if (due->target == fault::allNodes) {
+                    for (const auto &node : nodes_)
+                        node->setFlashWear(wear);
+                } else {
+                    nodes_[indexOfName(due->target)]->setFlashWear(
+                        wear);
+                }
+                break;
+            }
+            default:
+                // Probabilistic kinds are never scheduled; a plan
+                // carrying one is a bug in the plan builder.
+                mercury_panic("unschedulable fault kind in plan: ",
+                              fault::kindName(due->kind));
             }
         }
         // Poisson crashes; the last live node is never taken down.
@@ -289,99 +463,113 @@ ClusterSim::run(double offered_tps)
             next_crash += injector_.nextInterval(crash_mean);
         }
 
-        // Client request path: walk the ring successors, paying a
-        // timeout for each dead server and a jittered exponential
-        // backoff before the next attempt, as real memcached
+        // Client request path. The client fans out over the key's
+        // replica set (plain ring successors when unreplicated):
+        // writes go to every up replica, GETs may be hedged, and a
+        // dead-node attempt pays a timeout plus a jittered
+        // exponential backoff before the next try, as real memcached
         // clients do.
-        const std::vector<std::string> order =
-            ring_.nodesFor(key, fp.maxRetries + 1);
-        Tick penalty = 0;
-        bool served = false;
-        Tick answered_at = arrival;
-        for (unsigned attempt = 0; attempt <= fp.maxRetries;
-             ++attempt) {
-            const std::size_t index =
-                indexOfName(order[attempt % order.size()]);
-            const Tick attempt_begin = arrival + penalty;
-            if (!up[index]) {
-                penalty += fp.requestTimeout;
-                if (measured)
-                    ++result.timeouts;
-                if (sampler)
-                    sampler->count(ch_timeouts);
-                {
-                    // A timed-out attempt still names the node the
-                    // client was waiting on.
-                    trace::ScopedTraceContext span_ctx(
-                        tracer, static_cast<std::uint16_t>(index),
-                        client_req);
-                    MERCURY_TRACE_SPAN(tracer, client_req,
-                                       trace::Stage::Attempt,
-                                       attempt_begin,
-                                       arrival + penalty, attempt);
-                }
-                if (attempt < fp.maxRetries) {
-                    const Tick backoff_begin = arrival + penalty;
-                    const Tick backoff = fp.backoffBase << attempt;
-                    // Scaling a Tick by a unitless jitter factor,
-                    // not converting seconds.
-                    // lint: allow(tick-cast)
-                    penalty += static_cast<Tick>(
-                        static_cast<double>(backoff) *
-                        injector_.jitter(fp.backoffJitter));
-                    if (measured)
-                        ++result.retries;
-                    if (sampler)
-                        sampler->count(ch_retries);
-                    {
-                        trace::ScopedTraceContext span_ctx(
-                            tracer, trace::clientNode, client_req);
-                        MERCURY_TRACE_SPAN(tracer, client_req,
-                                           trace::Stage::Backoff,
-                                           backoff_begin,
-                                           arrival + penalty,
-                                           attempt);
-                    }
-                }
-                continue;
-            }
+        const bool is_get = request.op == workload::Request::Op::Get;
+        const std::size_t fan = std::max<std::size_t>(
+            replication,
+            static_cast<std::size_t>(fp.maxRetries) + 1);
+        const std::vector<std::string> order_names =
+            replicaOrder(key, fan);
+        std::vector<std::size_t> order;
+        order.reserve(order_names.size());
+        for (const std::string &name : order_names)
+            order.push_back(indexOfName(name));
+        ++issued;
 
-            server::ServerModel &node = *nodes_[index];
-            node.advanceTo(arrival + penalty);
-            bool refill = false;
+        enum class Outcome { Pending, Ok, Shed, Failed, TimedOut };
+        Outcome outcome = Outcome::Pending;
+        Tick penalty = 0;
+        Tick answered_at = arrival;
+
+        // Admission check: a node that cannot start serving within
+        // the queue-delay SLO refuses fast instead of queueing.
+        auto shed_check = [&](std::size_t index, Tick begin,
+                              unsigned attempt_no) {
+            if (!res.admissionControl)
+                return false;
+            const Tick node_free = nodes_[index]->now();
+            const Tick queue_delay =
+                node_free > begin ? node_free - begin : 0;
+            if (queue_delay <= res.sloQueueDelay)
+                return false;
+            answered_at = begin + res.shedResponseTime;
+            outcome = Outcome::Shed;
+            if (measured)
+                ++result.shed;
+            if (sampler)
+                sampler->count(ch_shed);
             {
                 trace::ScopedTraceContext span_ctx(
                     tracer, static_cast<std::uint16_t>(index),
                     client_req);
-                if (request.op == workload::Request::Op::Get) {
-                    const server::RequestTiming timing =
-                        node.get(key);
-                    if (measured) {
-                        ++gets;
-                        hits += timing.hit ? 1 : 0;
-                    }
-                    if (sampler) {
-                        sampler->count(ch_gets);
-                        if (timing.hit)
-                            sampler->count(ch_hits);
-                    }
-                    if (recovering[index] > 0) {
-                        --recovering[index];
-                        ++recovery_gets;
-                        recovery_hits += timing.hit ? 1 : 0;
-                    }
-                    refill = !timing.hit;
-                } else {
-                    node.put(key, params_.valueBytes);
-                }
                 MERCURY_TRACE_SPAN(tracer, client_req,
-                                   trace::Stage::Attempt,
-                                   attempt_begin, node.now(),
-                                   attempt);
+                                   trace::Stage::Attempt, begin,
+                                   answered_at, attempt_no);
             }
+            return true;
+        };
 
-            answered_at = node.now();
-            const Tick latency = node.now() - arrival;
+        struct AttemptOutcome
+        {
+            Tick end = 0;
+            bool hit = false;
+        };
+        // One traced GET attempt against an up node.
+        auto do_get = [&](std::size_t index, Tick begin,
+                          unsigned attempt_no) {
+            server::ServerModel &node = *nodes_[index];
+            node.advanceTo(begin);
+            bool hit = false;
+            {
+                trace::ScopedTraceContext span_ctx(
+                    tracer, static_cast<std::uint16_t>(index),
+                    client_req);
+                hit = node.get(key).hit;
+                MERCURY_TRACE_SPAN(tracer, client_req,
+                                   trace::Stage::Attempt, begin,
+                                   node.now(), attempt_no);
+            }
+            note_inflight(index, begin, node.now());
+            return AttemptOutcome{node.now(), hit};
+        };
+        // Hit accounting for the GET attempt that actually answered
+        // the client. A cancelled hedge loser is never accounted:
+        // its result is discarded.
+        auto account_get = [&](std::size_t index, bool hit) {
+            if (measured) {
+                ++gets;
+                hits += hit ? 1 : 0;
+            }
+            if (sampler) {
+                sampler->count(ch_gets);
+                if (hit)
+                    sampler->count(ch_hits);
+            }
+            if (recovering[index] > 0) {
+                --recovering[index];
+                ++recovery_gets;
+                recovery_hits += hit ? 1 : 0;
+            }
+            // Read-through: a missed key is re-filled after the
+            // client got its answer, off the critical path. With
+            // replicas this doubles as read repair of a diverged
+            // copy.
+            if (!hit) {
+                nodes_[index]->put(key, params_.valueBytes);
+                if (replication >= 2)
+                    ++result.readRepairs;
+            }
+        };
+        auto finish_served = [&](std::size_t index, Tick end) {
+            outcome = Outcome::Ok;
+            answered_at = end;
+            const Tick latency = end - arrival;
+            ++win_ok;
             if (sampler) {
                 sampler->count(ch_ok);
                 sampler->recordLatency(
@@ -389,31 +577,262 @@ ClusterSim::run(double offered_tps)
                                 latency / tickUs));
             }
             if (measured) {
+                ++result.ok;
                 latencies.push_back(latency);
                 per_node[index].push_back(latency);
                 ++counts[index];
             }
-            // Read-through: a missed key is re-filled from the
-            // backing store after the client got its answer, so
-            // the refill is off the request's critical path.
-            if (refill)
-                node.put(key, params_.valueBytes);
-            served = true;
-            break;
+        };
+
+        // Hedged GET: race the primary against one backup replica;
+        // the first answer wins and the loser is cancelled.
+        if (outcome == Outcome::Pending && hedging && is_get) {
+            const std::size_t primary = order[0];
+            std::size_t secondary = 0;
+            bool have_secondary = false;
+            for (std::size_t r = 1; r < replication; ++r) {
+                if (up[order[r]]) {
+                    secondary = order[r];
+                    have_secondary = true;
+                    break;
+                }
+            }
+            if (up[primary]) {
+                if (!shed_check(primary, arrival, 0)) {
+                    const AttemptOutcome first =
+                        do_get(primary, arrival, 0);
+                    const Tick delay = hedge_delay();
+                    if (have_secondary &&
+                        first.end > arrival + delay) {
+                        // Primary is past the hedge quantile: fire
+                        // the backup.
+                        const AttemptOutcome second =
+                            do_get(secondary, arrival + delay, 1);
+                        if (measured)
+                            ++result.hedges;
+                        if (sampler)
+                            sampler->count(ch_hedges);
+                        const bool backup_won =
+                            second.end < first.end;
+                        if (measured && backup_won)
+                            ++result.hedgeWins;
+                        const std::size_t winner =
+                            backup_won ? secondary : primary;
+                        const AttemptOutcome &won =
+                            backup_won ? second : first;
+                        const Tick won_begin =
+                            backup_won ? arrival + delay : arrival;
+                        attempt_service.record(
+                            (won.end - won_begin) / tickUs);
+                        account_get(winner, won.hit);
+                        finish_served(winner, won.end);
+                    } else {
+                        attempt_service.record(
+                            (first.end - arrival) / tickUs);
+                        account_get(primary, first.hit);
+                        finish_served(primary, first.end);
+                    }
+                }
+            } else if (have_secondary) {
+                // Dead primary: the hedge rescues the GET at the
+                // hedge delay instead of waiting out the full
+                // request timeout.
+                const Tick delay = hedge_delay();
+                if (measured) {
+                    ++result.attemptTimeouts;
+                    ++result.hedges;
+                    ++result.hedgeWins;
+                }
+                if (sampler) {
+                    sampler->count(ch_attempt_timeouts);
+                    sampler->count(ch_hedges);
+                }
+                {
+                    trace::ScopedTraceContext span_ctx(
+                        tracer,
+                        static_cast<std::uint16_t>(primary),
+                        client_req);
+                    MERCURY_TRACE_SPAN(tracer, client_req,
+                                       trace::Stage::Attempt,
+                                       arrival, arrival + delay, 0);
+                }
+                if (!shed_check(secondary, arrival + delay, 1)) {
+                    const AttemptOutcome second =
+                        do_get(secondary, arrival + delay, 1);
+                    attempt_service.record(
+                        (second.end - (arrival + delay)) / tickUs);
+                    account_get(secondary, second.hit);
+                    finish_served(secondary, second.end);
+                }
+            }
+            // Whole replica set down: fall through to the generic
+            // walk (which will time out over the replicas).
         }
-        if (!served) {
-            if (measured)
-                ++result.failedRequests;
-            if (sampler)
-                sampler->count(ch_failed);
+
+        // Replicated write round: write every up replica at arrival,
+        // hint the down ones for replay at their restart.
+        if (outcome == Outcome::Pending && !is_get &&
+            replication >= 2) {
+            std::size_t first_up = replication;
+            for (std::size_t r = 0; r < replication; ++r) {
+                if (up[order[r]]) {
+                    first_up = r;
+                    break;
+                }
+            }
+            if (first_up < replication &&
+                !shed_check(order[first_up], arrival,
+                            static_cast<unsigned>(first_up))) {
+                Tick end = arrival;
+                unsigned attempt_no = 0;
+                for (std::size_t r = 0; r < replication; ++r) {
+                    const std::size_t index = order[r];
+                    if (!up[index]) {
+                        hints[index].push_back(request.keyId);
+                        ++result.hintsQueued;
+                        continue;
+                    }
+                    server::ServerModel &node = *nodes_[index];
+                    node.advanceTo(arrival);
+                    {
+                        trace::ScopedTraceContext span_ctx(
+                            tracer,
+                            static_cast<std::uint16_t>(index),
+                            client_req);
+                        node.put(key, params_.valueBytes);
+                        MERCURY_TRACE_SPAN(tracer, client_req,
+                                           trace::Stage::Attempt,
+                                           arrival, node.now(),
+                                           attempt_no++);
+                    }
+                    note_inflight(index, arrival, node.now());
+                    end = std::max(end, node.now());
+                }
+                // The round completes when the slowest replica
+                // acked (write-all).
+                finish_served(order[first_up], end);
+            }
+        }
+
+        if (outcome == Outcome::Pending) {
+            // Generic failover walk: successive attempts over the
+            // order, a timeout per dead node and a jittered backoff
+            // before each retry. A replicated write never walks past
+            // its replica set -- data must not land on a
+            // non-replica.
+            const std::size_t walk_span =
+                (!is_get && replication >= 2)
+                    ? replication
+                    : order.size();
+            for (unsigned attempt = 0; attempt <= fp.maxRetries;
+                 ++attempt) {
+                const std::size_t index =
+                    order[attempt % walk_span];
+                const Tick attempt_begin = arrival + penalty;
+                if (!up[index]) {
+                    penalty += fp.requestTimeout;
+                    if (measured)
+                        ++result.attemptTimeouts;
+                    if (sampler)
+                        sampler->count(ch_attempt_timeouts);
+                    {
+                        // A timed-out attempt still names the node
+                        // the client was waiting on.
+                        trace::ScopedTraceContext span_ctx(
+                            tracer,
+                            static_cast<std::uint16_t>(index),
+                            client_req);
+                        MERCURY_TRACE_SPAN(tracer, client_req,
+                                           trace::Stage::Attempt,
+                                           attempt_begin,
+                                           arrival + penalty,
+                                           attempt);
+                    }
+                    if (attempt < fp.maxRetries) {
+                        if (!retry_allowed()) {
+                            // Budget spent: give up now instead of
+                            // feeding a retry storm.
+                            outcome = Outcome::Failed;
+                            answered_at = arrival + penalty;
+                            if (measured)
+                                ++result.failedRequests;
+                            if (sampler)
+                                sampler->count(ch_failed);
+                            break;
+                        }
+                        ++retries_spent;
+                        const Tick backoff_begin = arrival + penalty;
+                        penalty += jitteredBackoff(
+                            fp.backoffBase, attempt,
+                            fp.backoffJitter, injector_);
+                        if (measured)
+                            ++result.retries;
+                        if (sampler)
+                            sampler->count(ch_retries);
+                        {
+                            trace::ScopedTraceContext span_ctx(
+                                tracer, trace::clientNode,
+                                client_req);
+                            MERCURY_TRACE_SPAN(
+                                tracer, client_req,
+                                trace::Stage::Backoff,
+                                backoff_begin, arrival + penalty,
+                                attempt);
+                        }
+                    }
+                    continue;
+                }
+
+                if (shed_check(index, attempt_begin, attempt))
+                    break;
+
+                if (is_get) {
+                    const AttemptOutcome got =
+                        do_get(index, attempt_begin, attempt);
+                    if (hedging) {
+                        attempt_service.record(
+                            (got.end - attempt_begin) / tickUs);
+                    }
+                    account_get(index, got.hit);
+                    finish_served(index, got.end);
+                } else {
+                    server::ServerModel &node = *nodes_[index];
+                    node.advanceTo(attempt_begin);
+                    {
+                        trace::ScopedTraceContext span_ctx(
+                            tracer,
+                            static_cast<std::uint16_t>(index),
+                            client_req);
+                        node.put(key, params_.valueBytes);
+                        MERCURY_TRACE_SPAN(tracer, client_req,
+                                           trace::Stage::Attempt,
+                                           attempt_begin,
+                                           node.now(), attempt);
+                    }
+                    note_inflight(index, attempt_begin,
+                                  node.now());
+                    finish_served(index, node.now());
+                }
+                break;
+            }
+        }
+
+        if (outcome == Outcome::Pending) {
+            // Exhausted every attempt against dead nodes.
+            outcome = Outcome::TimedOut;
             answered_at = arrival + penalty;
+            if (measured)
+                ++result.timeouts;
+            if (sampler)
+                sampler->count(ch_timeouts);
         }
         if (tracer) {
             trace::ScopedTraceContext span_ctx(tracer,
                                                trace::clientNode);
             MERCURY_TRACE_SPAN(tracer, client_req,
                                trace::Stage::Client, arrival,
-                               answered_at, served ? 1 : 0);
+                               answered_at,
+                               outcome == Outcome::Ok ? 1 : 0);
         }
     }
 
@@ -466,9 +885,16 @@ ClusterSim::run(double offered_tps)
             median_p99 > 0.0 ? hot_p99 / median_p99 : 0.0;
     }
 
-    result.availability =
-        1.0 - static_cast<double>(result.failedRequests) /
-                  static_cast<double>(params_.requests);
+    if (avail_window > 0)
+        close_window();
+    result.requests = params_.requests;
+    result.availability = static_cast<double>(result.ok) /
+                          static_cast<double>(result.requests);
+    // The accounting contract: every measured request lands in
+    // exactly one outcome class. Always on -- a violation here means
+    // a new result class was added without wiring its accounting.
+    MERCURY_ASSERT(result.accountedRequests() == result.requests,
+                   "request outcomes must partition requests");
     if (gets > 0)
         result.hitRate = static_cast<double>(hits) /
                          static_cast<double>(gets);

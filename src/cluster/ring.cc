@@ -18,13 +18,14 @@ ConsistentHashRing::ConsistentHashRing(unsigned virtual_nodes)
 }
 
 bool
-ConsistentHashRing::addNode(const std::string &name)
+ConsistentHashRing::addNode(const std::string &name, unsigned rack)
 {
     if (std::find(nodes_.begin(), nodes_.end(), name) != nodes_.end())
         return false;
 
     const std::size_t index = nodes_.size();
     nodes_.push_back(name);
+    racks_.push_back(rack);
     for (unsigned v = 0; v < virtualNodes_; ++v) {
         const std::uint64_t point = kvstore::hashKey(name, v + 1);
         ring_[point] = index;
@@ -49,12 +50,14 @@ ConsistentHashRing::removeNode(const std::string &name)
     const std::size_t last = nodes_.size() - 1;
     if (index != last) {
         nodes_[index] = std::move(nodes_[last]);
+        racks_[index] = racks_[last];
         for (auto &[point, owner] : ring_) {
             if (owner == last)
                 owner = index;
         }
     }
     nodes_.pop_back();
+    racks_.pop_back();
     return true;
 }
 
@@ -93,6 +96,67 @@ ConsistentHashRing::nodesFor(std::string_view key,
         ++it;
     }
     return order;
+}
+
+std::vector<std::string>
+ConsistentHashRing::replicasFor(std::string_view key,
+                                std::size_t count,
+                                bool distinct_racks) const
+{
+    if (!distinct_racks)
+        return nodesFor(key, count);
+
+    // Full distinct-owner ring order, then greedy rack spreading:
+    // keep the primary, prefer successors from unused racks, and fall
+    // back to plain ring order once every rack is represented.
+    std::vector<std::string> order = nodesFor(key, nodes_.size());
+    if (order.size() <= count)
+        return order;
+
+    std::vector<std::string> picked;
+    std::vector<bool> used(order.size(), false);
+    std::vector<unsigned> racks_seen;
+    picked.reserve(count);
+    picked.push_back(order[0]);
+    used[0] = true;
+    racks_seen.push_back(rackOf(order[0]));
+
+    while (picked.size() < count) {
+        std::size_t chosen = order.size();
+        for (std::size_t i = 1; i < order.size(); ++i) {
+            if (used[i])
+                continue;
+            const unsigned rack = rackOf(order[i]);
+            if (std::find(racks_seen.begin(), racks_seen.end(),
+                          rack) == racks_seen.end()) {
+                chosen = i;
+                break;
+            }
+        }
+        if (chosen == order.size()) {
+            for (std::size_t i = 1; i < order.size(); ++i) {
+                if (!used[i]) {
+                    chosen = i;
+                    break;
+                }
+            }
+        }
+        if (chosen == order.size())
+            break;
+        used[chosen] = true;
+        picked.push_back(order[chosen]);
+        racks_seen.push_back(rackOf(order[chosen]));
+    }
+    return picked;
+}
+
+unsigned
+ConsistentHashRing::rackOf(const std::string &name) const
+{
+    auto it = std::find(nodes_.begin(), nodes_.end(), name);
+    if (it == nodes_.end())
+        return 0;
+    return racks_[static_cast<std::size_t>(it - nodes_.begin())];
 }
 
 std::map<std::string, double>

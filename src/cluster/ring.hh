@@ -39,8 +39,10 @@ class ConsistentHashRing
     /** @param virtual_nodes ring points per physical node */
     explicit ConsistentHashRing(unsigned virtual_nodes = 40);
 
-    /** Add a node. @return false if the name already exists. */
-    bool addNode(const std::string &name);
+    /** Add a node. @return false if the name already exists.
+     * @param rack failure-domain label (rack-aware replica
+     * placement); nodes default to rack 0. */
+    bool addNode(const std::string &name, unsigned rack = 0);
 
     /** Remove a node and its ring points. @return false if absent. */
     bool removeNode(const std::string &name);
@@ -57,6 +59,23 @@ class ConsistentHashRing
      */
     std::vector<std::string> nodesFor(std::string_view key,
                                       std::size_t count) const;
+
+    /**
+     * Replica set for a key: the first @p count distinct nodes in
+     * ring order, optionally spread across failure domains. With
+     * @p distinct_racks, after the primary each successive replica
+     * prefers the next ring successor whose rack has not been used
+     * yet (falling back to plain ring order once every rack is
+     * represented), so a rack-correlated crash cannot take out a
+     * whole replica set while other racks hold spares.
+     * @pre at least one node present.
+     */
+    std::vector<std::string> replicasFor(std::string_view key,
+                                         std::size_t count,
+                                         bool distinct_racks) const;
+
+    /** Rack label of a node; 0 for unknown names. */
+    unsigned rackOf(const std::string &name) const;
 
     std::size_t numNodes() const { return nodes_.size(); }
 
@@ -79,6 +98,8 @@ class ConsistentHashRing
   private:
     unsigned virtualNodes_;
     std::vector<std::string> nodes_;
+    /** Rack label per node, parallel to nodes_. */
+    std::vector<unsigned> racks_;
     /** hash point -> node index. */
     std::map<std::uint64_t, std::size_t> ring_;
 };

@@ -660,12 +660,22 @@ FlashController::totalGcMoves() const
 void
 FlashController::setFaultInjector(fault::FaultInjector *injector)
 {
+    faults_ = injector;
     for (unsigned c = 0; c < channels_.size(); ++c) {
         channels_[c].ftl.setFaultInjection(
             injector, params_.programFailProbability,
             params_.eraseFailProbability,
             params_.name + ".ch" + std::to_string(c));
     }
+}
+
+void
+FlashController::setWearRates(double program_fail_probability,
+                              double erase_fail_probability)
+{
+    params_.programFailProbability = program_fail_probability;
+    params_.eraseFailProbability = erase_fail_probability;
+    setFaultInjector(faults_);
 }
 
 std::uint64_t

@@ -306,6 +306,12 @@ class FlashController : public MemDevice
      * detaches); the params' failure probabilities apply. */
     void setFaultInjector(fault::FaultInjector *injector);
 
+    /** Retune the wear-fault probabilities at runtime (scheduled
+     * wear-burst scenarios) and re-attach the last injector given to
+     * setFaultInjector with the new rates. */
+    void setWearRates(double program_fail_probability,
+                      double erase_fail_probability);
+
     /** Blocks retired as grown-bad across all channels. */
     std::uint64_t totalRetiredBlocks() const;
 
@@ -353,6 +359,7 @@ class FlashController : public MemDevice
     FlashParams params_;
     std::uint64_t channelBytes_;
     std::vector<Channel> channels_;
+    fault::FaultInjector *faults_ = nullptr;
 
     stats::StatGroup statGroup_;
     stats::Scalar lineReads_;

@@ -177,6 +177,17 @@ class NetworkPath : public SimObject
         faults_ = injector;
     }
 
+    /**
+     * Retune the per-segment loss probability at runtime (scheduled
+     * degradation bursts in composed fault scenarios). Only consulted
+     * while an injector is attached, so the zero-cost-off contract
+     * holds regardless of the value set here.
+     */
+    void setLossProbability(double probability)
+    {
+        params_.lossProbability = probability;
+    }
+
     void reset() override;
 
   private:

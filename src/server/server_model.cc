@@ -187,6 +187,22 @@ ServerModel::setFaultInjector(fault::FaultInjector *injector)
         flash_->setFaultInjector(injector);
 }
 
+void
+ServerModel::setPacketLoss(double probability)
+{
+    c2s_->setLossProbability(probability);
+    s2c_->setLossProbability(probability);
+}
+
+void
+ServerModel::setFlashWear(double program_fail_probability)
+{
+    if (flash_) {
+        flash_->setWearRates(program_fail_probability,
+                             flash_->params().eraseFailProbability);
+    }
+}
+
 std::uint64_t
 ServerModel::netDrops() const
 {

@@ -262,6 +262,16 @@ class ServerModel
      */
     void setFaultInjector(fault::FaultInjector *injector);
 
+    /** Retune the per-segment loss probability on both network
+     * directions (scheduled loss-burst scenarios). Only consulted
+     * while an injector is attached. */
+    void setPacketLoss(double probability);
+
+    /** Retune the flash program-fail probability (scheduled wear
+     * bursts); no-op on DRAM-backed nodes. The configured erase-fail
+     * probability is preserved. */
+    void setFlashWear(double program_fail_probability);
+
     /** Packets dropped across both network directions. */
     std::uint64_t netDrops() const;
 

@@ -17,6 +17,9 @@ kindName(FaultKind kind)
       case FaultKind::FlashBadBlock: return "flash-bad-block";
       case FaultKind::NodeCrash: return "node-crash";
       case FaultKind::NodeRestart: return "node-restart";
+      case FaultKind::NetDegrade: return "net-degrade";
+      case FaultKind::NetRestore: return "net-restore";
+      case FaultKind::FlashWear: return "flash-wear";
     }
     return "unknown";
 }
@@ -141,6 +144,34 @@ FaultInjector::formatTimeline(std::ostream &os,
     if (shown < timeline_.size()) {
         os << "... (" << timeline_.size() - shown
            << " more faults)\n";
+    }
+}
+
+void
+scheduleBadDay(FaultInjector &injector, const BadDayPlan &plan)
+{
+    Tick when = plan.at;
+    for (const std::string &victim : plan.crashNodes) {
+        injector.schedule(when, FaultKind::NodeCrash, victim);
+        if (plan.downtime > 0) {
+            injector.schedule(when + plan.downtime,
+                              FaultKind::NodeRestart, victim);
+        }
+        when += plan.crashStagger;
+    }
+    if (plan.lossProbability > 0.0 && plan.lossDuration > 0) {
+        injector.schedule(plan.at, FaultKind::NetDegrade, allNodes,
+                          probabilityToPpb(plan.lossProbability));
+        injector.schedule(plan.at + plan.lossDuration,
+                          FaultKind::NetRestore, allNodes);
+    }
+    if (plan.flashProgramFailProbability > 0.0 &&
+        plan.flashWearDuration > 0) {
+        injector.schedule(
+            plan.at, FaultKind::FlashWear, allNodes,
+            probabilityToPpb(plan.flashProgramFailProbability));
+        injector.schedule(plan.at + plan.flashWearDuration,
+                          FaultKind::FlashWear, allNodes, 0);
     }
 }
 

@@ -48,7 +48,24 @@ enum class FaultKind : std::uint8_t
     FlashBadBlock,    ///< block retired (grown bad block)
     NodeCrash,        ///< cluster node process died
     NodeRestart,      ///< cluster node came back (cold)
+    NetDegrade,       ///< loss burst began (detail: probability, ppb)
+    NetRestore,       ///< loss burst ended
+    FlashWear,        ///< wear burst (detail: program-fail prob, ppb)
 };
+
+/** Encode a probability into a FaultRecord's integral detail field
+ * as parts-per-billion (the NetDegrade/FlashWear convention). */
+constexpr std::uint64_t
+probabilityToPpb(double probability)
+{
+    return static_cast<std::uint64_t>(probability * 1e9);
+}
+
+constexpr double
+ppbToProbability(std::uint64_t ppb)
+{
+    return static_cast<double>(ppb) / 1e9;
+}
 
 /** Stable printable name ("packet-loss", "node-crash", ...). */
 const char *kindName(FaultKind kind);
@@ -145,6 +162,47 @@ class FaultInjector
     std::multimap<Tick, ScheduledFault> scheduled_;
     std::vector<FaultRecord> timeline_;
 };
+
+/**
+ * A correlated "bad day" scenario: node crashes (typically a whole
+ * rack, staggered by a deterministic interval as the power rail or
+ * ToR takes them down one by one), a packet-loss burst, and a flash
+ * wear burst, all on one seeded timeline. scheduleBadDay() expands
+ * the plan into the injector's scheduled-fault queue; the simulation
+ * loop drains it with popDue() like any hand-scheduled fault.
+ */
+struct BadDayPlan
+{
+    /** When the bad day begins. */
+    Tick at = 0;
+
+    /** Nodes that crash, in order; empty for a crash-free plan. */
+    std::vector<std::string> crashNodes;
+
+    /** Deterministic gap between consecutive crashes. */
+    Tick crashStagger = 0;
+
+    /** Per-node downtime; a matching NodeRestart is scheduled for
+     * each crash. 0 leaves restarts to the simulation's default
+     * downtime policy. */
+    Tick downtime = 0;
+
+    /** Cluster-wide packet-loss burst (target "*"): per-segment drop
+     * probability and how long the burst lasts. 0 disables. */
+    double lossProbability = 0.0;
+    Tick lossDuration = 0;
+
+    /** Cluster-wide flash wear burst (target "*"): page program-fail
+     * probability and burst duration. 0 disables. */
+    double flashProgramFailProbability = 0.0;
+    Tick flashWearDuration = 0;
+};
+
+/** Targets all nodes in a scheduled fault ("*"). */
+inline constexpr const char *allNodes = "*";
+
+/** Expand a composed scenario into the injector's schedule. */
+void scheduleBadDay(FaultInjector &injector, const BadDayPlan &plan);
 
 } // namespace mercury::fault
 

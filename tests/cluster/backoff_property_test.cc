@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Property tests for the jittered exponential client backoff: every
+ * wait lies in [base * 2^k * (1-j), base * 2^k * (1+j)], identical
+ * seeds produce identical retry timelines, and zero jitter draws no
+ * randomness at all (the zero-cost-off contract).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/backoff.hh"
+#include "sim/fault.hh"
+
+namespace
+{
+
+using namespace mercury;
+using mercury::cluster::jitteredBackoff;
+
+TEST(BackoffProperty, EveryWaitIsWithinTheJitterBand)
+{
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        fault::FaultInjector injector(seed);
+        for (Tick base : {100 * tickUs, 250 * tickUs, 1 * tickMs}) {
+            for (double jitter : {0.0, 0.1, 0.3, 0.5}) {
+                for (unsigned attempt = 0; attempt < 7; ++attempt) {
+                    const Tick wait = jitteredBackoff(base, attempt,
+                                                      jitter,
+                                                      injector);
+                    const double nominal =
+                        static_cast<double>(base << attempt);
+                    // The implementation truncates, so the lower
+                    // bound is the truncated band edge.
+                    EXPECT_GE(static_cast<double>(wait) + 1.0,
+                              nominal * (1.0 - jitter))
+                        << "seed=" << seed << " base=" << base
+                        << " j=" << jitter << " k=" << attempt;
+                    EXPECT_LE(static_cast<double>(wait),
+                              nominal * (1.0 + jitter))
+                        << "seed=" << seed << " base=" << base
+                        << " j=" << jitter << " k=" << attempt;
+                }
+            }
+        }
+    }
+}
+
+TEST(BackoffProperty, IdenticalSeedsGiveIdenticalTimelines)
+{
+    for (std::uint64_t seed : {1ull, 17ull, 0xbadda7ull}) {
+        fault::FaultInjector a(seed), b(seed);
+        std::vector<Tick> ta, tb;
+        for (unsigned i = 0; i < 200; ++i) {
+            ta.push_back(
+                jitteredBackoff(100 * tickUs, i % 5, 0.3, a));
+            tb.push_back(
+                jitteredBackoff(100 * tickUs, i % 5, 0.3, b));
+        }
+        EXPECT_EQ(ta, tb) << "seed=" << seed;
+    }
+}
+
+TEST(BackoffProperty, DifferentSeedsDecorrelate)
+{
+    fault::FaultInjector a(1), b(2);
+    bool any_different = false;
+    for (unsigned i = 0; i < 50 && !any_different; ++i) {
+        any_different = jitteredBackoff(100 * tickUs, 0, 0.3, a) !=
+                        jitteredBackoff(100 * tickUs, 0, 0.3, b);
+    }
+    EXPECT_TRUE(any_different);
+}
+
+TEST(BackoffProperty, ZeroJitterIsExactDoublingAndDrawsNoRng)
+{
+    fault::FaultInjector used(42);
+    for (unsigned attempt = 0; attempt < 6; ++attempt) {
+        EXPECT_EQ(jitteredBackoff(200 * tickUs, attempt, 0.0, used),
+                  (200 * tickUs) << attempt);
+    }
+
+    // jitter(0) must not consume RNG state: after all those calls
+    // the stream is byte-for-byte where a fresh injector starts.
+    fault::FaultInjector fresh(42);
+    for (unsigned i = 0; i < 10; ++i)
+        EXPECT_EQ(used.jitter(0.5), fresh.jitter(0.5)) << i;
+}
+
+TEST(BackoffProperty, NominalWaitDoublesPerAttempt)
+{
+    fault::FaultInjector injector(7);
+    Tick previous = jitteredBackoff(100 * tickUs, 0, 0.0, injector);
+    for (unsigned attempt = 1; attempt < 8; ++attempt) {
+        const Tick wait =
+            jitteredBackoff(100 * tickUs, attempt, 0.0, injector);
+        EXPECT_EQ(wait, 2 * previous);
+        previous = wait;
+    }
+}
+
+} // anonymous namespace

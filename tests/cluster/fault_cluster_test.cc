@@ -180,8 +180,11 @@ TEST(ClusterSimFaults, SameSeedReproducesEverything)
     EXPECT_EQ(ra.crashes, rb.crashes);
     EXPECT_EQ(ra.restarts, rb.restarts);
     EXPECT_EQ(ra.timeouts, rb.timeouts);
+    EXPECT_EQ(ra.attemptTimeouts, rb.attemptTimeouts);
     EXPECT_EQ(ra.retries, rb.retries);
     EXPECT_EQ(ra.failedRequests, rb.failedRequests);
+    EXPECT_EQ(ra.shed, rb.shed);
+    EXPECT_EQ(ra.ok, rb.ok);
     EXPECT_EQ(ra.netDrops, rb.netDrops);
     EXPECT_EQ(ra.netRetransmits, rb.netRetransmits);
     EXPECT_EQ(ra.availability, rb.availability);
@@ -200,9 +203,12 @@ TEST(ClusterSimFaults, ZeroRatesBehaveLikeACleanRun)
     ClusterSim sim(faultyCluster(0.0, 0.0));
     const ClusterSimResult r = sim.run(0.3 * sim.aggregateCapacity());
     EXPECT_EQ(r.availability, 1.0);
+    EXPECT_EQ(r.ok, r.requests);
     EXPECT_EQ(r.timeouts, 0u);
+    EXPECT_EQ(r.attemptTimeouts, 0u);
     EXPECT_EQ(r.retries, 0u);
     EXPECT_EQ(r.failedRequests, 0u);
+    EXPECT_EQ(r.shed, 0u);
     EXPECT_EQ(r.crashes, 0u);
     EXPECT_EQ(r.netDrops, 0u);
     EXPECT_EQ(sim.injector().faultCount(), 0u);
@@ -226,7 +232,7 @@ TEST(ClusterSimFaults, CrashesCostTimeoutsAndHitRate)
     ClusterSim sim(faultyCluster(0.0, 400.0));
     const ClusterSimResult r = sim.run(0.3 * sim.aggregateCapacity());
     EXPECT_GT(r.crashes, 0u);
-    EXPECT_GT(r.timeouts, 0u);
+    EXPECT_GT(r.attemptTimeouts, 0u);
     // Cold restarts and failovers lose cached keys.
     EXPECT_LT(r.hitRate, 1.0);
     EXPECT_LE(r.availability, 1.0);
@@ -243,7 +249,7 @@ TEST(ClusterSimFaults, ScheduledCrashPlanFires)
     const ClusterSimResult r = sim.run(0.3 * sim.aggregateCapacity());
     EXPECT_EQ(r.crashes, 1u);
     EXPECT_GE(r.restarts, 1u);
-    EXPECT_GT(r.timeouts, 0u);
+    EXPECT_GT(r.attemptTimeouts, 0u);
     bool saw_crash = false;
     for (const auto &record : sim.injector().timeline()) {
         if (record.kind == fault::FaultKind::NodeCrash &&

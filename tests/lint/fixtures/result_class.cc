@@ -1,0 +1,54 @@
+/**
+ * @file
+ * mercury_lint fixture: the result-class rule.
+ *
+ * Every result field annotated `///< [outcome]` must be summed in
+ * the same file's accountedRequests(), so the always-on accounting
+ * contract (the outcome classes partition the request count) cannot
+ * silently lose a class. Expected diagnostics are pinned in
+ * result_class.cc.expected; keep line numbers stable when editing.
+ */
+
+#include <cstdint>
+
+struct CompleteResult
+{
+    std::uint64_t requests = 0;
+    std::uint64_t ok = 0;        ///< [outcome]
+    std::uint64_t timeouts = 0;  ///< [outcome]
+    std::uint64_t shed = 0;      ///< [outcome]
+
+    std::uint64_t
+    accountedRequests() const
+    {
+        // clean: every annotated class enters the sum
+        return ok + timeouts + shed;
+    }
+};
+
+struct LeakyResult
+{
+    std::uint64_t requests = 0;
+    std::uint64_t ok = 0;       ///< [outcome]
+    std::uint64_t dropped = 0;  ///< [outcome] -- finding: not summed
+
+    std::uint64_t
+    accountedRequests() const
+    {
+        return ok;
+    }
+};
+
+struct UnaccountedResult
+{
+    // finding: annotated but absent from every accountedRequests()
+    // body this file defines
+    std::uint64_t rejected = 0;  ///< [outcome]
+};
+
+struct UnannotatedResult
+{
+    // clean: no annotations, no contract to check
+    std::uint64_t requests = 0;
+    std::uint64_t served = 0;
+};

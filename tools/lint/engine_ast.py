@@ -444,3 +444,9 @@ def lint_file(rel, path, src, findings, selected, compile_db=None,
     tu = _parse(cindex, path, args)
     checker = _FileChecker(cindex, rel, path, src, selected, findings)
     checker.walk(tu.cursor)
+    # Comment-keyed contract: the `///< [outcome]` annotation lives
+    # in doc comments the AST does not carry, so both engines share
+    # the text-level implementation (identical verdicts by
+    # construction).
+    if "result-class" in selected:
+        findings.extend(rules.outcome_class_findings(rel, src))

@@ -129,6 +129,9 @@ def lint_file(rel, src, findings, selected):
 
     # ---- whole-file scans (patterns may span physical lines) ------
 
+    if "result-class" in selected:
+        findings.extend(rules.outcome_class_findings(rel, src))
+
     if "pointer-order" in selected:
         for m in ASSOC_OPEN_RE.finditer(src.code):
             container = m.group(1)

@@ -67,6 +67,13 @@ RULES = {
         "implementation- and seed-dependent; sort the keys (or "
         "switch to std::map) before the results can reach emitted "
         "output or simulated state."),
+    "result-class": (
+        "A result field marked `///< [outcome]` is not summed in the "
+        "same file's accountedRequests(). Outcome classes must "
+        "partition the request count -- the always-on contract "
+        "checks ok + timeouts + failed + shed == requests, and a "
+        "class missing from the sum silently breaks availability "
+        "math in every consumer."),
 }
 
 # ---------------------------------------------------------------------------
@@ -115,6 +122,13 @@ PRINTF_FAMILY = (
 ALLOW_RE = re.compile(
     r"//\s*lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 
+# An outcome-class field declaration: `<type> <name> [= init];`
+# annotated `///< [outcome]` on the same line.
+OUTCOME_FIELD_RE = re.compile(
+    r"\b(\w+)\s*(?:=[^;]*)?;\s*///<\s*\[outcome\]")
+
+ACCOUNTED_FN = "accountedRequests"
+
 
 def time_valued_name(name):
     """True when an identifier looks like it carries simulated time."""
@@ -152,6 +166,67 @@ def count_waivers(raw_lines):
             for rule in m.group(1).split(","):
                 waivers.append((idx + 1, rule.strip()))
     return waivers
+
+
+# ---------------------------------------------------------------------------
+# result-class: shared by both engines
+# ---------------------------------------------------------------------------
+#
+# The rule is comment-keyed (the `///< [outcome]` annotation lives in
+# a doc comment the AST does not carry), so a single text-level
+# implementation serves both engines and keeps their verdicts
+# identical by construction.
+
+def _accounted_bodies(code):
+    """Concatenated brace bodies of every accountedRequests()
+    definition in the masked code view, or None when the file has
+    only declarations (or none at all)."""
+    bodies = []
+    for m in re.finditer(r"\b%s\s*\(" % ACCOUNTED_FN, code):
+        i = code.find("{", m.end())
+        semi = code.find(";", m.end())
+        if i == -1 or (semi != -1 and semi < i):
+            continue  # declaration only
+        depth = 0
+        for j in range(i, len(code)):
+            if code[j] == "{":
+                depth += 1
+            elif code[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    bodies.append(code[i:j + 1])
+                    break
+    return " ".join(bodies) if bodies else None
+
+
+def outcome_class_findings(rel, src):
+    """result-class findings for one file: every `///< [outcome]`
+    field must be referenced inside accountedRequests() in the same
+    file."""
+    fields = []
+    for idx, line in enumerate(src.raw_lines):
+        m = OUTCOME_FIELD_RE.search(line)
+        if m:
+            fields.append((idx + 1, m.group(1)))
+    if not fields:
+        return []
+    body = _accounted_bodies(src.code)
+    findings = []
+    for lineno, name in fields:
+        if body is None:
+            findings.append(Finding(
+                rel, lineno, "result-class",
+                f"outcome-class field '{name}' has no "
+                f"{ACCOUNTED_FN}() in this file; define one summing "
+                f"every [outcome] field so the accounting contract "
+                f"can hold"))
+        elif not re.search(r"\b%s\b" % re.escape(name), body):
+            findings.append(Finding(
+                rel, lineno, "result-class",
+                f"outcome-class field '{name}' is not summed in "
+                f"{ACCOUNTED_FN}(); a class missing from the sum "
+                f"breaks the request-accounting contract"))
+    return findings
 
 
 # ---------------------------------------------------------------------------

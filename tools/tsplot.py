@@ -17,7 +17,16 @@ runs anywhere the repo builds (no matplotlib, terminal plots only):
 diff aligns windows on (label, window index) and compares key by key,
 exiting 1 on drift, like statdiff.py does for --stats-json dumps.
 --tolerance REL loosens float comparisons (relative, or absolute when
-the old value is zero); integers stay exact.
+the old value is zero); integers stay exact. --keys k1,k2 restricts
+the compare to the named channels (e.g. --keys availability to ask
+"did the recovery curve move?" while ignoring latency noise), and
+--label-map "OLD:NEW" (repeatable) renames an OLD-file series before
+alignment, so two different scenarios' curves can be compared against
+each other:
+
+    tsplot.py diff run.jsonl run.jsonl \\
+        --label-map "scenario=crash-baseline:scenario=crash-r2-hedged" \\
+        --keys availability --tolerance 0.05
 """
 
 import argparse
@@ -164,8 +173,25 @@ def values_equal(old, new, tolerance):
     return abs(new - old) <= tolerance * abs(old)
 
 
-def diff(old_path, new_path, tolerance=0.0, quiet=False):
+def diff(old_path, new_path, tolerance=0.0, quiet=False, keys=None,
+         label_map=None):
     old, new = load(old_path), load(new_path)
+    if label_map:
+        # Mapped mode compares exactly the requested pairs: series
+        # OLD-label from the old file against series NEW-label from
+        # the new file, ignoring everything unmapped (so a scenario
+        # can be diffed against a different scenario in the same
+        # file without its own series colliding).
+        missing = [l for l in label_map if l not in old]
+        missing += [l for l in label_map.values() if l not in new]
+        if missing:
+            for label in missing:
+                print("missing series %r" % label)
+            print("%d missing series between %s and %s"
+                  % (len(missing), old_path, new_path))
+            return 1
+        old = {v: old[k] for k, v in label_map.items()}
+        new = {v: new[v] for v in label_map.values()}
     drift = 0
 
     for label in old:
@@ -197,6 +223,8 @@ def diff(old_path, new_path, tolerance=0.0, quiet=False):
             a, b = old_rows[window], new_rows[window]
             for key in sorted(set(a) | set(b)):
                 if key == "label":
+                    continue
+                if keys is not None and key not in keys:
                     continue
                 if key not in b:
                     drift += 1
@@ -257,6 +285,20 @@ def main():
         metavar="REL",
         help="relative tolerance for float fields (default 0: exact)",
     )
+    p_diff.add_argument(
+        "--keys",
+        default=None,
+        metavar="k1,k2",
+        help="compare only these channel keys (default: all)",
+    )
+    p_diff.add_argument(
+        "--label-map",
+        action="append",
+        default=[],
+        metavar="OLD:NEW",
+        help="rename an OLD-file series label before alignment "
+             "(repeatable); lets two scenarios' curves be compared",
+    )
     p_diff.add_argument("-q", "--quiet", action="store_true",
                         help="suppress the no-drift message")
 
@@ -265,8 +307,18 @@ def main():
         return summarize(args.file)
     if args.command == "plot":
         return plot(args.file, args.key, args.label, args.width)
+    keys = None
+    if args.keys is not None:
+        keys = {k.strip() for k in args.keys.split(",") if k.strip()}
+    label_map = {}
+    for mapping in args.label_map:
+        if ":" not in mapping:
+            parser.error("--label-map wants OLD:NEW, got %r" % mapping)
+        old_label, new_label = mapping.split(":", 1)
+        label_map[old_label] = new_label
     return diff(args.files[0], args.files[1],
-                tolerance=args.tolerance, quiet=args.quiet)
+                tolerance=args.tolerance, quiet=args.quiet,
+                keys=keys, label_map=label_map)
 
 
 if __name__ == "__main__":
