@@ -142,6 +142,9 @@ class Session
             {"--jobs", "N",
              "sweep worker threads (0 = all hardware threads); "
              "output byte-identical to --jobs=1"},
+            {"--shards", "N",
+             "PDES shards per cluster simulation (0 = all hardware "
+             "threads); output byte-identical to --shards=1"},
             {"--help", nullptr, "show the uniform bench flags and exit"},
         };
         count = sizeof(specs) / sizeof(specs[0]);
@@ -211,6 +214,9 @@ class Session
                 smoke_ = true;
             } else if (match(arg, "--jobs", i, argc, argv, value)) {
                 jobs_ = parseJobs(value);
+            } else if (match(arg, "--shards", i, argc, argv,
+                             value)) {
+                shards_ = parseJobs(value);
             } else if (arg == "--help") {
                 std::fputs(helpText(registry_.name()).c_str(),
                            stdout);
@@ -218,7 +224,11 @@ class Session
                     std::fputs(helpLine(spec).c_str(), stdout);
                 std::exit(0);
             } else if (arg.rfind("--", 0) == 0 &&
-                       !isExtraFlag(arg)) {
+                       !isExtraFlag(arg) &&
+                       arg.rfind("--benchmark_", 0) != 0) {
+                // google-benchmark binaries construct a Session
+                // before ::benchmark::Initialize; its flags pass
+                // through untouched.
                 rejectUnknownFlag(arg);
             } else {
                 argv[out++] = argv[i];
@@ -262,6 +272,18 @@ class Session
     jobs() const
     {
         return tracer_ ? 1u : jobs_;
+    }
+
+    /**
+     * PDES shards for ClusterSim (ClusterSimParams::shards).
+     * Tracing forces 1 for the same single-writer reason as jobs();
+     * the sharded engine also falls back to the serial walk on its
+     * own whenever a zero-lookahead client coupling is configured.
+     */
+    unsigned
+    shards() const
+    {
+        return tracer_ ? 1u : shards_;
     }
 
     /** Size sweep honouring --smoke. */
@@ -531,6 +553,7 @@ class Session
     bool smoke_ = false;
     bool finished_ = false;
     unsigned jobs_ = 1;
+    unsigned shards_ = 1;
 };
 
 /**

@@ -8,7 +8,10 @@
 #     (clocked and scattered scheduling patterns) and the arena
 #     one-shot churn rate;
 #   - kv-store GET/SET ops/sec through the server timing model;
-#   - fig5-style sweep wall-clock, serial vs --jobs N.
+#   - fig5-style sweep wall-clock, serial vs --jobs N;
+#   - a 96-node cluster run, serial vs the sharded PDES engine
+#     (--shards), with a byte-identity check on the results --
+#     the probe fails if sharded output diverges from serial.
 #
 # Numbers are host-dependent; nothing here is golden. Pass --smoke
 # for the CI-sized run (scripts/check.sh uses that for its

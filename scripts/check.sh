@@ -5,29 +5,34 @@
 #   1. the asan-ubsan preset: configure, build (-Werror), full ctest
 #      under AddressSanitizer + UBSan with expensive invariant checks
 #      (MERCURY_EXTRA_CHECKS) compiled in;
-#   2. the tsan preset: golden + parallel-sweep determinism suites and
-#      the thread-pool unit tests under ThreadSanitizer (the `--jobs`
-#      machinery must be race-free, not just byte-stable);
-#   3. the timeseries label (windowed-JSONL golden, --timeseries-out
+#   2. the conservative-PDES label (`ctest -L pdes`) under release:
+#      the ShardedSim lockstep twin fuzzer, cluster byte-identity
+#      across shard counts, and the --shards x --jobs binary-output
+#      matrix;
+#   3. the tsan preset: golden + parallel-sweep determinism + pdes
+#      suites and the thread-pool unit tests under ThreadSanitizer
+#      (the `--jobs` and `--shards` machinery must be race-free, not
+#      just byte-stable);
+#   4. the timeseries label (windowed-JSONL golden, --timeseries-out
 #      jobs-invariance, Chrome-trace exporter) under both the release
 #      and asan-ubsan builds;
-#   4. smoke reproducibility of the fault_sweep and bad_day benches
+#   5. smoke reproducibility of the fault_sweep and bad_day benches
 #      (two runs byte-identical) and the fault/resilience label
 #      (`ctest -L fault`): replication, hedging, shedding and the
 #      bad-day recovery-curve golden under asan-ubsan;
-#   5. a perf smoke: the release selfbench --smoke must run and emit
+#   6. a perf smoke: the release selfbench --smoke must run and emit
 #      well-formed JSON (numbers are host-dependent; only the shape
 #      is checked);
-#   6. the static-analysis label (`ctest -L lint`): the mercury_lint
+#   7. the static-analysis label (`ctest -L lint`): the mercury_lint
 #      fixture goldens for both engines, the repo-clean check, the
 #      suppression budget, and the clang thread-safety negative
 #      compile (clang-only checks report as skipped without clang);
-#   7. a clang -Wthread-safety -Werror build of the whole tree via
+#   8. a clang -Wthread-safety -Werror build of the whole tree via
 #      the clang-tsa preset (skipped when clang++ is not installed);
-#   8. clang-tidy over src/ against the asan-ubsan compile database
+#   9. clang-tidy over src/ against the asan-ubsan compile database
 #      (a hard failure when installed; skipped with a warning when
 #      not -- the CI image may not ship it);
-#   9. the project-specific lint rules in tools/lint/mercury_lint.py
+#  10. the project-specific lint rules in tools/lint/mercury_lint.py
 #      over src/ and bench/ (AST engine against the asan-ubsan
 #      compile database when libclang is importable, the regex
 #      fallback otherwise), plus the waiver-budget ratchet.
@@ -81,12 +86,23 @@ if [ "$skip_build" -eq 0 ]; then
     fi
     if ! cmake --build --preset release -j "$(nproc)" --target \
             fig4_request_breakdown fig5_mercury_latency \
-            fig6_iridium_latency fault_sweep cluster_tail bad_day; then
+            fig6_iridium_latency fault_sweep cluster_tail bad_day \
+            test_pdes; then
         echo "check.sh: release bench build failed" >&2
         exit 1
     fi
     if ! ctest --test-dir build/release -L golden --output-on-failure; then
         echo "check.sh: golden suite failed under release" >&2
+        exit 1
+    fi
+
+    # Conservative-PDES determinism gate: the ShardedSim lockstep
+    # twin fuzzer, cluster byte-identity across shard counts, and
+    # the --shards x --jobs binary-output matrix.
+    note "pdes suite (ctest -L pdes, release)"
+    if ! ctest --test-dir build/release -L pdes --output-on-failure
+    then
+        echo "check.sh: pdes suite failed under release" >&2
         exit 1
     fi
 
@@ -144,7 +160,7 @@ if [ "$skip_build" -eq 0 ]; then
         exit 1
     fi
 
-    note "tsan: determinism + golden suites + thread-pool tests"
+    note "tsan: determinism + golden + pdes suites + thread-pool tests"
     if ! cmake --preset tsan; then
         echo "check.sh: tsan configure failed" >&2
         exit 1
@@ -153,9 +169,9 @@ if [ "$skip_build" -eq 0 ]; then
         echo "check.sh: tsan build failed (warnings are errors)" >&2
         exit 1
     fi
-    if ! ctest --test-dir build/tsan -L "golden|determinism" \
+    if ! ctest --test-dir build/tsan -L "golden|determinism|pdes" \
             --output-on-failure; then
-        echo "check.sh: golden/determinism failed under tsan" >&2
+        echo "check.sh: golden/determinism/pdes failed under tsan" >&2
         exit 1
     fi
     if ! ./build/tsan/tests/test_sim \
@@ -185,6 +201,8 @@ for section, keys in {
               "speedup", "arena_events_per_sec"],
     "store": ["ops_per_sec"],
     "sweep": ["serial_ms", "parallel_ms", "speedup", "jobs"],
+    "pdes": ["nodes", "shards", "serial_ms", "sharded_ms",
+             "speedup", "identical"],
 }.items():
     for key in keys:
         value = report[section][key]
@@ -192,7 +210,9 @@ for section, keys in {
 print("selfbench JSON well-formed:",
       f"queue speedup {report['queue']['speedup']:.2f}x,",
       f"sweep speedup {report['sweep']['speedup']:.2f}x",
-      f"at --jobs {report['sweep']['jobs']}")
+      f"at --jobs {report['sweep']['jobs']},",
+      f"pdes speedup {report['pdes']['speedup']:.2f}x",
+      f"at --shards {report['pdes']['shards']} (identical)")
 PYEOF
     then
         echo "check.sh: selfbench JSON malformed" >&2

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shard-aware node-to-node messaging for conservative PDES.
+ *
+ * The cluster fabric's one-way floor -- PHY traversal + MAC
+ * store-and-forward + propagation -- is the smallest amount of
+ * simulated time any message needs to move between two nodes, which
+ * makes it the provable lookahead for sharding a topology across
+ * threads: no node can affect another sooner than this, so a
+ * time-window barrier of that length is causally safe
+ * (see sim/sharded_sim.hh).
+ *
+ * ShardChannel is the send-side port: it owns (src, dst, latency)
+ * and routes every message through ShardedSim::send(), i.e. the
+ * destination shard's inbox, never directly into a foreign
+ * EventQueue (the mercury_lint cross-shard-schedule rule enforces
+ * the same discipline statically).
+ */
+
+#ifndef MERCURY_NET_SHARD_CHANNEL_HH
+#define MERCURY_NET_SHARD_CHANNEL_HH
+
+#include <functional>
+#include <utility>
+
+#include "net/network.hh"
+#include "sim/sharded_sim.hh"
+#include "sim/types.hh"
+
+namespace mercury::net
+{
+
+/** Conservative one-way latency floor of a network path: PHY + MAC
+ * + propagation, the cost of the smallest frame with no queueing,
+ * serialization, or retransmission. Every real delivery through
+ * NetworkPath takes at least this long, so it is a safe PDES
+ * lookahead for topologies wired with these parameters. */
+inline Tick
+minOneWayLatency(const NetParams &params)
+{
+    return params.phyLatency + params.macLatency + params.propagation;
+}
+
+/**
+ * A directed node-to-node message port bound to one ShardedSim
+ * link. Registers the link at construction so the coordinator's
+ * lookahead accounts for it.
+ */
+class ShardChannel
+{
+  public:
+    ShardChannel(sim::ShardedSim &sim, sim::NodeId src,
+                 sim::NodeId dst, Tick latency)
+        : sim_(&sim), src_(src), dst_(dst), latency_(latency)
+    {
+        sim.addLink(src, dst, latency);
+    }
+
+    sim::NodeId src() const { return src_; }
+    sim::NodeId dst() const { return dst_; }
+    Tick latency() const { return latency_; }
+
+    /** Deliver @p fn on the destination's shard at now + latency,
+     * via the destination inbox (visible at the next barrier). */
+    void
+    send(Tick now, std::function<void()> fn)
+    {
+        sim_->send(src_, dst_, now + latency_, std::move(fn));
+    }
+
+  private:
+    sim::ShardedSim *sim_;
+    sim::NodeId src_;
+    sim::NodeId dst_;
+    Tick latency_;
+};
+
+/**
+ * Register a uniform all-to-all fabric: every node can reach every
+ * other at @p latency. Lookahead candidates are identical for all
+ * pairs, so a single ring of registered links suffices to pin the
+ * coordinator's lookahead without O(N^2) bookkeeping.
+ */
+inline void
+registerUniformFabric(sim::ShardedSim &sim, Tick latency)
+{
+    const unsigned nodes = sim.nodeCount();
+    if (nodes < 2)
+        return;
+    for (unsigned i = 0; i < nodes; ++i)
+        sim.addLink(i, (i + 1) % nodes, latency);
+}
+
+} // namespace mercury::net
+
+#endif // MERCURY_NET_SHARD_CHANNEL_HH

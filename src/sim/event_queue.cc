@@ -18,6 +18,9 @@ EventProfiler::writeJson(std::ostream &os) const
     bool first = true;
     os << "{";
     json::writeField(os, first, "serviced", serviced_);
+    json::writeField(os, first, "queues", queues_);
+    json::writeField(os, first, "serviced_per_queue",
+                     meanServicedPerQueue());
     json::writeField(os, first, "host_ns", hostNs_);
     json::writeField(os, first, "shape_samples", shapeSamples_);
     json::writeField(os, first, "mean_depth", meanDepth());
@@ -55,6 +58,7 @@ EventProfiler::mergeFrom(const EventProfiler &other)
     shapeSamples_ += other.shapeSamples_;
     depthSum_ += other.depthSum_;
     binSum_ += other.binSum_;
+    queues_ += other.queues_;
     if (other.depthMax_ > depthMax_)
         depthMax_ = other.depthMax_;
     if (other.binMax_ > binMax_)
@@ -72,6 +76,7 @@ EventProfiler::clear()
     depthMax_ = 0;
     binSum_ = 0;
     binMax_ = 0;
+    queues_ = 1;
 }
 
 Event::~Event()

@@ -115,6 +115,12 @@ class EventProfiler
     std::uint64_t maxDepth() const { return depthMax_; }
     std::uint64_t maxBins() const { return binMax_; }
 
+    /** Number of event queues folded into this profiler. A fresh
+     * profiler describes one queue; mergeFrom() sums the counts, so
+     * after aggregating K PDES shards queues() == K and the shape
+     * stats read as per-queue samples, not one global structure. */
+    std::uint64_t queues() const { return queues_; }
+
     double
     meanDepth() const
     {
@@ -131,6 +137,16 @@ class EventProfiler
                              : 0.0;
     }
 
+    /** Mean serviced-event count per constituent queue; with one
+     * queue this equals serviced(). */
+    double
+    meanServicedPerQueue() const
+    {
+        return queues_ ? static_cast<double>(serviced_) /
+                             static_cast<double>(queues_)
+                       : 0.0;
+    }
+
     /** Per-type costs, keyed and iterated in sorted type order. */
     const std::map<std::string, TypeCost> &costs() const
     {
@@ -145,9 +161,14 @@ class EventProfiler
 
     /**
      * Fold another profiler's counters into this one: per-type
-     * costs add, totals add, shape maxima take the max. The merge
-     * is the single-threaded aggregation step for per-worker
-     * profilers; call it after the owning workers have quiesced.
+     * costs add, totals add, queue counts add, shape maxima take
+     * the max. The merge is the single-threaded aggregation step
+     * for per-worker (or per-PDES-shard) profilers; call it after
+     * the owning workers have quiesced. The operation is
+     * associative and commutative (every field is a sum or a max),
+     * so any merge tree over the same shard profilers produces the
+     * same aggregate -- tests/sim/event_profile_test.cc pins that
+     * algebra.
      */
     void mergeFrom(const EventProfiler &other);
 
@@ -162,6 +183,8 @@ class EventProfiler
     std::uint64_t depthMax_ = 0;
     std::uint64_t binSum_ = 0;
     std::uint64_t binMax_ = 0;
+    /** Constituent queue count; shape stats are per-queue samples. */
+    std::uint64_t queues_ = 1;
 };
 
 /**
@@ -281,6 +304,11 @@ class EventQueue
 
     /** Total events serviced since construction. */
     Counter numServiced() const { return _numServiced; }
+
+    /** Tick of the earliest pending event, or maxTick when empty.
+     * The PDES barrier scheduler peeks this to place the next
+     * time window. */
+    Tick nextWhen() const { return head_ ? head_->_when : maxTick; }
 
     /**
      * Schedule an event at an absolute tick.

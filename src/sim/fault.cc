@@ -105,12 +105,36 @@ FaultInjector::record(Tick at, FaultKind kind, std::string_view target,
 }
 
 std::uint64_t
-FaultInjector::timelineDigest() const
+FaultInjector::forkSeed(std::string_view label) const
 {
     constexpr std::uint64_t fnv_offset = 0xcbf29ce484222325ull;
     constexpr std::uint64_t fnv_prime = 0x100000001b3ull;
 
     std::uint64_t hash = fnv_offset;
+    for (int shift = 0; shift < 64; shift += 8) {
+        hash ^= static_cast<std::uint8_t>(seed_ >> shift);
+        hash *= fnv_prime;
+    }
+    for (const char c : label) {
+        hash ^= static_cast<std::uint8_t>(c);
+        hash *= fnv_prime;
+    }
+    return hash;
+}
+
+std::uint64_t
+FaultInjector::timelineDigest() const
+{
+    constexpr std::uint64_t fnv_offset = 0xcbf29ce484222325ull;
+    return timelineDigest(fnv_offset);
+}
+
+std::uint64_t
+FaultInjector::timelineDigest(std::uint64_t basis) const
+{
+    constexpr std::uint64_t fnv_prime = 0x100000001b3ull;
+
+    std::uint64_t hash = basis;
     auto fold_byte = [&hash](std::uint8_t byte) {
         hash ^= byte;
         hash *= fnv_prime;

@@ -98,6 +98,17 @@ class FaultInjector
     /** Re-seed and clear the timeline and the schedule. */
     void reset(std::uint64_t seed);
 
+    /**
+     * Seed for a subordinate injector derived from this one's seed
+     * and a label (FNV-1a), consuming no RNG state here. Giving
+     * each simulated node its own forked injector decouples the
+     * node-local fault streams (packet loss, flash faults) from the
+     * master's scenario draws -- the prerequisite for running nodes
+     * on PDES shards: a node's draws then depend only on its own
+     * history, not on the global interleaving of all nodes' rolls.
+     */
+    std::uint64_t forkSeed(std::string_view label) const;
+
     // --- Probabilistic fault points ---------------------------------
 
     /**
@@ -149,6 +160,14 @@ class FaultInjector
     /** FNV-1a fold of the full timeline: equal digests mean equal
      * fault histories. Seeded runs must reproduce this exactly. */
     std::uint64_t timelineDigest() const;
+
+    /**
+     * Timeline fold continued from @p basis instead of the FNV
+     * offset: chains several injectors' timelines (master first,
+     * then each node fork in node-index order) into one combined
+     * digest that is independent of how the work was sharded.
+     */
+    std::uint64_t timelineDigest(std::uint64_t basis) const;
 
     /** Human-readable dump of (up to) the first max_records faults. */
     void formatTimeline(std::ostream &os,

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * ShardedSim: conservative-PDES barrier scheduling and inbox drain.
+ */
+
+#include "sim/sharded_sim.hh"
+
+#include <algorithm>
+
+#include "sim/contract.hh"
+#include "sim/thread_pool.hh"
+
+namespace mercury::sim
+{
+
+ShardedSim::ShardedSim(unsigned shards)
+{
+    if (shards == 0)
+        shards = 1;
+    queues_.reserve(shards);
+    inboxes_.reserve(shards);
+    for (unsigned s = 0; s < shards; ++s) {
+        queues_.push_back(
+            std::make_unique<EventQueue>("shard" + std::to_string(s)));
+        inboxes_.push_back(std::make_unique<Inbox>());
+    }
+}
+
+ShardedSim::~ShardedSim() = default;
+
+NodeId
+ShardedSim::addNode(unsigned shard)
+{
+    MERCURY_ASSERT(shard < queues_.size(),
+                   "addNode: shard out of range: ", shard);
+    nodeShard_.push_back(shard);
+    sendSeq_.push_back(0);
+    return static_cast<NodeId>(nodeShard_.size() - 1);
+}
+
+NodeId
+ShardedSim::addNode()
+{
+    return addNode(static_cast<unsigned>(nodeShard_.size()) %
+                   static_cast<unsigned>(queues_.size()));
+}
+
+void
+ShardedSim::addLink(NodeId src, NodeId dst, Tick latency)
+{
+    MERCURY_ASSERT(src < nodeShard_.size() && dst < nodeShard_.size(),
+                   "addLink: node out of range");
+    MERCURY_ASSERT(latency > 0,
+                   "addLink: zero-latency link has no lookahead");
+    linkLatencies_.push_back(latency);
+}
+
+Tick
+ShardedSim::lookahead() const
+{
+    if (lookaheadOverride_ != 0)
+        return lookaheadOverride_;
+    MERCURY_ASSERT(!linkLatencies_.empty(),
+                   "lookahead() with no links registered; addLink "
+                   "the topology (or override for tests) first");
+    return *std::min_element(linkLatencies_.begin(),
+                             linkLatencies_.end());
+}
+
+void
+ShardedSim::overrideLookaheadForTest(Tick lookahead)
+{
+    MERCURY_ASSERT(!inWindow_,
+                   "lookahead override inside a window");
+    lookaheadOverride_ = lookahead;
+}
+
+void
+ShardedSim::send(NodeId src, NodeId dst, Tick deliverTick,
+                 std::function<void()> deliver)
+{
+    MERCURY_ASSERT(src < nodeShard_.size() && dst < nodeShard_.size(),
+                   "send: node out of range");
+    // The conservative contract: a message issued during a window
+    // may not land inside it. Guaranteed by construction when the
+    // delivery latency is >= the lookahead (= min link latency); a
+    // violation means the lookahead overstates how fast the fabric
+    // really is.
+    MERCURY_ASSERT(!inWindow_ || deliverTick >= windowEnd_,
+                   "cross-shard causality violation: delivery at ",
+                   deliverTick, " inside the window ending at ",
+                   windowEnd_,
+                   " -- lookahead exceeds the true min link latency");
+    Inbox &inbox = *inboxes_[nodeShard_[dst]];
+    std::uint64_t seq = sendSeq_[src]++;
+    ScopedLock lock(inbox.mutex);
+    inbox.pending.push_back(
+        Message{deliverTick, src, seq, std::move(deliver)});
+}
+
+void
+ShardedSim::post(NodeId dst, Tick tick, std::function<void()> fn)
+{
+    MERCURY_ASSERT(!inWindow_, "post() inside a window");
+    MERCURY_ASSERT(dst < nodeShard_.size(), "post: node out of range");
+    // A post is a send from the destination to itself: the
+    // (tick, dst, per-node seq) sort key keeps equal-tick posts to
+    // one node in post order, under every partition.
+    Inbox &inbox = *inboxes_[nodeShard_[dst]];
+    std::uint64_t seq = sendSeq_[dst]++;
+    ScopedLock lock(inbox.mutex);
+    inbox.pending.push_back(Message{tick, dst, seq, std::move(fn)});
+}
+
+void
+ShardedSim::drainInboxes()
+{
+    for (std::size_t s = 0; s < inboxes_.size(); ++s) {
+        Inbox &inbox = *inboxes_[s];
+        std::vector<Message> batch;
+        {
+            ScopedLock lock(inbox.mutex);
+            batch.swap(inbox.pending);
+        }
+        // Canonical delivery order: (tick, src, srcSeq) is unique
+        // per message and independent of shard placement and of
+        // the host-time order the sends raced into the inbox.
+        std::sort(batch.begin(), batch.end(),
+                  [](const Message &a, const Message &b) {
+                      if (a.tick != b.tick)
+                          return a.tick < b.tick;
+                      if (a.src != b.src)
+                          return a.src < b.src;
+                      return a.srcSeq < b.srcSeq;
+                  });
+        EventQueue &queue = *queues_[s];
+        for (Message &msg : batch) {
+            queue.schedule(queue.makeEvent<EventFunctionWrapper>(
+                               std::move(msg.deliver), "shard message"),
+                           msg.tick);
+        }
+    }
+}
+
+bool
+ShardedSim::runWindow()
+{
+    MERCURY_ASSERT(!inWindow_, "runWindow() re-entered");
+    drainInboxes();
+
+    Tick start = maxTick;
+    for (const auto &queue : queues_)
+        start = std::min(start, queue->nextWhen());
+    if (start == maxTick)
+        return false;
+
+    const Tick ahead = lookahead();
+    windowStart_ = start;
+    // Saturate rather than wrap at the end of time.
+    windowEnd_ = (start > maxTick - ahead) ? maxTick : start + ahead;
+    inWindow_ = true;
+    ++windowsRun_;
+
+    // run(limit) services events *at* limit inclusive; the window
+    // is [start, end), so stop one tick short.
+    const Tick limit = windowEnd_ - 1;
+    if (queues_.size() == 1) {
+        queues_[0]->run(limit);
+    } else {
+        if (!pool_)
+            pool_ = std::make_unique<ThreadPool>(
+                static_cast<unsigned>(queues_.size()));
+        for (const auto &queue : queues_) {
+            EventQueue *q = queue.get();
+            if (q->nextWhen() <= limit)
+                pool_->submit([q, limit] { q->run(limit); });
+        }
+        pool_->wait();
+    }
+    inWindow_ = false;
+    return true;
+}
+
+Counter
+ShardedSim::run()
+{
+    while (runWindow()) {
+    }
+    return numServiced();
+}
+
+Counter
+ShardedSim::numServiced() const
+{
+    Counter total = 0;
+    for (const auto &queue : queues_)
+        total += queue->numServiced();
+    return total;
+}
+
+#if MERCURY_EVENT_PROFILE
+EventProfiler
+ShardedSim::aggregateProfile() const
+{
+    EventProfiler merged;
+    bool first = true;
+    for (const auto &queue : queues_) {
+        if (first) {
+            merged = queue->profiler();
+            first = false;
+        } else {
+            merged.mergeFrom(queue->profiler());
+        }
+    }
+    return merged;
+}
+#endif
+
+} // namespace mercury::sim

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Conservative parallel discrete-event simulation (PDES) coordinator.
+ *
+ * ShardedSim partitions a simulated topology into shards, each owning
+ * a private EventQueue, and executes them in lockstep time windows on
+ * a sim::ThreadPool. The synchronization protocol is classic
+ * conservative PDES with a time-window barrier:
+ *
+ *   - Every node is assigned to exactly one shard. A node may
+ *     schedule events for *itself* directly on its shard's queue
+ *     (localQueue()); every node-to-node message -- same shard or
+ *     not -- goes through send(), which appends to the destination
+ *     shard's inbox.
+ *   - The lookahead L is the minimum latency over *all* registered
+ *     links (not just the links that happen to cross shards under
+ *     the current partition). That makes the window boundaries a
+ *     pure function of the topology, independent of the shard
+ *     mapping -- the property the byte-identity contract rests on.
+ *   - runWindow() drains every inbox in canonical order, picks
+ *     windowStart = min pending tick across shards, sets
+ *     windowEnd = windowStart + L, and runs every shard's queue up
+ *     to (but excluding) windowEnd concurrently. Because any
+ *     message sent during the window is delivered no earlier than
+ *     send time + link latency >= windowEnd, no shard can receive
+ *     an event inside the window it is currently executing:
+ *     cross-shard skew never exceeds the lookahead.
+ *
+ * Determinism: inbox messages are drained sorted by
+ * (deliverTick, srcNode, srcSeq) where srcSeq is a per-source send
+ * counter -- a total order independent of shard placement and host
+ * thread interleaving. Within a shard, locally scheduled events
+ * keep EventQueue's (tick, priority, insertion) order; because a
+ * direct schedule only ever targets the scheduling node itself,
+ * per-node event order is identical for every shard count, which is
+ * what makes sharded output byte-identical to serial
+ * (see DESIGN.md "Parallel simulation").
+ *
+ * Threading: inboxes are the only shared mutable state and are
+ * mutex-guarded. Queues are confined to their shard's worker during
+ * a window; the pool's wait() barrier publishes all writes back to
+ * the coordinator between windows.
+ */
+
+#ifndef MERCURY_SIM_SHARDED_SIM_HH
+#define MERCURY_SIM_SHARDED_SIM_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/sync.hh"
+#include "sim/thread_annotations.hh"
+#include "sim/types.hh"
+
+namespace mercury::sim
+{
+
+class ThreadPool;
+
+/** Index of a simulated node within a ShardedSim topology. */
+using NodeId = std::uint32_t;
+
+class ShardedSim
+{
+  public:
+    /** @param shards number of shards (clamped to >= 1). Each shard
+     * owns one EventQueue; with one shard execution is inline and
+     * the engine degenerates to a serial run with the same event
+     * order. */
+    explicit ShardedSim(unsigned shards);
+    ~ShardedSim();
+
+    ShardedSim(const ShardedSim &) = delete;
+    ShardedSim &operator=(const ShardedSim &) = delete;
+
+    // ---- topology registration (before the first window) ---------
+
+    /** Register a node on an explicit shard; returns its id. */
+    NodeId addNode(unsigned shard);
+
+    /** Register a node round-robin across shards (node i lands on
+     * shard i % shards -- a placement that is itself a pure
+     * function of the node index). */
+    NodeId addNode();
+
+    /**
+     * Register a directed communication link. Every link's latency
+     * is a lookahead candidate regardless of whether its endpoints
+     * share a shard, so lookahead() -- and therefore every window
+     * boundary -- does not depend on the partition.
+     *
+     * @pre latency > 0 (a zero-latency link has no lookahead and
+     *      cannot be simulated conservatively).
+     */
+    void addLink(NodeId src, NodeId dst, Tick latency);
+
+    unsigned shards() const { return static_cast<unsigned>(queues_.size()); }
+    unsigned nodeCount() const { return static_cast<unsigned>(nodeShard_.size()); }
+    unsigned shardOf(NodeId node) const { return nodeShard_[node]; }
+
+    /** Minimum latency over all registered links. */
+    Tick lookahead() const;
+
+    /**
+     * Test hook: force the window length regardless of registered
+     * links. Inflating the lookahead past the true minimum link
+     * latency makes a legitimate send() violate the causality
+     * contract (deliver inside the current window) -- the negative
+     * test in tests/sim/sharded_lockstep_test.cc uses exactly that
+     * to prove the MERCURY_ASSERT guards the window invariant.
+     */
+    void overrideLookaheadForTest(Tick lookahead);
+
+    // ---- event access ---------------------------------------------
+
+    /**
+     * The queue a node's *own* events live on. Only ever schedule
+     * a node's self-events here; cross-node messages must use
+     * send() (the mercury_lint cross-shard-schedule rule flags
+     * direct scheduling through queueFor()).
+     */
+    EventQueue &localQueue(NodeId node)
+    {
+        return *queues_[nodeShard_[node]];
+    }
+
+    /**
+     * A shard's queue, addressed by shard index. Read-only
+     * inspection (size, curTick, profiler) is fine from the
+     * coordinator between windows; scheduling through this
+     * accessor bypasses the inbox protocol and breaks both
+     * causality and determinism -- use send() instead.
+     */
+    EventQueue &queueFor(unsigned shard) { return *queues_[shard]; }
+    const EventQueue &queueFor(unsigned shard) const
+    {
+        return *queues_[shard];
+    }
+
+    /**
+     * Deliver a cross-node message: run @p deliver on @p dst's
+     * shard at @p deliverTick. Goes through the destination inbox
+     * even when src and dst share a shard, so the observable
+     * delivery order is identical under every partition.
+     *
+     * Causality contract: when called from inside a window,
+     * @p deliverTick must be >= the window end -- guaranteed
+     * whenever deliverTick = now + link latency >= lookahead
+     * (MERCURY_ASSERT enforced).
+     */
+    void send(NodeId src, NodeId dst, Tick deliverTick,
+              std::function<void()> deliver);
+
+    /**
+     * Coordinator-side injection: run @p fn on @p dst's shard at
+     * @p tick. Like send() but originates outside the simulated
+     * topology (e.g. a driver pre-posting per-node work), so it is
+     * not subject to the lookahead contract; it must only be
+     * called between windows. Posts to the same node preserve
+     * their post order at equal ticks.
+     */
+    void post(NodeId dst, Tick tick, std::function<void()> fn);
+
+    // ---- execution ------------------------------------------------
+
+    /**
+     * Execute one barrier-delimited window: drain inboxes, place
+     * the window at the earliest pending tick, run every shard up
+     * to the window end (exclusive) in parallel.
+     *
+     * @return false when nothing was pending (the simulation is
+     *         drained).
+     */
+    bool runWindow();
+
+    /** Run windows until drained; returns total events serviced
+     * across all shards. */
+    Counter run();
+
+    /** Total events serviced across all shards so far. */
+    Counter numServiced() const;
+
+    /** Number of barrier windows executed. */
+    Counter windowsRun() const { return windowsRun_; }
+
+    Tick windowStart() const { return windowStart_; }
+    Tick windowEnd() const { return windowEnd_; }
+
+#if MERCURY_EVENT_PROFILE
+    /** Merge every shard's profiler into one aggregate whose
+     * queues() equals the shard count. Call between windows. */
+    EventProfiler aggregateProfile() const;
+#endif
+
+  private:
+    struct Message
+    {
+        Tick tick;
+        NodeId src;
+        std::uint64_t srcSeq;
+        std::function<void()> deliver;
+    };
+
+    /** One shard's inbox: messages visible at the next barrier. */
+    struct Inbox
+    {
+        Mutex mutex;
+        std::vector<Message> pending GUARDED_BY(mutex);
+    };
+
+    void drainInboxes();
+
+    std::vector<std::unique_ptr<EventQueue>> queues_;
+    /** Inboxes are pointers so shard count never moves a Mutex. */
+    std::vector<std::unique_ptr<Inbox>> inboxes_;
+    std::vector<unsigned> nodeShard_;
+    /** Per-source-node send sequence; a node's sends are issued
+     * from exactly one thread at a time, so no lock is needed. */
+    std::vector<std::uint64_t> sendSeq_;
+    std::vector<Tick> linkLatencies_;
+    Tick lookaheadOverride_ = 0;
+    Tick windowStart_ = 0;
+    /** End (exclusive) of the window being executed; read by
+     * send()'s causality assert from worker threads. Written only
+     * between windows. */
+    Tick windowEnd_ = 0;
+    bool inWindow_ = false;
+    Counter windowsRun_ = 0;
+    /** Lazily created on the first multi-shard window. */
+    std::unique_ptr<ThreadPool> pool_;
+};
+
+} // namespace mercury::sim
+
+#endif // MERCURY_SIM_SHARDED_SIM_HH

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Byte-identity of the sharded (PDES) ClusterSim execution against
+ * the serial reference walk: every result field -- latency stats,
+ * outcome classes, fault timeline digest, cache effects -- must be
+ * bit-equal for every shard count, clean or faulty, replicated or
+ * not. This is the cluster-level enforcement of the ShardedSim
+ * contract (the engine-level twin fuzz lives in
+ * tests/sim/sharded_lockstep_test.cc; whole-binary output is
+ * additionally byte-diffed by tests/determinism/run_shard_matrix.sh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cluster/cluster_sim.hh"
+#include "cpu/core.hh"
+
+namespace
+{
+
+using namespace mercury;
+using namespace mercury::cluster;
+
+ClusterSimParams
+baseCluster()
+{
+    ClusterSimParams p;
+    p.node.core = cpu::cortexA7Params();
+    p.node.withL2 = false;
+    p.node.storeMemLimit = 32 * miB;
+    p.nodes = 4;
+    p.numKeys = 800;
+    p.zipfTheta = 0.9;
+    p.requests = 500;
+    p.warmup = 50;
+    return p;
+}
+
+ClusterSimParams
+faultyCluster(double loss, double crashes_per_sec)
+{
+    ClusterSimParams p = baseCluster();
+    p.faults.enabled = true;
+    p.faults.packetLossProbability = loss;
+    p.faults.nodeCrashesPerSecond = crashes_per_sec;
+    p.faults.nodeDowntime = 3 * tickMs;
+    p.faults.requestTimeout = 500 * tickUs;
+    p.faults.maxRetries = 2;
+    p.faults.backoffBase = 100 * tickUs;
+    p.faults.seed = 0xfa17;
+    return p;
+}
+
+ClusterSimResult
+runWith(ClusterSimParams params, unsigned shards)
+{
+    params.shards = shards;
+    ClusterSim sim(params);
+    return sim.run(0.3 * sim.aggregateCapacity());
+}
+
+/** Every field of the result, compared exactly (doubles included:
+ * the contract is bit-identity, not tolerance). */
+void
+expectIdentical(const ClusterSimResult &a, const ClusterSimResult &b)
+{
+    EXPECT_EQ(a.offeredTps, b.offeredTps);
+    EXPECT_EQ(a.avgLatencyUs, b.avgLatencyUs);
+    EXPECT_EQ(a.p99LatencyUs, b.p99LatencyUs);
+    EXPECT_EQ(a.p999LatencyUs, b.p999LatencyUs);
+    EXPECT_EQ(a.subMsFraction, b.subMsFraction);
+    EXPECT_EQ(a.hottestNodeShare, b.hottestNodeShare);
+    EXPECT_EQ(a.hotNodeTailAmplification, b.hotNodeTailAmplification);
+    EXPECT_EQ(a.availability, b.availability);
+    EXPECT_EQ(a.minWindowAvailability, b.minWindowAvailability);
+    EXPECT_EQ(a.hitRate, b.hitRate);
+    EXPECT_EQ(a.postRestartHitRate, b.postRestartHitRate);
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.timeouts, b.timeouts);
+    EXPECT_EQ(a.failedRequests, b.failedRequests);
+    EXPECT_EQ(a.shed, b.shed);
+    EXPECT_EQ(a.attemptTimeouts, b.attemptTimeouts);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.hedges, b.hedges);
+    EXPECT_EQ(a.hedgeWins, b.hedgeWins);
+    EXPECT_EQ(a.hintsQueued, b.hintsQueued);
+    EXPECT_EQ(a.hintsReplayed, b.hintsReplayed);
+    EXPECT_EQ(a.readRepairs, b.readRepairs);
+    EXPECT_EQ(a.maxOutstanding, b.maxOutstanding);
+    EXPECT_EQ(a.crashes, b.crashes);
+    EXPECT_EQ(a.restarts, b.restarts);
+    EXPECT_EQ(a.netDrops, b.netDrops);
+    EXPECT_EQ(a.netRetransmits, b.netRetransmits);
+    EXPECT_EQ(a.faultTimelineDigest, b.faultTimelineDigest);
+}
+
+TEST(ShardedCluster, CleanRunIdenticalAcrossShardCounts)
+{
+    const ClusterSimResult serial = runWith(baseCluster(), 1);
+    for (unsigned shards : {2u, 4u, 8u}) {
+        SCOPED_TRACE("shards " + std::to_string(shards));
+        expectIdentical(serial, runWith(baseCluster(), shards));
+    }
+    EXPECT_GT(serial.requests, 0u);
+    EXPECT_EQ(serial.ok, serial.requests);
+}
+
+TEST(ShardedCluster, FaultyRunIdenticalAcrossShardCounts)
+{
+    const ClusterSimParams params = faultyCluster(0.02, 300.0);
+    const ClusterSimResult serial = runWith(params, 1);
+    for (unsigned shards : {2u, 4u, 8u}) {
+        SCOPED_TRACE("shards " + std::to_string(shards));
+        expectIdentical(serial, runWith(params, shards));
+    }
+    // The scenario actually stresses the engine: faults fired and
+    // the client had to retry/fail over.
+    EXPECT_GT(serial.crashes + serial.netDrops, 0u);
+}
+
+TEST(ShardedCluster, ReplicatedWritesIdenticalAcrossShardCounts)
+{
+    ClusterSimParams params = faultyCluster(0.0, 300.0);
+    params.resilience.replicationFactor = 2;
+    const ClusterSimResult serial = runWith(params, 1);
+    for (unsigned shards : {2u, 4u, 8u}) {
+        SCOPED_TRACE("shards " + std::to_string(shards));
+        expectIdentical(serial, runWith(params, shards));
+    }
+}
+
+TEST(ShardedCluster, SerialCouplingsStillMatchWithShardsRequested)
+{
+    // Hedged reads couple the client to cross-node state faster
+    // than the network lookahead, so the engine must fall back to
+    // the serial walk -- and the shards parameter must then be a
+    // no-op rather than a divergence.
+    ClusterSimParams params = faultyCluster(0.0, 300.0);
+    params.resilience.replicationFactor = 2;
+    params.resilience.hedgedReads = true;
+    expectIdentical(runWith(params, 1), runWith(params, 4));
+
+    ClusterSimParams shed = faultyCluster(0.0, 0.0);
+    shed.resilience.admissionControl = true;
+    expectIdentical(runWith(shed, 1), runWith(shed, 4));
+}
+
+} // anonymous namespace

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# PDES determinism matrix: run one bench's smoke config across
+# --shards 1/2/4/8 crossed with --jobs 1/2 and require stdout, the
+# --stats-json dump AND the --timeseries-out windowed JSONL to be
+# byte-identical to the serial (--shards=1 --jobs=1) baseline in
+# every cell. This is the contract that makes --shards a pure
+# wall-clock knob: the conservative-PDES engine (sim/sharded_sim.hh)
+# must be unobservable in every output byte, exactly like the sweep
+# worker count.
+#
+# The stats digest printed on success is the same FNV-1a the golden
+# suite uses (tools/statdiff.py), so a drift here can be compared
+# against golden logs directly.
+#
+# Usage: run_shard_matrix.sh BENCH_BINARY [EXTRA_ARGS...]
+set -euo pipefail
+
+if [ $# -lt 1 ]; then
+    echo "usage: $0 BENCH_BINARY [EXTRA_ARGS...]" >&2
+    exit 2
+fi
+
+bin=$1
+shift
+
+script_dir=$(cd "$(dirname "$0")" && pwd)
+statdiff=$script_dir/../../tools/statdiff.py
+name=$(basename "$bin")
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+cells=""
+for shards in 1 2 4 8; do
+    for jobs in 1 2; do
+        cell="s${shards}_j${jobs}"
+        cells="$cells $cell"
+        "$bin" --smoke --shards="$shards" --jobs="$jobs" \
+            --stats-json="$tmpdir/stats_$cell.json" \
+            --timeseries-out="$tmpdir/ts_$cell.jsonl" \
+            --sample-interval=5000 "$@" \
+            > "$tmpdir/stdout_$cell.txt"
+    done
+done
+
+status=0
+for cell in $cells; do
+    [ "$cell" = "s1_j1" ] && continue
+    if ! cmp -s "$tmpdir/stdout_s1_j1.txt" "$tmpdir/stdout_$cell.txt"
+    then
+        echo "$name: stdout differs between s1_j1 and $cell:" >&2
+        diff "$tmpdir/stdout_s1_j1.txt" \
+            "$tmpdir/stdout_$cell.txt" >&2 || true
+        status=1
+    fi
+    if ! cmp -s "$tmpdir/stats_s1_j1.json" "$tmpdir/stats_$cell.json"
+    then
+        echo "$name: stats JSON differs between s1_j1 and $cell:" >&2
+        python3 "$statdiff" "$tmpdir/stats_s1_j1.json" \
+            "$tmpdir/stats_$cell.json" >&2 || true
+        status=1
+    fi
+    if ! cmp -s "$tmpdir/ts_s1_j1.jsonl" "$tmpdir/ts_$cell.jsonl"
+    then
+        echo "$name: timeseries JSONL differs between s1_j1" \
+            "and $cell:" >&2
+        python3 "$script_dir/../../tools/tsplot.py" diff \
+            "$tmpdir/ts_s1_j1.jsonl" "$tmpdir/ts_$cell.jsonl" >&2 ||
+            true
+        status=1
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    exit 1
+fi
+echo "$name: --shards 1/2/4/8 x --jobs 1/2 byte-identical" \
+    "($(python3 "$statdiff" --digest "$tmpdir/stats_s1_j1.json"))"

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * mercury_lint fixture: the cross-shard-schedule rule.
+ *
+ * Under the conservative-PDES engine, another shard's EventQueue may
+ * only be reached through ShardedSim::send() (or a net::ShardChannel)
+ * so the delivery lands in the mutex-guarded inbox and drains in the
+ * deterministic (tick, src, seq) order. Scheduling directly on a
+ * queue obtained from queueFor() races the owning worker and breaks
+ * the byte-identity contract. localQueue() is the blessed accessor
+ * for a node's own events. Expected diagnostics are pinned in
+ * cross_shard.cc.expected; keep line numbers stable when editing.
+ */
+
+using Tick = unsigned long long;
+
+class Event
+{
+};
+
+class EventQueue
+{
+  public:
+    void
+    schedule(Event *, Tick)
+    {
+    }
+    void
+    reschedule(Event *, Tick)
+    {
+    }
+};
+
+class ShardedSim
+{
+  public:
+    EventQueue &
+    queueFor(unsigned)
+    {
+        return queue_;  // fixture stand-in; real one maps node->shard
+    }
+    EventQueue &
+    localQueue(unsigned)
+    {
+        return queue_;
+    }
+    void
+    send(unsigned, unsigned, Tick, Event *)
+    {
+    }
+
+  private:
+    EventQueue queue_;
+};
+
+void
+chainedCrossShardSchedule(ShardedSim &sim, Event *ev)
+{
+    sim.queueFor(3).schedule(ev, 100);  // finding: chained form
+}
+
+void
+boundCrossShardSchedule(ShardedSim &sim, Event *ev)
+{
+    EventQueue &victim = sim.queueFor(1);
+    victim.schedule(ev, 200);  // finding: bound-reference form
+}
+
+void
+boundCrossShardReschedule(ShardedSim &sim, Event *ev)
+{
+    auto &queue = sim.queueFor(2);
+    queue.reschedule(ev, 300);  // finding: reschedule counts too
+}
+
+void
+selfScheduleIsClean(ShardedSim &sim, Event *ev)
+{
+    // Clean: localQueue() is the node's own queue; self-events never
+    // cross a shard boundary.
+    sim.localQueue(0).schedule(ev, 400);
+    EventQueue &mine = sim.localQueue(4);
+    mine.schedule(ev, 500);
+}
+
+void
+sendIsClean(ShardedSim &sim, Event *ev)
+{
+    // Clean: send() routes through the inbox protocol.
+    sim.send(0, 1, 600, ev);
+}
+
+void
+waivedCrossShardSchedule(ShardedSim &sim, Event *ev)
+{
+    // lint: allow(cross-shard-schedule) -- fixture for the waiver
+    sim.queueFor(5).schedule(ev, 700);
+}
