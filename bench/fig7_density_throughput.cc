@@ -14,6 +14,7 @@
 #include "bench_util.hh"
 #include "config/explorer.hh"
 #include "config/perf_oracle.hh"
+#include "datapath_flags.hh"
 #include "parallel_sweep.hh"
 
 namespace
@@ -40,7 +41,15 @@ struct PanelSpec
 int
 main(int argc, char **argv)
 {
-    bench::Session session(argc, argv, "fig7_density_throughput");
+    bench::Session session(argc, argv, "fig7_density_throughput",
+                           bench::datapathFlagSpecs());
+    const bench::DatapathFlags dp =
+        bench::parseDatapathFlags(argc, argv);
+    // Default flags leave the output byte-identical to a bench that
+    // never had them; a re-run with --datapath/--nic-cache-mb says
+    // so up front.
+    if (dp.nonDefault())
+        std::printf("%s", dp.banner().c_str());
 
     const CoreChoice choices[] = {
         {"A15 @1.5GHz", cpu::cortexA15Params(1.5)},
@@ -75,7 +84,11 @@ main(int argc, char **argv)
                 stack.core = choices[ci].core;
                 stack.memory = panel.memory;
                 stack.withL2 = panel.memory == StackMemory::Flash3D;
-                const PerCorePerf perf = measurePerCorePerf(stack);
+                stack.nicCacheMB = dp.nicCacheMB;
+                OracleOptions oracle;
+                oracle.datapath = dp.datapath;
+                const PerCorePerf perf = measurePerCorePerf(stack,
+                                                            oracle);
                 for (unsigned n : {1u, 2u, 4u, 8u, 16u, 32u}) {
                     stack.coresPerStack = n;
                     const ServerDesign d = explorer.solve(stack,

@@ -13,6 +13,9 @@
  *    arena-managed one-shot churn rate;
  *  - kv store: end-to-end GET/SET ops/sec through the single-node
  *    server timing model;
+ *  - datapath: host-side simulation rate of the request walk under
+ *    the kernel path and the batched bypass fast path (how much the
+ *    batching bookkeeping costs the simulator itself);
  *  - sweep: wall-clock for a fig5-style batch of independent server
  *    measurements run serially and through sim::ThreadPool, i.e.
  *    what `--jobs N` buys on this host. (On a single-hardware-thread
@@ -43,6 +46,7 @@
 
 #include "bench_util.hh"
 #include "cluster/cluster_sim.hh"
+#include "net/datapath.hh"
 #include "server/server_model.hh"
 #include "sim/event_queue.hh"
 #include "sim/json.hh"
@@ -254,6 +258,32 @@ storeOpsPerSec(std::uint64_t total)
     return static_cast<double>(total) / secondsSince(start);
 }
 
+/**
+ * Datapath hot-loop probe: host-side simulation rate of the
+ * request walk under each datapath. The bypass path models *more*
+ * mechanism (batch accounting, NIC-cache lookups) yet simulates
+ * fewer kernel phases per request; this probe keeps the host cost
+ * of that trade visible so a regression in the batched fast path
+ * shows up in BENCH_selfbench.json, not just in simulated TPS.
+ */
+double
+datapathReqsPerSec(std::uint64_t total,
+                   const net::DatapathParams &datapath)
+{
+    server::ServerModelParams params;
+    params.core = cpu::cortexA7Params();
+    params.withL2 = true;
+    params.storeMemLimit = 64 * miB;
+    params.datapath = datapath;
+    server::ServerModel server(params);
+    server.populate(1000, 64);
+
+    const auto start = Clock::now();
+    for (std::uint64_t i = 0; i < total; ++i)
+        server.get("v64:" + std::to_string(i % 1000));
+    return static_cast<double>(total) / secondsSince(start);
+}
+
 /** One fig5-style measurement task: build a small server model and
  * measure a GET size point. Self-contained, like a sweep point. */
 void
@@ -411,6 +441,28 @@ main(int argc, char **argv)
     std::printf("%-34s %14.0f ops/s\n", "kv store GET/SET",
                 storeOps);
 
+    net::DatapathParams kernel_dp;
+    net::DatapathParams bypass_dp;
+    bypass_dp.kind = net::DatapathKind::Bypass;
+    net::DatapathParams batched_dp = bypass_dp;
+    batched_dp.rxBatch = 32;
+    batched_dp.txBatch = 32;
+    const double kernelReqs =
+        datapathReqsPerSec(storeTotal, kernel_dp);
+    const double bypassReqs =
+        datapathReqsPerSec(storeTotal, bypass_dp);
+    const double batchedReqs =
+        datapathReqsPerSec(storeTotal, batched_dp);
+    const double batchingSpeedup = batchedReqs / bypassReqs;
+    std::printf("%-34s %14.0f reqs/s\n", "datapath kernel GETs",
+                kernelReqs);
+    std::printf("%-34s %14.0f reqs/s\n", "datapath bypass batch=1",
+                bypassReqs);
+    std::printf("%-34s %14.0f reqs/s\n", "datapath bypass batch=32",
+                batchedReqs);
+    std::printf("%-34s %14.2fx  (host-side cost of batching)\n",
+                "datapath batching ratio", batchingSpeedup);
+
     const double serialS =
         sweepSerialSeconds(sweepPoints, sweepSamples);
     const double parallelS =
@@ -490,6 +542,16 @@ main(int argc, char **argv)
         bool sf = true;
         os << '{';
         field(os, sf, "ops_per_sec", "%.0f", storeOps);
+        os << '}';
+    }
+    json::writeKey(os, first, "datapath");
+    {
+        bool df = true;
+        os << '{';
+        field(os, df, "kernel_reqs_per_sec", "%.0f", kernelReqs);
+        field(os, df, "bypass_reqs_per_sec", "%.0f", bypassReqs);
+        field(os, df, "batched_reqs_per_sec", "%.0f", batchedReqs);
+        field(os, df, "batching_speedup", "%.3f", batchingSpeedup);
         os << '}';
     }
     json::writeKey(os, first, "sweep");

@@ -20,6 +20,7 @@
 #include "bench_util.hh"
 #include "config/explorer.hh"
 #include "config/perf_oracle.hh"
+#include "datapath_flags.hh"
 #include "parallel_sweep.hh"
 
 namespace
@@ -37,7 +38,7 @@ struct CoreChoice
 
 void
 block(bench::PointContext &ctx, const CoreChoice &choice,
-      StackMemory memory)
+      StackMemory memory, const bench::DatapathFlags &dp)
 {
     DesignExplorer explorer;
     const std::vector<unsigned> core_counts{1, 2, 4, 8, 16, 32};
@@ -48,8 +49,11 @@ block(bench::PointContext &ctx, const CoreChoice &choice,
     // Mercury foregoes the L2 (Sec. 4.1.3); Iridium requires it
     // (Sec. 4.2.1).
     stack.withL2 = memory == StackMemory::Flash3D;
+    stack.nicCacheMB = dp.nicCacheMB;
 
-    const PerCorePerf perf = measurePerCorePerf(stack);
+    OracleOptions oracle;
+    oracle.datapath = dp.datapath;
+    const PerCorePerf perf = measurePerCorePerf(stack, oracle);
 
     ctx.printf("%s, %s\n", choice.label,
                memory == StackMemory::Dram3D ? "Mercury (3D DRAM)"
@@ -87,9 +91,14 @@ block(bench::PointContext &ctx, const CoreChoice &choice,
 int
 main(int argc, char **argv)
 {
-    bench::Session session(argc, argv, "table3_max_configs");
+    bench::Session session(argc, argv, "table3_max_configs",
+                           bench::datapathFlagSpecs());
+    const bench::DatapathFlags dp =
+        bench::parseDatapathFlags(argc, argv);
     bench::banner("Table 3: Power and area comparison for 1.5U "
                   "maximum configurations");
+    if (dp.nonDefault())
+        std::printf("%s", dp.banner().c_str());
 
     const std::vector<CoreChoice> choices = {
         {"A15 @1.5GHz", cpu::cortexA15Params(1.5)},
@@ -102,8 +111,9 @@ main(int argc, char **argv)
     bench::ParallelSweep sweep(session);
     for (StackMemory memory : memories) {
         for (const CoreChoice &choice : choices) {
-            sweep.point([&choice, memory](bench::PointContext &ctx) {
-                block(ctx, choice, memory);
+            sweep.point([&choice, memory,
+                         &dp](bench::PointContext &ctx) {
+                block(ctx, choice, memory, dp);
             });
         }
     }

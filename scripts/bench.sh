@@ -8,14 +8,18 @@
 #     (clocked and scattered scheduling patterns) and the arena
 #     one-shot churn rate;
 #   - kv-store GET/SET ops/sec through the server timing model;
+#   - datapath request walk reqs/sec: kernel path vs the batched
+#     bypass fast path (host-side cost of the batching bookkeeping);
 #   - fig5-style sweep wall-clock, serial vs --jobs N;
 #   - a 96-node cluster run, serial vs the sharded PDES engine
 #     (--shards), with a byte-identity check on the results --
 #     the probe fails if sharded output diverges from serial.
 #
-# Numbers are host-dependent; nothing here is golden. Pass --smoke
-# for the CI-sized run (scripts/check.sh uses that for its
-# perf-smoke stage).
+# Numbers are host-dependent; nothing here is golden, but the
+# per-second rates are compared against the committed
+# BENCH_selfbench.json via tools/perfguard.py (advisory here, a
+# hard gate in scripts/check.sh). Pass --smoke for the CI-sized run
+# (scripts/check.sh uses that for its perf-smoke stage).
 #
 # Usage: scripts/bench.sh [--smoke] [--jobs=N] [--out=PATH]
 
@@ -27,6 +31,25 @@ cmake --preset release
 cmake --build --preset release -j "$(nproc)" --target selfbench micro_sim
 
 ./build/release/bench/selfbench "$@"
+
+# Compare the fresh rates against the committed baseline (the
+# HEAD version, since the default --out just overwrote the file in
+# the worktree). Advisory here -- hosts differ; scripts/check.sh
+# runs the same guard as a hard failure against its own smoke run.
+out=BENCH_selfbench.json
+for arg in "$@"; do
+    case "$arg" in
+        --out=*) out="${arg#--out=}" ;;
+    esac
+done
+if git show HEAD:BENCH_selfbench.json \
+        > /tmp/mercury-selfbench-baseline.json 2>/dev/null; then
+    python3 tools/perfguard.py \
+        /tmp/mercury-selfbench-baseline.json "$out" \
+        || echo "bench.sh: perfguard reported a regression (advisory)"
+else
+    echo "bench.sh: no committed baseline; skipping perfguard"
+fi
 
 # The google-benchmark micro suite prints per-operation costs for
 # the same substrate; useful next to the selfbench aggregate rates.

@@ -21,8 +21,9 @@
 #      (`ctest -L fault`): replication, hedging, shedding and the
 #      bad-day recovery-curve golden under asan-ubsan;
 #   6. a perf smoke: the release selfbench --smoke must run and emit
-#      well-formed JSON (numbers are host-dependent; only the shape
-#      is checked);
+#      well-formed JSON, and its per-second rates must stay within
+#      tolerance of the committed BENCH_selfbench.json
+#      (tools/perfguard.py; wall-clock fields stay advisory);
 #   7. the static-analysis label (`ctest -L lint`): the mercury_lint
 #      fixture goldens for both engines, the repo-clean check, the
 #      suppression budget, and the clang thread-safety negative
@@ -86,8 +87,8 @@ if [ "$skip_build" -eq 0 ]; then
     fi
     if ! cmake --build --preset release -j "$(nproc)" --target \
             fig4_request_breakdown fig5_mercury_latency \
-            fig6_iridium_latency fault_sweep cluster_tail bad_day \
-            test_pdes; then
+            fig6_iridium_latency datapath_sweep fault_sweep \
+            cluster_tail bad_day test_pdes; then
         echo "check.sh: release bench build failed" >&2
         exit 1
     fi
@@ -200,6 +201,8 @@ for section, keys in {
     "queue": ["intrusive_events_per_sec", "reference_events_per_sec",
               "speedup", "arena_events_per_sec"],
     "store": ["ops_per_sec"],
+    "datapath": ["kernel_reqs_per_sec", "bypass_reqs_per_sec",
+                 "batched_reqs_per_sec", "batching_speedup"],
     "sweep": ["serial_ms", "parallel_ms", "speedup", "jobs"],
     "pdes": ["nodes", "shards", "serial_ms", "sharded_ms",
              "speedup", "identical"],
@@ -216,6 +219,24 @@ print("selfbench JSON well-formed:",
 PYEOF
     then
         echo "check.sh: selfbench JSON malformed" >&2
+        exit 1
+    fi
+    # Rate regression guard: the smoke run's per-second rates must
+    # stay within tolerance of the committed full-run baseline
+    # (perfguard doubles its 25% slack across the smoke/full gap).
+    # Guard a second run -- the first doubles as cache warmup; a
+    # cold run right after the build can sit 2-3x below steady
+    # state on this host and would flake the gate.
+    if ! ./build/release/bench/selfbench --smoke \
+            --out="$selfbench_json" >> /tmp/mercury-selfbench.log
+    then
+        echo "check.sh: selfbench --smoke rerun failed" >&2
+        exit 1
+    fi
+    if ! python3 tools/perfguard.py BENCH_selfbench.json \
+            "$selfbench_json"; then
+        echo "check.sh: selfbench rates regressed vs committed" \
+             "BENCH_selfbench.json (tools/perfguard.py)" >&2
         exit 1
     fi
 else

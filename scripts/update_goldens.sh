@@ -19,12 +19,13 @@ fi
 
 cmake --build "$build" -j "$(nproc)" --target \
     fig4_request_breakdown fig5_mercury_latency fig6_iridium_latency \
-    fault_sweep bad_day
+    datapath_sweep fault_sweep bad_day
 
 declare -A benches=(
     [fig4_smoke]=fig4_request_breakdown
     [fig5_smoke]=fig5_mercury_latency
     [fig6_smoke]=fig6_iridium_latency
+    [datapath_smoke]=datapath_sweep
 )
 
 for golden in "${!benches[@]}"; do

@@ -12,7 +12,8 @@ namespace mercury::config
 namespace
 {
 
-using MemoKey = std::tuple<int, int, int, bool, Tick, Tick>;
+using MemoKey = std::tuple<int, int, int, bool, Tick, Tick,
+                           int, unsigned, unsigned, unsigned>;
 
 /**
  * Memoization shared by all sweep points; parallel sweeps (fig7/
@@ -50,6 +51,13 @@ serverParamsFor(const physical::StackConfig &stack,
     p.dramArrayLatency = options.dramLatency;
     p.flashReadLatency = options.flashReadLatency;
     p.storeMemLimit = 64 * miB;
+    p.datapath = options.datapath;
+    if (p.datapath.nicCacheEntries == 0 && stack.nicCacheMB > 0.0) {
+        // Size the NIC cache from the stack's SRAM budget.
+        p.datapath.nicCacheEntries = static_cast<unsigned>(
+            stack.nicCacheMB * static_cast<double>(miB) /
+            static_cast<double>(p.datapath.nicCacheEntryBytes));
+    }
     return p;
 }
 
@@ -58,10 +66,20 @@ measurePerCorePerf(const physical::StackConfig &stack,
                    const OracleOptions &options)
 {
     MemoCache &cache = memoCache();
+    // The memo key must include every knob that changes the modeled
+    // core: the effective (derived) NIC-cache entry count folds in
+    // stack.nicCacheMB, so two stacks differing only in SRAM budget
+    // never share an entry.
+    const server::ServerModelParams params =
+        serverParamsFor(stack, options);
     const MemoKey key{static_cast<int>(stack.core.type),
                       static_cast<int>(stack.core.freqGHz * 100),
                       static_cast<int>(stack.memory), stack.withL2,
-                      options.dramLatency, options.flashReadLatency};
+                      options.dramLatency, options.flashReadLatency,
+                      static_cast<int>(params.datapath.kind),
+                      params.datapath.rxBatch,
+                      params.datapath.txBatch,
+                      params.datapath.nicCacheEntries};
     {
         sim::ScopedLock lock(cache.mutex);
         auto it = cache.entries.find(key);
@@ -69,7 +87,7 @@ measurePerCorePerf(const physical::StackConfig &stack,
             return it->second;
     }
 
-    server::ServerModel model(serverParamsFor(stack, options));
+    server::ServerModel model(params);
 
     PerCorePerf perf;
     const server::Measurement small =

@@ -19,6 +19,10 @@ struct OracleOptions
     Tick dramLatency = 10 * tickNs;
     Tick flashReadLatency = 10 * tickUs;
     unsigned samples = 12;
+    /** Datapath the modeled cores run (kernel vs bypass, batching,
+     * NIC GET cache). nicCacheEntries == 0 with stack.nicCacheMB > 0
+     * derives the entry count from the SRAM budget. */
+    net::DatapathParams datapath{};
 };
 
 /** Build the server-model parameters corresponding to one stack

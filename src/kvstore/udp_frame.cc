@@ -25,13 +25,18 @@ read16(std::string_view in, std::size_t offset)
 
 } // anonymous namespace
 
+std::size_t
+udpDatagramCount(std::size_t payload_bytes)
+{
+    return payload_bytes == 0
+               ? 1
+               : (payload_bytes + udpMaxPayload - 1) / udpMaxPayload;
+}
+
 std::vector<std::string>
 udpFrame(std::uint16_t request_id, std::string_view payload)
 {
-    const std::size_t fragments =
-        payload.empty()
-            ? 1
-            : (payload.size() + udpMaxPayload - 1) / udpMaxPayload;
+    const std::size_t fragments = udpDatagramCount(payload.size());
     mercury_assert(fragments <= 0xffff,
                    "payload too large for UDP framing");
 
@@ -46,6 +51,20 @@ udpFrame(std::uint16_t request_id, std::string_view payload)
         d.append(payload.substr(i * udpMaxPayload,
                                 udpMaxPayload));
         datagrams.push_back(std::move(d));
+    }
+    return datagrams;
+}
+
+std::vector<std::string>
+udpFrameBatch(std::uint16_t first_request_id,
+              const std::vector<std::string> &payloads)
+{
+    std::vector<std::string> datagrams;
+    std::uint16_t id = first_request_id;
+    for (const std::string &payload : payloads) {
+        std::vector<std::string> framed = udpFrame(id++, payload);
+        for (std::string &d : framed)
+            datagrams.push_back(std::move(d));
     }
     return datagrams;
 }

@@ -36,9 +36,24 @@ struct UdpFrameHeader
 /** Maximum payload per datagram (1400 B, memcached's default). */
 constexpr std::size_t udpMaxPayload = 1400;
 
+/** Number of datagrams udpFrame would emit for a payload, without
+ * building them. Timing models (the kernel-bypass datapath, the
+ * on-NIC GET cache response path) use this to count packets. */
+std::size_t udpDatagramCount(std::size_t payload_bytes);
+
 /** Split a response into framed datagrams for one request id. */
 std::vector<std::string> udpFrame(std::uint16_t request_id,
                                   std::string_view payload);
+
+/**
+ * Frame a TX batch: consecutive request ids starting at
+ * @p first_request_id, one per payload, datagrams concatenated in
+ * submission order (the order a batched poll-mode driver publishes
+ * descriptors). UdpReassembler handles the interleaving.
+ */
+std::vector<std::string>
+udpFrameBatch(std::uint16_t first_request_id,
+              const std::vector<std::string> &payloads);
 
 /** Parse one datagram into header + payload view.
  * @return nullopt if the datagram is shorter than a header. */

@@ -1,0 +1,130 @@
+#include "net/datapath.hh"
+
+#include "sim/contract.hh"
+
+namespace mercury::net
+{
+
+std::uint64_t
+flowHash(std::string_view key)
+{
+    // FNV-1a, the same construction the fault/timeline digests use.
+    std::uint64_t h = 14695981039346656037ull;
+    for (const char c : key) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+unsigned
+rssQueueFor(std::uint64_t flow_hash, unsigned queues)
+{
+    MERCURY_EXPECTS(queues > 0, "RSS needs at least one queue");
+    // Fold the high bits in so consecutive hashes spread even when
+    // the queue count is a power of two.
+    return static_cast<unsigned>((flow_hash ^ (flow_hash >> 32)) %
+                                 queues);
+}
+
+NicGetCache::NicGetCache(const DatapathParams &params,
+                         stats::StatGroup *parent,
+                         const std::string &name)
+    : params_(params),
+      group_(name, parent),
+      hits_(&group_, "hits", "GETs answered from the NIC cache"),
+      misses_(&group_, "misses", "GET lookups that went to the core"),
+      fills_(&group_, "fills", "entries inserted or refreshed"),
+      evictions_(&group_, "evictions", "LRU evictions"),
+      invalidations_(&group_, "invalidations",
+                     "entries dropped by SET/DELETE or expiry"),
+      hitRate_(&group_, "hitRate", "NIC-cache hit fraction",
+               [this] {
+                   const std::uint64_t total =
+                       hits_.value() + misses_.value();
+                   return total ? static_cast<double>(hits_.value()) /
+                                      static_cast<double>(total)
+                                : 0.0;
+               })
+{
+    MERCURY_EXPECTS(params_.nicCacheEntries > 0,
+                    "NicGetCache needs a non-zero capacity");
+}
+
+void
+NicGetCache::erase(LruList::iterator it)
+{
+    index_.erase(it->key);
+    lru_.erase(it);
+}
+
+std::optional<std::string_view>
+NicGetCache::lookup(std::string_view key, std::uint64_t logical_clock)
+{
+    const auto idx = index_.find(key);
+    if (idx == index_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    LruList::iterator it = idx->second;
+    if (it->expiry != 0 && it->expiry <= logical_clock) {
+        // The store's copy is gone; serving it would be stale.
+        ++invalidations_;
+        ++misses_;
+        erase(it);
+        return std::nullopt;
+    }
+    lru_.splice(lru_.begin(), lru_, it);
+    ++hits_;
+    return std::string_view(it->value);
+}
+
+void
+NicGetCache::fill(std::string_view key, std::string_view value,
+                  std::uint64_t expiry)
+{
+    if (value.size() > params_.nicCacheMaxValueBytes)
+        return;
+
+    const auto idx = index_.find(key);
+    if (idx != index_.end()) {
+        LruList::iterator it = idx->second;
+        it->value.assign(value);
+        it->expiry = expiry;
+        lru_.splice(lru_.begin(), lru_, it);
+        ++fills_;
+        return;
+    }
+
+    lru_.push_front(Entry{std::string(key), std::string(value),
+                          expiry});
+    index_.emplace(lru_.front().key, lru_.begin());
+    ++fills_;
+
+    while (index_.size() > params_.nicCacheEntries) {
+        ++evictions_;
+        erase(std::prev(lru_.end()));
+    }
+    MERCURY_ENSURES(index_.size() == lru_.size(),
+                    "NIC cache index out of sync with LRU list");
+}
+
+void
+NicGetCache::invalidate(std::string_view key)
+{
+    const auto idx = index_.find(key);
+    if (idx == index_.end())
+        return;
+    ++invalidations_;
+    erase(idx->second);
+}
+
+void
+NicGetCache::clear()
+{
+    invalidations_ += index_.size();
+    index_.clear();
+    lru_.clear();
+}
+
+} // namespace mercury::net

@@ -183,6 +183,51 @@ NetworkPath::deliver(std::uint64_t payload_bytes, Tick now)
     return result;
 }
 
+DeliveryResult
+NetworkPath::deliverDatagrams(std::uint64_t payload_bytes, Tick now,
+                              unsigned datagrams)
+{
+    const unsigned n = std::max(1u, datagrams);
+    const std::uint64_t wire =
+        payload_bytes + static_cast<std::uint64_t>(n) *
+                            params_.udpPerPacketOverhead;
+
+    // Same store-and-forward occupancy accounting as deliver().
+    const std::uint64_t occupancy = backlogBytes(now) + wire;
+    const std::uint64_t clamped =
+        std::min(occupancy, params_.macBufferBytes);
+    if (clamped > peakBuffer_.value())
+        peakBuffer_ = static_cast<double>(clamped);
+    if (occupancy > params_.macBufferBytes) {
+        const std::uint64_t overflow =
+            occupancy - params_.macBufferBytes;
+        const std::uint64_t per_packet =
+            params_.mss + params_.udpPerPacketOverhead;
+        bufferDrops_ += static_cast<double>(
+            std::min<std::uint64_t>(
+                n, (overflow + per_packet - 1) / per_packet));
+    }
+
+    const Tick start = std::max(now, linkBusyUntil_);
+    queueTicks_ += static_cast<double>(start - now);
+
+    const Tick serialization = serializationTime(wire);
+    linkBusyUntil_ = start + serialization;
+
+    DeliveryResult result;
+    result.packets = n;
+    result.wireBytes = wire;
+    result.completion = start + serialization + params_.phyLatency +
+                        params_.macLatency + params_.propagation;
+
+    ++messages_;
+    packets_ += static_cast<double>(n);
+    payloadBytes_ += static_cast<double>(payload_bytes);
+    wireBytes_ += static_cast<double>(result.wireBytes);
+
+    return result;
+}
+
 double
 NetworkPath::utilization(Tick elapsed) const
 {

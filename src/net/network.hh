@@ -42,6 +42,10 @@ struct NetParams
      * header (14), FCS (4), interframe gap (12), IP (20), TCP (20). */
     unsigned perPacketOverhead = 78;
 
+    /** Same for UDP datagrams (8-byte UDP header instead of TCP's
+     * 20): used by deliverDatagrams on the bypass/NIC-cache path. */
+    unsigned udpPerPacketOverhead = 66;
+
     /** PHY traversal latency per direction. */
     Tick phyLatency = 500 * tickNs;
 
@@ -135,6 +139,20 @@ class NetworkPath : public SimObject
      * behind it. Completion is the arrival of the final packet.
      */
     DeliveryResult deliver(std::uint64_t payload_bytes, Tick now);
+
+    /**
+     * Deliver a message that is already framed as @p datagrams UDP
+     * datagrams (the kernel-bypass / NIC-cache fast path). The
+     * caller owns the framing arithmetic (kvstore::udpDatagramCount)
+     * because datagram boundaries are a protocol concern, not a
+     * link concern; this method charges UDP per-packet overhead and
+     * the same serialization/store-and-forward/queueing model as
+     * deliver(). No retransmission machinery: the fast path models
+     * the fault-free wire (UDP losses surface as client timeouts at
+     * a higher layer, not as link-level retries).
+     */
+    DeliveryResult deliverDatagrams(std::uint64_t payload_bytes,
+                                    Tick now, unsigned datagrams);
 
     const NetParams &params() const { return params_; }
 

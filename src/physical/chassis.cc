@@ -46,6 +46,7 @@ StackModel::powerW(double mem_bandwidth_gbs) const
                                 ? catalog_.dramPowerPerGBs
                                 : catalog_.flashPowerPerGBs;
     return cores + catalog_.nicMacPowerW + catalog_.nicPhyPowerW +
+           config_.nicCacheMB * catalog_.nicCacheSramPowerWPerMB +
            mem_rate * mem_bandwidth_gbs;
 }
 
@@ -77,9 +78,10 @@ StackModel::fitsLogicDie() const
     // The logic die matches the DRAM die footprint: 15.5mm x 18mm =
     // 279 mm^2, shared with DRAM peripheral logic and the NIC MAC.
     const double logic_budget_mm2 = 279.0 * 0.5;
-    const double used = config_.coresPerStack *
-                            catalog_.coreAreaMm2(config_.core) +
-                        catalog_.nicMacAreaMm2;
+    const double used =
+        config_.coresPerStack * catalog_.coreAreaMm2(config_.core) +
+        catalog_.nicMacAreaMm2 +
+        config_.nicCacheMB * catalog_.nicCacheSramAreaMm2PerMB;
     return used <= logic_budget_mm2;
 }
 

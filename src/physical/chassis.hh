@@ -23,6 +23,8 @@ struct StackConfig
     unsigned coresPerStack = 8;
     StackMemory memory = StackMemory::Dram3D;
     bool withL2 = true;
+    /** On-NIC GET-cache SRAM (MB); 0 = no cache, no charge. */
+    double nicCacheMB = 0.0;
 };
 
 /** 1.5U chassis limits (Sec. 5.4.1, 5.5). */

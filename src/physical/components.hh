@@ -43,6 +43,13 @@ struct ComponentCatalog
     double nicPhyPowerW = 0.300;
     double nicPhyAreaMm2 = 220.0;
 
+    // Optional on-NIC GET-cache SRAM (LaKe-style), charged per MB
+    // of cache on the logic die. 28 nm 6T SRAM runs ~3.5 mm^2/MB
+    // at macro density; leakage + access power ~0.05 W/MB at the
+    // NIC's duty cycle. Zero MB (the default) charges nothing.
+    double nicCacheSramPowerWPerMB = 0.05;
+    double nicCacheSramAreaMm2PerMB = 3.5;
+
     /** Per-core power for a core preset (Table 1 rows). */
     double corePowerW(const cpu::CoreParams &core) const;
 

@@ -81,6 +81,38 @@ struct Calibration
     unsigned udpSockStateLoads = 1;
     unsigned udpSockStateStores = 1;
 
+    // ---- Kernel-bypass path (poll-mode driver, batched rings) ------
+
+    /** User-level request dispatch: no syscall, no epoll, no socket
+     * lookup -- parse straight out of the DMA ring. The count is the
+     * order TSSP/LaKe report for a user-level KV request path. */
+    std::uint64_t bypassInstrPerRequest = 4000;
+
+    /** Per-packet poll-mode RX work: descriptor read, header parse,
+     * mbuf bookkeeping (~100 ns at 1 GHz, DPDK's envelope). */
+    std::uint64_t bypassInstrPerRxPacket = 900;
+
+    /** Per-packet TX work: descriptor write + header build. */
+    std::uint64_t bypassInstrPerTxPacket = 700;
+
+    /** Per-*batch* RX cost: doorbell MMIO, ring-tail update and
+     * buffer replenish, amortized over DatapathParams::rxBatch. */
+    std::uint64_t bypassInstrPerRxBatch = 1800;
+
+    /** Per-batch TX cost: doorbell + completion reaping. */
+    std::uint64_t bypassInstrPerTxBatch = 1400;
+
+    /** Code footprint of the poll-mode RX/TX paths and the fixed
+     * request path: small enough to stay L1-resident, which is half
+     * the point of the bypass. */
+    std::uint64_t bypassRxPathBytes = 2 * kiB;
+    std::uint64_t bypassTxPathBytes = 2 * kiB;
+    std::uint64_t bypassRequestPathBytes = 2 * kiB;
+
+    /** Descriptor-ring lines dirtied per batch (tail pointer plus
+     * one descriptor line); rings live in ordinary memory. */
+    unsigned bypassRingStoresPerBatch = 1;
+
     // ---- Hash computation ------------------------------------------
 
     std::uint64_t hashInstrBase = 2000;

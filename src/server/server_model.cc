@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "kvstore/udp_frame.hh"
 #include "sim/contract.hh"
 
 namespace mercury::server
@@ -51,6 +52,12 @@ ServerModel::ServerModel(const ServerModelParams &params,
                 "serialization + propagation ticks per request"),
       netstackHist_(&window_, "netstackTicks",
                     "network stack + copy ticks per request"),
+      netstackRxHist_(&window_, "netstackRxTicks",
+                      "receive-side stack + copy ticks per request"),
+      netstackTxHist_(&window_, "netstackTxTicks",
+                      "transmit-side stack + copy ticks per request"),
+      nicCacheHist_(&window_, "nicCacheTicks",
+                    "on-NIC GET cache ticks per request"),
       hashHist_(&window_, "hashTicks",
                 "key hash computation ticks per request"),
       memcachedHist_(&window_, "memcachedTicks",
@@ -166,6 +173,18 @@ ServerModel::ServerModel(const ServerModelParams &params,
     store_ = std::make_unique<kvstore::Store>(sp);
     if (params_.statsParent)
         store_->registerStats(params_.statsParent);
+
+    if (params_.datapath.nicCacheEnabled())
+        nicCache_ = std::make_unique<net::NicGetCache>(
+            params_.datapath, &stats_);
+}
+
+ServerModel::PathKind
+ServerModel::getPath() const
+{
+    if (params_.datapath.bypass())
+        return PathKind::Bypass;
+    return params_.udpGets ? PathKind::Udp : PathKind::Tcp;
 }
 
 unsigned
@@ -282,11 +301,15 @@ ServerModel::populate(unsigned num_keys, std::uint32_t value_bytes)
 }
 
 void
-ServerModel::recordRequest(const RequestTiming &timing)
+ServerModel::recordRequest(const RequestTiming &timing, Tick rx,
+                           Tick tx)
 {
     rttHist_.record(timing.rtt);
     wireHist_.record(timing.breakdown.wire);
     netstackHist_.record(timing.breakdown.netstack);
+    netstackRxHist_.record(rx);
+    netstackTxHist_.record(tx);
+    nicCacheHist_.record(timing.breakdown.nicCache);
     hashHist_.record(timing.breakdown.hash);
     memcachedHist_.record(timing.breakdown.memcached);
 }
@@ -330,10 +353,42 @@ ServerModel::mutableMetaAddr(Addr line)
 void
 ServerModel::buildRxPhase(cpu::OpTrace &trace,
                           std::uint64_t payload_bytes,
-                          unsigned packets, bool udp)
+                          unsigned packets, PathKind path)
 {
     const Calibration &cal = params_.cal;
     cpu::TraceBuilder b(trace);
+    const bool udp = path == PathKind::Udp;
+
+    if (path == PathKind::Bypass) {
+        // Poll-mode user-level path: no syscalls, no socket state;
+        // the request parses straight out of the DMA ring. Doorbell
+        // and ring-refill costs are charged per batch and amortized
+        // over rxBatch packets (the closed-loop walk serves one
+        // request at a time, so the amortized share is charged
+        // deterministically instead of sampling queue occupancy).
+        const unsigned batch =
+            std::max(1u, params_.datapath.rxBatch);
+        b.codePass(map_.netstackCode() + 64 * kiB,
+                   cal.bypassRequestPathBytes,
+                   cal.bypassInstrPerRequest / 2);
+        // Descriptor-ring tail update (the bypass path's only
+        // mutable shared state; the sock region stands in for the
+        // ring memory).
+        for (unsigned s = 0; s < cal.bypassRingStoresPerBatch; ++s)
+            b.randomStore(mutableMetaAddr(randomSockLine()));
+        const std::uint64_t per_packet =
+            packets ? payload_bytes / packets : 0;
+        for (unsigned p = 0; p < packets; ++p) {
+            b.codePass(map_.netstackCode(), cal.bypassRxPathBytes,
+                       cal.bypassInstrPerRxPacket +
+                           cal.bypassInstrPerRxBatch / batch);
+            const std::uint64_t lines = linesOf(per_packet + 64);
+            b.streamRead(map_.bufferAddr(p * 2048),
+                         (per_packet + 64));
+            b.compute(lines * cal.copyInstrPerLine);
+        }
+        return;
+    }
 
     // Socket-layer fixed path (half charged on receive). The UDP
     // path skips connection management and ACK bookkeeping.
@@ -370,10 +425,29 @@ ServerModel::buildRxPhase(cpu::OpTrace &trace,
 
 void
 ServerModel::buildTxCodePhase(cpu::OpTrace &trace, unsigned packets,
-                              bool udp)
+                              PathKind path)
 {
     const Calibration &cal = params_.cal;
     cpu::TraceBuilder b(trace);
+    const bool udp = path == PathKind::Udp;
+
+    if (path == PathKind::Bypass) {
+        const unsigned batch =
+            std::max(1u, params_.datapath.txBatch);
+        b.codePass(map_.netstackCode() + 64 * kiB,
+                   cal.bypassRequestPathBytes,
+                   cal.bypassInstrPerRequest / 2);
+        for (unsigned s = 0; s < cal.bypassRingStoresPerBatch; ++s)
+            b.randomStore(mutableMetaAddr(randomSockLine()));
+        for (unsigned p = 0; p < packets; ++p) {
+            b.codePass(map_.netstackCode() + 32 * kiB,
+                       cal.bypassTxPathBytes,
+                       cal.bypassInstrPerTxPacket +
+                           cal.bypassInstrPerTxBatch / batch);
+        }
+        return;
+    }
+
     b.codePass(map_.netstackCode() + 64 * kiB,
                cal.netstackRequestPathBytes,
                (udp ? cal.udpInstrPerRequest
@@ -492,6 +566,7 @@ RequestTiming
 ServerModel::get(const std::string &key)
 {
     const Calibration &cal = params_.cal;
+    const PathKind path = getPath();
     const Tick t0 = cursor_;
 
     std::uint32_t traceReq = 0;
@@ -500,18 +575,65 @@ ServerModel::get(const std::string &key)
 
     const std::uint64_t req_payload =
         key.size() + cal.getRequestOverheadBytes;
-    const auto arrival = c2s_->deliver(req_payload, t0);
+    const auto arrival =
+        path == PathKind::Bypass
+            ? c2s_->deliverDatagrams(
+                  req_payload, t0,
+                  static_cast<unsigned>(
+                      kvstore::udpDatagramCount(req_payload)))
+            : c2s_->deliver(req_payload, t0);
     cursor_ = arrival.completion;
     MERCURY_TRACE_SPAN(tracer_, traceReq, trace::Stage::NicIn, t0,
                        arrival.completion, req_payload);
 
     PhaseTimes pt;
+
+    // On-NIC GET cache: the lookup engine sits between the MAC and
+    // the DMA engine. A hit answers at wire latency without waking
+    // the core; a miss pays the lookup and forwards to the host.
+    if (nicCache_) {
+        const Tick begin = cursor_;
+        const auto cached = nicCache_->lookup(key);
+        pt.nicCache = params_.datapath.nicCacheLookupLatency;
+        cursor_ += pt.nicCache;
+        contract::noteTick(cursor_);
+        MERCURY_TRACE_SPAN(tracer_, traceReq, trace::Stage::NicCache,
+                           begin, cursor_, cached ? 1 : 0);
+        if (cached) {
+            const std::uint64_t resp_payload =
+                cached->size() + cal.getResponseOverheadBytes;
+            const auto response = s2c_->deliverDatagrams(
+                resp_payload, cursor_,
+                static_cast<unsigned>(
+                    kvstore::udpDatagramCount(resp_payload)));
+            const Tick wire = (arrival.completion - t0) +
+                              (response.completion - cursor_);
+            MERCURY_TRACE_SPAN(tracer_, traceReq,
+                               trace::Stage::NicOut, cursor_,
+                               response.completion, resp_payload);
+            cursor_ = response.completion;
+            MERCURY_TRACE_SPAN(tracer_, traceReq,
+                               trace::Stage::Request, t0, cursor_, 1);
+
+            RequestTiming timing;
+            timing.rtt = response.completion - t0;
+            timing.breakdown = {wire, 0, 0, 0, pt.nicCache};
+            timing.hit = true;
+
+            ++gets_;
+            ++getHits_;
+            bytesIn_ += req_payload;
+            bytesOut_ += resp_payload;
+            recordRequest(timing, 0, 0);
+            return timing;
+        }
+    }
+
     {
         Tick begin = cursor_;
         cpu::OpTrace trace;
-        buildRxPhase(trace, req_payload, arrival.packets,
-                     params_.udpGets);
-        pt.netstack += runPhase(trace);
+        buildRxPhase(trace, req_payload, arrival.packets, path);
+        pt.rx += runPhase(trace);
         MERCURY_TRACE_SPAN(tracer_, traceReq, trace::Stage::Netstack,
                            begin, cursor_, arrival.packets);
     }
@@ -535,6 +657,13 @@ ServerModel::get(const std::string &key)
                            begin, cursor_, probe.chainItems.size());
     }
 
+    // The NIC cache observes the response DMA and keeps a copy of
+    // hot values (zero CPU cost; the fill engine runs beside the
+    // DMA engine). SETs invalidate, so a cached value can never
+    // diverge from the store's copy.
+    if (nicCache_ && result.hit)
+        nicCache_->fill(key, result.value);
+
     const std::uint64_t resp_payload =
         result.hit ? probe.valueLen + cal.getResponseOverheadBytes
                    : 5;  // "END\r\n"
@@ -542,21 +671,29 @@ ServerModel::get(const std::string &key)
         Tick begin = cursor_;
         cpu::OpTrace trace;
         const unsigned packets =
-            s2c_->segmenter().numSegments(resp_payload);
-        buildTxCodePhase(trace, packets, params_.udpGets);
+            path == PathKind::Bypass
+                ? static_cast<unsigned>(
+                      kvstore::udpDatagramCount(resp_payload))
+                : s2c_->segmenter().numSegments(resp_payload);
+        buildTxCodePhase(trace, packets, path);
         if (result.hit && probe.itemAddr) {
             const Addr value_addr =
                 map_.mapDataPointer(store_->slabs(), probe.itemAddr) +
                 sizeof(kvstore::Item) + key.size();
             buildValueCopy(trace, value_addr, probe.valueLen, false);
         }
-        pt.netstack += runPhase(trace);
+        pt.tx += runPhase(trace);
         MERCURY_TRACE_SPAN(tracer_, traceReq, trace::Stage::Netstack,
                            begin, cursor_, resp_payload);
     }
 
-    const auto response = s2c_->deliver(resp_payload,
-                                                  cursor_);
+    const auto response =
+        path == PathKind::Bypass
+            ? s2c_->deliverDatagrams(
+                  resp_payload, cursor_,
+                  static_cast<unsigned>(
+                      kvstore::udpDatagramCount(resp_payload)))
+            : s2c_->deliver(resp_payload, cursor_);
     const Tick wire = (arrival.completion - t0) +
                       (response.completion - cursor_);
     MERCURY_TRACE_SPAN(tracer_, traceReq, trace::Stage::NicOut,
@@ -567,7 +704,8 @@ ServerModel::get(const std::string &key)
 
     RequestTiming timing;
     timing.rtt = response.completion - t0;
-    timing.breakdown = {wire, pt.netstack, pt.hash, pt.memcached};
+    timing.breakdown = {wire, pt.netstack(), pt.hash, pt.memcached,
+                        pt.nicCache};
     timing.hit = result.hit;
 
     ++gets_;
@@ -577,7 +715,7 @@ ServerModel::get(const std::string &key)
         ++getMisses_;
     bytesIn_ += req_payload;
     bytesOut_ += resp_payload;
-    recordRequest(timing);
+    recordRequest(timing, pt.rx, pt.tx);
     return timing;
 }
 
@@ -585,6 +723,12 @@ RequestTiming
 ServerModel::put(const std::string &key, std::uint32_t value_bytes)
 {
     const Calibration &cal = params_.cal;
+    // PUTs keep TCP framing on the wire (reliable transport); in
+    // bypass mode the CPU walks the user-level stack (mTCP-style)
+    // instead of the kernel path.
+    const PathKind path = params_.datapath.bypass()
+                              ? PathKind::Bypass
+                              : PathKind::Tcp;
     const Tick t0 = cursor_;
 
     std::uint32_t traceReq = 0;
@@ -602,8 +746,8 @@ ServerModel::put(const std::string &key, std::uint32_t value_bytes)
     {
         Tick begin = cursor_;
         cpu::OpTrace trace;
-        buildRxPhase(trace, req_payload, arrival.packets);
-        pt.netstack += runPhase(trace);
+        buildRxPhase(trace, req_payload, arrival.packets, path);
+        pt.rx += runPhase(trace);
         MERCURY_TRACE_SPAN(tracer_, traceReq, trace::Stage::Netstack,
                            begin, cursor_, arrival.packets);
     }
@@ -619,6 +763,11 @@ ServerModel::put(const std::string &key, std::uint32_t value_bytes)
     kvstore::ProbeTrace probe;
     const std::string value(value_bytes, 'p');
     const auto status = store_->setTraced(key, value, 0, 0, probe);
+    // The NIC cache snoops SETs and drops its copy (LaKe's
+    // invalidate-on-write); the invalidation engine costs no CPU
+    // time.
+    if (nicCache_)
+        nicCache_->invalidate(key);
     {
         Tick begin = cursor_;
         cpu::OpTrace trace;
@@ -636,7 +785,7 @@ ServerModel::put(const std::string &key, std::uint32_t value_bytes)
             map_.mapDataPointer(store_->slabs(), probe.itemAddr) +
             sizeof(kvstore::Item) + key.size();
         buildValueCopy(trace, value_addr, value_bytes, true);
-        pt.netstack += runPhase(trace);
+        pt.rx += runPhase(trace);
     }
 
     // On Iridium the stored item must actually be programmed into
@@ -675,8 +824,8 @@ ServerModel::put(const std::string &key, std::uint32_t value_bytes)
     {
         Tick begin = cursor_;
         cpu::OpTrace trace;
-        buildTxCodePhase(trace, 1);
-        pt.netstack += runPhase(trace);
+        buildTxCodePhase(trace, 1, path);
+        pt.tx += runPhase(trace);
         MERCURY_TRACE_SPAN(tracer_, traceReq, trace::Stage::Netstack,
                            begin, cursor_, resp_payload);
     }
@@ -694,13 +843,14 @@ ServerModel::put(const std::string &key, std::uint32_t value_bytes)
 
     RequestTiming timing;
     timing.rtt = response.completion - t0;
-    timing.breakdown = {wire, pt.netstack, pt.hash, pt.memcached};
+    timing.breakdown = {wire, pt.netstack(), pt.hash, pt.memcached,
+                        pt.nicCache};
     timing.hit = status == kvstore::StoreStatus::Stored;
 
     ++puts_;
     bytesIn_ += req_payload;
     bytesOut_ += resp_payload;
-    recordRequest(timing);
+    recordRequest(timing, pt.rx, pt.tx);
     return timing;
 }
 
@@ -774,7 +924,8 @@ ServerModel::measure(bool puts, std::uint32_t value_bytes,
         static_cast<Tick>(wireHist_.totalSum() / samples),
         static_cast<Tick>(netstackHist_.totalSum() / samples),
         static_cast<Tick>(hashHist_.totalSum() / samples),
-        static_cast<Tick>(memcachedHist_.totalSum() / samples)};
+        static_cast<Tick>(memcachedHist_.totalSum() / samples),
+        static_cast<Tick>(nicCacheHist_.totalSum() / samples)};
     std::sort(rtts.begin(), rtts.end());
     m.p99RttUs = ticksToUs(rtts[static_cast<std::size_t>(
         0.99 * (rtts.size() - 1))]);

@@ -25,6 +25,7 @@
 #include "mem/flash.hh"
 #include "mem/region_router.hh"
 #include "mem/simple_mem.hh"
+#include "net/datapath.hh"
 #include "net/network.hh"
 #include "server/address_map.hh"
 #include "server/calibration.hh"
@@ -79,6 +80,12 @@ struct ServerModelParams
 
     net::NetParams net{};
 
+    /** Kernel-bypass datapath configuration: poll-mode batched UDP
+     * fast path, RSS steering (consumed by StackSimulation) and the
+     * on-NIC GET cache. All defaults off; the default reproduces
+     * the kernel path bit-for-bit. */
+    net::DatapathParams datapath{};
+
     /** Eviction/locking of the store instance on this core. */
     kvstore::EvictionPolicyKind eviction =
         kvstore::EvictionPolicyKind::StrictLru;
@@ -128,39 +135,68 @@ struct SharedStackDevices
 struct RttBreakdown
 {
     Tick wire = 0;       ///< serialization + propagation, both ways
-    Tick netstack = 0;   ///< per-packet processing + data copies
+    Tick netstack = 0;   ///< kernel/driver CPU time + data copies
     Tick hash = 0;       ///< key hash computation
     Tick memcached = 0;  ///< metadata walk & bookkeeping
+    Tick nicCache = 0;   ///< on-NIC GET cache lookup/answer time
 
     Tick
     total() const
     {
-        return wire + netstack + hash + memcached;
+        return wire + netstack + hash + memcached + nicCache;
     }
 
-    /** Network share including wire time, as Fig. 4 plots it. */
+  private:
+    double
+    fractionOf(Tick part) const
+    {
+        return total() ? static_cast<double>(part) /
+                             static_cast<double>(total())
+                       : 0.0;
+    }
+
+  public:
+    /** CPU time in the network stack only -- wire time is reported
+     * separately by wireFraction() since the datapath PR split the
+     * two (they respond to different optimizations). */
     double
     netstackFraction() const
     {
-        return total() ? static_cast<double>(wire + netstack) /
-                             static_cast<double>(total())
-                       : 0.0;
+        return fractionOf(netstack);
+    }
+
+    /** Serialization + propagation share, both directions. */
+    double
+    wireFraction() const
+    {
+        return fractionOf(wire);
+    }
+
+    /** On-NIC cache share (zero unless the cache is enabled). */
+    double
+    nicCacheFraction() const
+    {
+        return fractionOf(nicCache);
+    }
+
+    /** Whole network share (wire + stack + NIC cache), the quantity
+     * Fig. 4 plots as "network stack". */
+    double
+    networkFraction() const
+    {
+        return fractionOf(wire + netstack + nicCache);
     }
 
     double
     hashFraction() const
     {
-        return total() ? static_cast<double>(hash) /
-                             static_cast<double>(total())
-                       : 0.0;
+        return fractionOf(hash);
     }
 
     double
     memcachedFraction() const
     {
-        return total() ? static_cast<double>(memcached) /
-                             static_cast<double>(total())
-                       : 0.0;
+        return fractionOf(memcached);
     }
 };
 
@@ -278,24 +314,40 @@ class ServerModel
     /** Segments retransmitted across both network directions. */
     std::uint64_t netRetransmits() const;
 
+    /** Hits/misses/fills of the on-NIC GET cache; nullptr while the
+     * cache is disabled. */
+    const net::NicGetCache *nicCache() const { return nicCache_.get(); }
+
   private:
+    /** Which transport path the CPU phases model. */
+    enum class PathKind { Tcp, Udp, Bypass };
+
+    /** Cycle accounting per request, split rx / proto / tx plus the
+     * NIC-cache time (which bypasses the CPU entirely). */
     struct PhaseTimes
     {
-        Tick netstack = 0;
+        Tick rx = 0;        ///< receive-side stack + inbound copies
+        Tick tx = 0;        ///< transmit-side stack + outbound copies
         Tick hash = 0;
         Tick memcached = 0;
+        Tick nicCache = 0;
+
+        Tick netstack() const { return rx + tx; }
     };
 
     /** Run one trace as a phase, returning elapsed time. */
     Tick runPhase(const cpu::OpTrace &trace);
 
     /** Record one finished request into the window histograms. */
-    void recordRequest(const RequestTiming &timing);
+    void recordRequest(const RequestTiming &timing, Tick rx, Tick tx);
+
+    /** GET rx/tx transport selection under the datapath knobs. */
+    PathKind getPath() const;
 
     void buildRxPhase(cpu::OpTrace &trace, std::uint64_t payload_bytes,
-                      unsigned packets, bool udp = false);
+                      unsigned packets, PathKind path = PathKind::Tcp);
     void buildTxCodePhase(cpu::OpTrace &trace, unsigned packets,
-                          bool udp = false);
+                          PathKind path = PathKind::Tcp);
     /** Random line in the kernel socket-state region. */
     Addr randomSockLine();
 
@@ -340,10 +392,16 @@ class ServerModel
     stats::LatencyHistogram rttHist_;
     stats::LatencyHistogram wireHist_;
     stats::LatencyHistogram netstackHist_;
+    stats::LatencyHistogram netstackRxHist_;
+    stats::LatencyHistogram netstackTxHist_;
+    stats::LatencyHistogram nicCacheHist_;
     stats::LatencyHistogram hashHist_;
     stats::LatencyHistogram memcachedHist_;
 
     trace::Tracer *tracer_ = nullptr;
+
+    /** On-NIC GET cache; null while disabled. */
+    std::unique_ptr<net::NicGetCache> nicCache_;
 
     // Owned devices (empty when shared devices are injected).
     std::unique_ptr<mem::DramModel> ownedDram_;

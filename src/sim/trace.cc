@@ -20,6 +20,7 @@ stageName(Stage stage)
       case Stage::Client: return "client";
       case Stage::Attempt: return "attempt";
       case Stage::Backoff: return "backoff";
+      case Stage::NicCache: return "nic-cache";
     }
     return "unknown";
 }

@@ -52,6 +52,7 @@ enum class Stage : std::uint8_t
     Client,    ///< cluster client-side envelope (arrival -> answer)
     Attempt,   ///< one client attempt against one node (or timeout)
     Backoff,   ///< client retry backoff between attempts
+    NicCache,  ///< on-NIC GET cache lookup (hit: answers in place)
 };
 
 /** Stable printable name ("nic-in", "store-walk", ...). */

@@ -49,6 +49,44 @@ TEST(UdpFrame, LargePayloadFragmentsAt1400)
     }
 }
 
+TEST(UdpFrame, DatagramCountMatchesFraming)
+{
+    for (std::size_t payload :
+         {std::size_t{0}, std::size_t{1}, udpMaxPayload - 1,
+          udpMaxPayload, udpMaxPayload + 1, std::size_t{3000},
+          std::size_t{100000}}) {
+        EXPECT_EQ(udpDatagramCount(payload),
+                  udpFrame(1, std::string(payload, 'x')).size())
+            << payload << " bytes";
+    }
+}
+
+TEST(UdpFrame, BatchFramesConsecutiveRequestIds)
+{
+    const std::vector<std::string> payloads = {
+        "a", std::string(3000, 'b'), "", "ddd"};
+    const auto datagrams = udpFrameBatch(40, payloads);
+
+    // Every payload reassembles under its own consecutive id.
+    UdpReassembler reassembler;
+    std::vector<std::string> out;
+    for (const auto &d : datagrams) {
+        const auto parsed = udpUnframe(d);
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_GE(parsed->first.requestId, 40u);
+        EXPECT_LT(parsed->first.requestId, 44u);
+        if (auto full = reassembler.feed(d))
+            out.push_back(*full);
+    }
+    ASSERT_EQ(out.size(), payloads.size());
+    EXPECT_EQ(out, payloads);
+
+    std::size_t expected = 0;
+    for (const auto &p : payloads)
+        expected += udpDatagramCount(p.size());
+    EXPECT_EQ(datagrams.size(), expected);
+}
+
 TEST(UdpFrame, UnframeRejectsRunts)
 {
     EXPECT_FALSE(udpUnframe("short").has_value());

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <list>
+#include <map>
 #include <sstream>
 #include <string>
 #include <unordered_map>
@@ -19,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include "kvstore/store.hh"
+#include "net/datapath.hh"
 #include "sim/random.hh"
 #include "sim/stats.hh"
 
@@ -266,6 +268,89 @@ TEST(KvModelProperty, StrictLruEvictionMatchesReferenceLru)
             EXPECT_TRUE(store.get(key).hit) << key;
         EXPECT_TRUE(store.checkConsistency());
         expectCounterInvariants(store);
+    }
+}
+
+// ---- On-NIC GET cache vs the store --------------------------------
+
+/**
+ * The NIC cache is a *value* cache in front of the store, wired the
+ * way ServerModel wires it: GETs look up the cache first and fill on
+ * a store hit, SETs and DELETEs invalidate. Under a random
+ * SET/GET/DELETE soup with TTLs, every cache hit must return exactly
+ * the bytes a store read would have returned at that instant --
+ * stale hits (missed invalidation, outlived TTL) are the bug class
+ * this pins down.
+ */
+TEST(KvModelProperty, NicCacheHitsMatchTheStoreExactly)
+{
+    for (std::uint64_t seed = 21; seed <= 24; ++seed) {
+        StoreParams params;
+        params.name = "niccache";
+        params.memLimit = 64 * miB;  // no eviction pressure
+        params.eviction = EvictionPolicyKind::StrictLru;
+        Store store(params);
+
+        net::DatapathParams dp;
+        dp.nicCacheEntries = 16;  // far smaller than the 200-key
+                                  // space: eviction churn is part of
+                                  // the test
+        dp.nicCacheMaxValueBytes = 1024;
+        net::NicGetCache cache(dp);
+
+        Rng rng(seed);
+        std::uint32_t clock = 1;
+        store.setClock(clock);
+
+        // Absolute expiry per key, tracked the way the protocol
+        // layer would learn it from the SET (0 = never). Mirrors
+        // Store::expiryFor: ttl ? clock + ttl : 0.
+        std::map<std::string, std::uint64_t> expiry_of;
+
+        std::uint64_t nic_hits = 0;
+        for (unsigned op = 0; op < 6000; ++op) {
+            const std::string key =
+                "k" + std::to_string(rng.nextInt(200));
+            const unsigned kind = rng.nextInt(100);
+
+            if (kind < 35) {  // SET (sometimes TTL'd, mixed sizes)
+                const std::uint32_t len = 1 + rng.nextInt(2000);
+                const std::uint32_t ttl =
+                    rng.nextInt(4) == 0 ? 1 + rng.nextInt(20) : 0;
+                ASSERT_EQ(store.set(key, std::string(len, 'a' + op % 26),
+                                    0, ttl),
+                          StoreStatus::Stored);
+                expiry_of[key] = ttl == 0 ? 0 : clock + ttl;
+                cache.invalidate(key);
+            } else if (kind < 85) {  // GET through the NIC frontend
+                const auto cached = cache.lookup(key, clock);
+                const GetResult direct = store.get(key);
+                if (cached.has_value()) {
+                    ++nic_hits;
+                    ASSERT_TRUE(direct.hit)
+                        << "op " << op << ": NIC cache served key '"
+                        << key << "' the store no longer has";
+                    ASSERT_EQ(*cached, direct.value)
+                        << "op " << op << ": stale NIC-cache bytes";
+                } else if (direct.hit) {
+                    // Miss path: the core answered; the NIC caches
+                    // the response with the item's absolute expiry
+                    // (values over the size cap stay uncached).
+                    cache.fill(key, direct.value, expiry_of[key]);
+                }
+            } else if (kind < 92) {  // DELETE
+                store.remove(key);
+                cache.invalidate(key);
+            } else {  // time passes; TTL expiry becomes observable
+                clock += 1 + rng.nextInt(4);
+                store.setClock(clock);
+            }
+        }
+        EXPECT_GT(nic_hits, 100u)
+            << "soup never exercised the NIC-cache hit path";
+        EXPECT_GT(cache.evictions(), 0u)
+            << "soup never exercised NIC-cache eviction churn";
+        EXPECT_TRUE(store.checkConsistency());
     }
 }
 

@@ -233,11 +233,19 @@ TEST_P(ServerSizeSweep, InvariantsAcrossRequestSizes)
     EXPECT_NEAR(get.avgTps * get.avgRttUs / 1e6, 1.0, 0.05);
     // PUTs never beat GETs of the same size.
     EXPECT_LE(put.avgTps, get.avgTps * 1.02);
-    // Breakdown fractions form a partition.
-    const double total = get.avgBreakdown.netstackFraction() +
+    // Breakdown fractions form a partition (wire, kernel and
+    // NIC-cache time are reported separately since the datapath
+    // split; networkFraction() re-aggregates the first three).
+    const double total = get.avgBreakdown.wireFraction() +
+                         get.avgBreakdown.netstackFraction() +
+                         get.avgBreakdown.nicCacheFraction() +
                          get.avgBreakdown.hashFraction() +
                          get.avgBreakdown.memcachedFraction();
     EXPECT_NEAR(total, 1.0, 1e-6);
+    EXPECT_NEAR(get.avgBreakdown.networkFraction() +
+                    get.avgBreakdown.hashFraction() +
+                    get.avgBreakdown.memcachedFraction(),
+                1.0, 1e-6);
     // Goodput equals size x TPS.
     EXPECT_NEAR(get.goodput, get.avgTps * size,
                 0.05 * get.goodput + 1.0);

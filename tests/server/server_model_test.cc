@@ -72,10 +72,16 @@ TEST(ServerModel, MissIsCheaperThanHit)
 TEST(ServerModel, SmallGetIsDominatedByNetworkStack)
 {
     // Fig. 4a: ~87% network stack, ~10% memcached, ~2-3% hash.
+    // networkFraction() is the Fig. 4 "network stack" quantity
+    // (wire + kernel); netstackFraction() is the kernel CPU share
+    // alone, which is what a kernel-bypass datapath buys back.
     ServerModel server(mercuryParams(cpu::cortexA15Params(1.0), true));
     const Measurement m = server.measureGets(64);
-    EXPECT_GT(m.avgBreakdown.netstackFraction(), 0.80);
-    EXPECT_LT(m.avgBreakdown.netstackFraction(), 0.95);
+    EXPECT_GT(m.avgBreakdown.networkFraction(), 0.80);
+    EXPECT_LT(m.avgBreakdown.networkFraction(), 0.95);
+    EXPECT_GT(m.avgBreakdown.netstackFraction(), 0.70);
+    EXPECT_GT(m.avgBreakdown.wireFraction(), 0.01);
+    EXPECT_LT(m.avgBreakdown.wireFraction(), 0.20);
     EXPECT_GT(m.avgBreakdown.memcachedFraction(), 0.04);
     EXPECT_LT(m.avgBreakdown.memcachedFraction(), 0.15);
     EXPECT_GT(m.avgBreakdown.hashFraction(), 0.005);
@@ -98,9 +104,9 @@ TEST(ServerModel, NetworkShareGrowsWithRequestSize)
     ServerModel server(mercuryParams(cpu::cortexA15Params(1.0), true));
     const Measurement small = server.measureGets(64);
     const Measurement big = server.measureGets(1 * miB);
-    EXPECT_GT(big.avgBreakdown.netstackFraction(),
-              small.avgBreakdown.netstackFraction());
-    EXPECT_GT(big.avgBreakdown.netstackFraction(), 0.97);
+    EXPECT_GT(big.avgBreakdown.networkFraction(),
+              small.avgBreakdown.networkFraction());
+    EXPECT_GT(big.avgBreakdown.networkFraction(), 0.97);
 }
 
 TEST(ServerModel, A15AnchorsNearPaperFig5a)
@@ -243,6 +249,101 @@ TEST(ServerModel, PerCoreBandwidthSaturatesNearPaperTable3)
     const Measurement m = server.measureGets(1 * miB);
     EXPECT_GT(m.goodput, 0.15e9);
     EXPECT_LT(m.goodput, 0.45e9);
+}
+
+TEST(ServerModel, DatapathDefaultsOffExactly)
+{
+    // A default-constructed model carries no NIC cache and never
+    // charges the nicCache breakdown component; the datapath knobs
+    // are strictly additive (the golden smoke dumps pin the full
+    // byte-for-byte reproduction).
+    ServerModel server(mercuryParams(cpu::cortexA7Params(), true));
+    EXPECT_EQ(server.nicCache(), nullptr);
+    server.populate(10, 64);
+    const RequestTiming t = server.get("v64:1");
+    EXPECT_EQ(t.breakdown.nicCache, 0u);
+    EXPECT_EQ(t.breakdown.total(), t.rtt);
+}
+
+TEST(ServerModel, BypassCutsTheKernelShare)
+{
+    // The point of the datapath: the kernel CPU share collapses
+    // while wire time stays, so total network share drops and TPS
+    // rises well beyond the UDP ablation.
+    ServerModelParams kernel =
+        mercuryParams(cpu::cortexA15Params(1.0), true);
+    ServerModelParams bypass = kernel;
+    bypass.datapath.kind = net::DatapathKind::Bypass;
+    bypass.datapath.rxBatch = 32;
+    bypass.datapath.txBatch = 32;
+
+    ServerModel a(kernel), b(bypass);
+    const Measurement mk = a.measureGets(64);
+    const Measurement mb = b.measureGets(64);
+    EXPECT_GT(mb.avgTps, 2.0 * mk.avgTps);
+    EXPECT_LT(mb.avgBreakdown.netstackFraction(),
+              0.5 * mk.avgBreakdown.netstackFraction());
+}
+
+TEST(ServerModel, BypassBatchingAmortizesDoorbells)
+{
+    ServerModelParams base =
+        mercuryParams(cpu::cortexA15Params(1.0), true);
+    base.datapath.kind = net::DatapathKind::Bypass;
+    ServerModelParams batched = base;
+    batched.datapath.rxBatch = 32;
+    batched.datapath.txBatch = 32;
+
+    ServerModel single(base), batch(batched);
+    const double tps1 = single.measureGets(64).avgTps;
+    const double tps32 = batch.measureGets(64).avgTps;
+    EXPECT_GT(tps32, 1.02 * tps1)
+        << "per-batch ring costs must amortize over the batch";
+}
+
+TEST(ServerModel, NicCacheHitsServeAtWireLatency)
+{
+    ServerModelParams p =
+        mercuryParams(cpu::cortexA7Params(), true);
+    p.datapath.kind = net::DatapathKind::Bypass;
+    p.datapath.nicCacheEntries = 64;
+    ServerModel server(p);
+    ASSERT_NE(server.nicCache(), nullptr);
+    server.populate(8, 64);
+
+    const RequestTiming miss = server.get("v64:3");  // fills
+    const RequestTiming hit = server.get("v64:3");
+    EXPECT_TRUE(miss.hit);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(server.nicCache()->hits(), 1u);
+    EXPECT_EQ(server.nicCache()->misses(), 1u);
+    // A NIC-cache hit never wakes the core: no kernel, hash or
+    // store time, only wire plus the hardware lookup.
+    EXPECT_EQ(hit.breakdown.netstack, 0u);
+    EXPECT_EQ(hit.breakdown.hash, 0u);
+    EXPECT_EQ(hit.breakdown.memcached, 0u);
+    EXPECT_GT(hit.breakdown.nicCache, 0u);
+    EXPECT_LT(hit.rtt, miss.rtt / 2);
+}
+
+TEST(ServerModel, NicCacheInvalidatesOnPut)
+{
+    ServerModelParams p =
+        mercuryParams(cpu::cortexA7Params(), true);
+    p.datapath.kind = net::DatapathKind::Bypass;
+    p.datapath.nicCacheEntries = 64;
+    ServerModel server(p);
+    server.populate(8, 64);
+
+    server.get("v64:2");  // miss + fill
+    server.get("v64:2");  // hit
+    ASSERT_EQ(server.nicCache()->hits(), 1u);
+    server.put("v64:2", 64);
+    EXPECT_GE(server.nicCache()->invalidations(), 1u)
+        << "a SET must drop the NIC-cached copy";
+    server.get("v64:2");  // must miss again (then refill)
+    EXPECT_EQ(server.nicCache()->hits(), 1u);
+    EXPECT_EQ(server.nicCache()->misses(), 2u);
 }
 
 TEST(ServerModel, BreakdownComponentsSumToRtt)
